@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Paper Fig. 11 / Table IV (appendix): the Sycamore architecture with
+ * CZ as the hardware two-qubit gate.  Same sweep as Fig. 7 but CZ
+ * counts; the headline check is that 2QAN's Heisenberg CZ count
+ * stays at the NoMap level (3 CZ per pair, dressed SWAPs included).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace tqan;
+using namespace tqan::bench;
+
+int
+main(int argc, char **argv)
+{
+    printHeader();
+    runFigureSweep("fig11", device::sycamore54(), device::GateSet::Cz,
+                   /*chainCap=*/50, /*qaoaCap=*/22,
+                   /*withIcQaoa=*/false);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

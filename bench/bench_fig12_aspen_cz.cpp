@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Paper Fig. 12 / Table V (appendix): the Aspen architecture with CZ
+ * as the hardware two-qubit gate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace tqan;
+using namespace tqan::bench;
+
+int
+main(int argc, char **argv)
+{
+    printHeader();
+    runFigureSweep("fig12", device::aspen16(), device::GateSet::Cz,
+                   /*chainCap=*/16, /*qaoaCap=*/16,
+                   /*withIcQaoa=*/false);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

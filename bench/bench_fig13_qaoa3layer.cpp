@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paper Fig. 13 (appendix): 3-layer QAOA-REG-3 on IBMQ Montreal.
+ * 2QAN compiles the first layer only and reverses the two-qubit
+ * order for even layers (retargeting each layer's angles); the
+ * baselines compile the whole 3-layer circuit.  The expected shape:
+ * every compiler's overhead is ~3x its single-layer overhead, with
+ * 2QAN lowest.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace tqan;
+using namespace tqan::bench;
+
+int
+main(int argc, char **argv)
+{
+    printHeader();
+    device::Topology topo = device::montreal27();
+    auto angles = ham::qaoaFixedAngles(3);
+
+    for (int n = 4; n <= 22; n += 2) {
+        for (int inst = 0; inst < 10; ++inst) {
+            std::mt19937_64 rng(
+                instanceSeed(Family::QaoaReg3, n, inst));
+            auto g = graph::randomRegularGraph(n, 3, rng);
+
+            // Logical 3-layer circuit (for baselines and NoMap).
+            qcir::Circuit full = qaoaMultiLayerStep(g, angles);
+
+            // 2QAN: compile layer 1, chain scaled fwd/rev copies.
+            auto layer1 = ham::trotterStep(
+                ham::qaoaLayerHamiltonian(g, angles[0]), 1.0);
+            core::CompileResult res;
+            runTqan(layer1, topo, device::GateSet::Cnot,
+                    instanceSeed(Family::QaoaReg3, n, 500 + inst),
+                    &res);
+            qcir::Circuit tq3 = tqanMultiLayerCircuit(res, angles);
+            auto mt = core::computeCircuitMetrics(
+                tq3, full, device::GateSet::Cnot);
+            mt.swaps = 3 * res.sched.swapCount;
+            mt.dressed = 3 * res.sched.dressedCount;
+            printRow("fig13", "QAOA_REG3_p3", topo.name(),
+                     device::GateSet::Cnot, "2QAN", n, inst, mt);
+
+            // Baselines on the full 3-layer circuit.
+            for (const char *b :
+                 {"qiskit_sabre", "tket_like", "ic_qaoa"}) {
+                auto mb = runBaseline(
+                    b, full, topo, device::GateSet::Cnot,
+                    instanceSeed(Family::QaoaReg3, n, 600 + inst));
+                printRow("fig13", "QAOA_REG3_p3", topo.name(),
+                         device::GateSet::Cnot, b, n, inst, mb);
+            }
+        }
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Paper Fig. 7: compilation of one-layer NNN Heisenberg / XY / Ising
+ * and QAOA-REG-3 onto Google Sycamore (SYC gate set): SWAP count,
+ * SYC count and SYC depth per compiler, plus the NoMap baseline
+ * columns.  The registered google-benchmark timers cover the compile
+ * passes (Sec. V-D).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace tqan;
+using namespace tqan::bench;
+
+namespace {
+
+void
+BM_TqanCompile(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    device::Topology topo = device::sycamore54();
+    std::mt19937_64 rng(instanceSeed(Family::NnnHeisenberg, n, 0));
+    qcir::Circuit step = familyStep(Family::NnnHeisenberg, n, 0, rng);
+    core::CompileResult res;
+    for (auto _ : state) {
+        auto m = runTqan(step, topo, device::GateSet::Syc,
+                         instanceSeed(Family::NnnHeisenberg, n, 1),
+                         &res);
+        benchmark::DoNotOptimize(m);
+    }
+    state.counters["swaps"] = res.sched.swapCount;
+    state.counters["dressed"] = res.sched.dressedCount;
+    state.counters["map_s"] = res.mappingSeconds;
+    state.counters["route_s"] = res.routingSeconds;
+    state.counters["sched_s"] = res.schedulingSeconds;
+}
+
+BENCHMARK(BM_TqanCompile)
+    ->Arg(10)
+    ->Arg(26)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool table_only = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--table-only")
+            table_only = true;
+
+    printHeader();
+    runFigureSweep("fig7", device::sycamore54(),
+                   device::GateSet::Syc, /*chainCap=*/50,
+                   /*qaoaCap=*/22, /*withIcQaoa=*/false);
+
+    if (!table_only) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    return 0;
+}

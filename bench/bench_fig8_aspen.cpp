@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Fig. 8: one-layer NNN Heisenberg / XY / Ising (n = 6..16)
+ * and QAOA-REG-3 (n = 4..16) on Rigetti Aspen with the iSWAP gate
+ * set: SWAP count, iSWAP count and iSWAP depth per compiler.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace tqan;
+using namespace tqan::bench;
+
+namespace {
+
+void
+BM_TqanCompileAspen(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    device::Topology topo = device::aspen16();
+    std::mt19937_64 rng(instanceSeed(Family::NnnXY, n, 0));
+    qcir::Circuit step = familyStep(Family::NnnXY, n, 0, rng);
+    core::CompileResult res;
+    for (auto _ : state) {
+        auto m = runTqan(step, topo, device::GateSet::ISwap,
+                         instanceSeed(Family::NnnXY, n, 1), &res);
+        benchmark::DoNotOptimize(m);
+    }
+    state.counters["swaps"] = res.sched.swapCount;
+    state.counters["map_s"] = res.mappingSeconds;
+    state.counters["route_s"] = res.routingSeconds;
+}
+
+BENCHMARK(BM_TqanCompileAspen)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool table_only = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--table-only")
+            table_only = true;
+
+    printHeader();
+    runFigureSweep("fig8", device::aspen16(), device::GateSet::ISwap,
+                   /*chainCap=*/16, /*qaoaCap=*/16,
+                   /*withIcQaoa=*/false);
+
+    if (!table_only) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    return 0;
+}

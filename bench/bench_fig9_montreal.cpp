@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Paper Fig. 9: one-layer NNN Heisenberg / XY / Ising (n = 6..26)
+ * and QAOA-REG-3 (n = 4..22, with the IC-QAOA comparator) on IBMQ
+ * Montreal with the CNOT gate set.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+using namespace tqan;
+using namespace tqan::bench;
+
+namespace {
+
+void
+BM_TqanCompileMontreal(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    device::Topology topo = device::montreal27();
+    std::mt19937_64 rng(instanceSeed(Family::NnnIsing, n, 0));
+    qcir::Circuit step = familyStep(Family::NnnIsing, n, 0, rng);
+    core::CompileResult res;
+    for (auto _ : state) {
+        auto m = runTqan(step, topo, device::GateSet::Cnot,
+                         instanceSeed(Family::NnnIsing, n, 1), &res);
+        benchmark::DoNotOptimize(m);
+    }
+    state.counters["swaps"] = res.sched.swapCount;
+    state.counters["map_s"] = res.mappingSeconds;
+    state.counters["route_s"] = res.routingSeconds;
+    state.counters["sched_s"] = res.schedulingSeconds;
+}
+
+BENCHMARK(BM_TqanCompileMontreal)
+    ->Arg(10)
+    ->Arg(18)
+    ->Arg(26)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool table_only = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--table-only")
+            table_only = true;
+
+    printHeader();
+    runFigureSweep("fig9", device::montreal27(),
+                   device::GateSet::Cnot, /*chainCap=*/26,
+                   /*qaoaCap=*/22, /*withIcQaoa=*/true);
+
+    if (!table_only) {
+        benchmark::Initialize(&argc, argv);
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Paper Sec. V-D: compiler runtime and scalability.  google-benchmark
+ * timings of the three passes (Tabu QAP mapping, permutation-aware
+ * routing, hybrid scheduling) versus problem size; the paper reports
+ * Tabu as the dominant cost (seconds to minutes in Python -- our C++
+ * implementation is much faster, the *scaling* is the claim) and
+ * quadratic routing/scheduling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "qap/tabu.h"
+
+using namespace tqan;
+using namespace tqan::bench;
+
+namespace {
+
+void
+BM_TabuMapping(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    device::Topology topo = device::sycamore54();
+    std::mt19937_64 rng(instanceSeed(Family::NnnHeisenberg, n, 0));
+    auto h = ham::nnnHeisenberg(n, rng);
+    auto flow = qap::flowMatrix(h);
+    for (auto _ : state) {
+        std::mt19937_64 r2(7);
+        auto p = qap::tabuSearchQap(flow, topo, r2);
+        benchmark::DoNotOptimize(p);
+    }
+}
+
+void
+BM_Routing(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    device::Topology topo = device::sycamore54();
+    std::mt19937_64 rng(instanceSeed(Family::NnnHeisenberg, n, 0));
+    auto h = ham::nnnHeisenberg(n, rng);
+    auto step = ham::trotterStep(h, 1.0);
+    auto flow = qap::flowMatrix(h);
+    std::mt19937_64 r2(7);
+    auto place = qap::tabuSearchQap(flow, topo, r2);
+    for (auto _ : state) {
+        std::mt19937_64 r3(9);
+        auto r = core::routePermutationAware(step, place, topo, r3);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+void
+BM_Scheduling(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    device::Topology topo = device::sycamore54();
+    std::mt19937_64 rng(instanceSeed(Family::NnnHeisenberg, n, 0));
+    auto h = ham::nnnHeisenberg(n, rng);
+    auto step = ham::trotterStep(h, 1.0);
+    auto flow = qap::flowMatrix(h);
+    std::mt19937_64 r2(7);
+    auto place = qap::tabuSearchQap(flow, topo, r2);
+    std::mt19937_64 r3(9);
+    auto routing =
+        core::routePermutationAware(step, place, topo, r3);
+    for (auto _ : state) {
+        auto s = core::scheduleHybridAlap(step, topo, routing);
+        benchmark::DoNotOptimize(s);
+    }
+}
+
+void
+BM_FullCompile(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    device::Topology topo = device::sycamore54();
+    std::mt19937_64 rng(instanceSeed(Family::NnnHeisenberg, n, 0));
+    auto step = familyStep(Family::NnnHeisenberg, n, 0, rng);
+    for (auto _ : state) {
+        auto m = runTqan(step, topo, device::GateSet::Syc, 11);
+        benchmark::DoNotOptimize(m);
+    }
+}
+
+BENCHMARK(BM_TabuMapping)->DenseRange(10, 50, 10)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_Routing)->DenseRange(10, 50, 10)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_Scheduling)->DenseRange(10, 50, 10)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_FullCompile)->DenseRange(10, 50, 20)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Trotterized Heisenberg dynamics on hardware: simulate the time
+ * evolution of a staggered-magnetization observable on an 8-qubit
+ * Heisenberg chain, compiled to a grid device with 2QAN.
+ *
+ * Demonstrates the paper's multi-step workflow (Sec. V-D): compile
+ * the first Trotter step once, reverse the two-qubit order for even
+ * steps, and chain the circuits -- both the compiled and the ideal
+ * (all-to-all) Trotterization are valid product formulas, differing
+ * only in term order, so their observables agree to the Trotter
+ * error.
+ *
+ * Build & run:  ./build/examples/heisenberg_dynamics
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "core/compiler.h"
+#include "device/devices.h"
+#include "ham/models.h"
+#include "ham/trotter.h"
+#include "sim/statevector.h"
+
+using namespace tqan;
+
+namespace {
+
+/** <Z_q> under a statevector. */
+double
+expectZ(const sim::Statevector &psi, int q)
+{
+    double v = 0.0;
+    for (std::uint64_t b = 0; b < psi.dim(); ++b) {
+        double p = psi.probability(b);
+        v += ((b >> q) & 1) ? -p : p;
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int n = 8;
+    const double total_t = 1.6;
+    const int steps = 8;
+
+    std::mt19937_64 rng(21);
+    ham::TwoLocalHamiltonian h = ham::nnnHeisenberg(n, rng);
+
+    // Compile one step to a 3x3 grid device.
+    core::CompilerOptions opt;
+    opt.seed = 5;
+    core::TqanCompiler compiler(device::grid(3, 3), opt);
+    qcir::Circuit step =
+        ham::trotterStep(h, total_t / steps);
+    auto res = compiler.compile(step);
+    qcir::Circuit fwd = res.sched.deviceCircuit;
+    qcir::Circuit rev = fwd.reversedTwoQubitOrder();
+    std::printf("compiled step: %d 2q unitaries, %d SWAPs (%d "
+                "dressed)\n",
+                fwd.twoQubitCount(), res.sched.swapCount,
+                res.sched.dressedCount);
+
+    // Initial state: domain wall |11110000> (logical).
+    sim::Statevector ideal(n);
+    sim::Statevector device(9);
+    for (int q = 0; q < n / 2; ++q) {
+        ideal.applyPauli(q, 'X');
+        device.applyPauli(res.sched.initialMap[q], 'X');
+    }
+
+    std::printf("\n step   <Z_0> ideal-order   <Z_0> compiled\n");
+    qcir::Circuit ideal_step = step;
+    qcir::Circuit ideal_rev = step.reversedTwoQubitOrder();
+    auto inv = qap::invertPlacement(res.sched.initialMap, 9);
+    for (int k = 0; k < steps; ++k) {
+        ideal.applyCircuit(k % 2 == 0 ? ideal_step : ideal_rev);
+        const qcir::Circuit &c = k % 2 == 0 ? fwd : rev;
+        device.applyCircuit(c);
+        // Track where logical qubit 0 lives after the SWAPs.
+        for (const auto &o : c.ops())
+            if (o.isSwapLike())
+                std::swap(inv[o.q0], inv[o.q1]);
+        int dev_q0 = -1;
+        for (int dq = 0; dq < 9; ++dq)
+            if (inv[dq] == 0)
+                dev_q0 = dq;
+        std::printf("  %2d     %+.4f            %+.4f\n", k + 1,
+                    expectZ(ideal, 0), expectZ(device, dev_q0));
+    }
+    std::printf("\nBoth columns are valid Trotterizations of the "
+                "same H; they agree up to the Trotter error of the "
+                "permuted term order.\n");
+    return 0;
+}

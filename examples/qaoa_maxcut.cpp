@@ -1,0 +1,93 @@
+/**
+ * @file
+ * QAOA MaxCut end to end: generate a random 3-regular instance,
+ * compile the p = 2 QAOA circuit to IBMQ Montreal with 2QAN (compile
+ * the first layer, reverse for the second), and evaluate the
+ * application performance <C>/C_min noiselessly and under the
+ * calibrated Montreal noise model -- the workflow behind the paper's
+ * Fig. 10.
+ *
+ * Build & run:  ./build/examples/qaoa_maxcut
+ */
+
+#include <cstdio>
+#include <random>
+
+#include "core/compiler.h"
+#include "core/metrics.h"
+#include "decomp/pass.h"
+#include "device/devices.h"
+#include "graph/random_graph.h"
+#include "ham/qaoa.h"
+#include "ham/trotter.h"
+#include "sim/qaoa_eval.h"
+
+using namespace tqan;
+
+int
+main()
+{
+    // Problem instance: MaxCut on a random 3-regular graph.
+    std::mt19937_64 rng(11);
+    graph::Graph g = graph::randomRegularGraph(10, 3, rng);
+    int cmin = g.numEdges() - 2 * ham::maxCut(g);
+    std::printf("instance: n=10, |E|=%d, maxcut=%d, Cmin=%d\n",
+                g.numEdges(), ham::maxCut(g), cmin);
+
+    auto angles = ham::qaoaFixedAngles(2);
+    double noiseless = sim::noiselessRatio(g, angles);
+    std::printf("noiseless <C>/Cmin at fixed angles: %.3f\n",
+                noiseless);
+
+    // Compile layer 1 with 2QAN; layer 2 reuses it reversed.
+    core::CompilerOptions opt;
+    opt.seed = 3;
+    core::TqanCompiler compiler(device::montreal27(), opt);
+    auto layer1 = ham::trotterStep(
+        ham::qaoaLayerHamiltonian(g, angles[0]), 1.0);
+    auto res = compiler.compile(layer1);
+    std::printf("layer circuit: %d SWAPs (%d dressed)\n",
+                res.sched.swapCount, res.sched.dressedCount);
+
+    // Full 2-layer device circuit with the |+> preparation.
+    qcir::Circuit fwd = res.sched.deviceCircuit;
+    qcir::Circuit layer2 = fwd.reversedTwoQubitOrder();
+    // Retarget layer 2's angles.
+    for (auto &op : layer2.ops()) {
+        if (op.kind == qcir::OpKind::Interact ||
+            op.kind == qcir::OpKind::DressedSwap)
+            op.azz *= angles[1].gamma / angles[0].gamma;
+        if (op.kind == qcir::OpKind::Rx)
+            op.theta *= angles[1].beta / angles[0].beta;
+    }
+    qcir::Circuit device(27);
+    for (int q = 0; q < 10; ++q)
+        device.add(qcir::Op::u1q(res.sched.initialMap[q],
+                                 linalg::hadamard()));
+    device.append(fwd);
+    device.append(layer2);
+
+    // ESP-model estimate.
+    sim::NoiseModel nm = sim::montrealNoise();
+    auto cost = sim::tallyCircuit(
+        decomp::expandForMetrics(device, device::GateSet::Cnot), 10);
+    double espv = sim::esp(cost, nm);
+    std::printf("compiled: %d CNOTs, ESP %.3f, modelled <C>/Cmin "
+                "%.3f\n",
+                cost.gates2q, espv, espv * noiseless);
+
+    // Trajectory simulation on the decomposed circuit (p even: the
+    // register returns to the initial map).
+    qcir::Circuit hw = decomp::decomposeToCnot(device);
+    std::vector<int> qmap;
+    qcir::Circuit compact = sim::compactCircuit(hw, qmap);
+    std::vector<graph::Edge> edges;
+    for (const auto &[u, v] : g.edges())
+        edges.push_back({qmap[res.sched.initialMap[u]],
+                         qmap[res.sched.initialMap[v]]});
+    std::mt19937_64 trng(5);
+    double traj =
+        sim::trajectoryRatio(compact, edges, cmin, nm, 100, trng);
+    std::printf("trajectory-simulated <C>/Cmin: %.3f\n", traj);
+    return 0;
+}

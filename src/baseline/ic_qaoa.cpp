@@ -1,0 +1,153 @@
+#include "baseline/ic_qaoa.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "qap/placement.h"
+
+namespace tqan {
+namespace baseline {
+
+using qap::Placement;
+using qcir::Circuit;
+using qcir::Op;
+
+BaselineResult
+icQaoaCompile(const Circuit &circuit, const device::Topology &topo,
+              std::mt19937_64 &rng)
+{
+    (void)rng;
+    Circuit sub = twoQubitSubcircuit(circuit);
+    OneQubitInterleaver il(circuit);
+    for (const auto &o : sub.ops()) {
+        // The commutation argument needs diagonal (ZZ-only) layers.
+        if (o.kind != qcir::OpKind::Interact || o.axx != 0.0 ||
+            o.ayy != 0.0) {
+            throw std::invalid_argument(
+                "icQaoaCompile: expects ZZ-only (QAOA) circuits");
+        }
+    }
+
+    // QAOA layer index of each ZZ op: the number of drive (1q) ops
+    // on its qubits that precede it.  ZZ ops commute freely *within*
+    // a layer; the Rx mixer separates layers.
+    std::vector<int> layer_of;
+    {
+        std::vector<int> drives(circuit.numQubits(), 0);
+        for (const auto &o : circuit.ops()) {
+            if (!o.isTwoQubit()) {
+                ++drives[o.q0];
+                continue;
+            }
+            layer_of.push_back(
+                std::max(drives[o.q0], drives[o.q1]));
+        }
+    }
+    int num_layers = 0;
+    for (int l : layer_of)
+        num_layers = std::max(num_layers, l + 1);
+
+    graph::Graph interaction(circuit.numQubits());
+    for (const auto &o : sub.ops())
+        if (!interaction.hasEdge(o.q0, o.q1))
+            interaction.addEdge(o.q0, o.q1);
+
+    Placement phi = qap::greedyPlacement(interaction, topo);
+    BaselineResult res;
+    res.initialMap = phi;
+    res.deviceCircuit = Circuit(topo.numQubits());
+
+    long guard = 0;
+    const long max_swaps =
+        20L * std::max(1, sub.size()) * std::max(2, topo.numQubits());
+
+    for (int layer = 0; layer < num_layers; ++layer) {
+        std::vector<int> pend;
+        for (int i = 0; i < sub.size(); ++i)
+            if (layer_of[i] == layer)
+                pend.push_back(i);
+
+        while (!pend.empty()) {
+            // Instruction parallelization: run every adjacent ZZ.
+            std::vector<int> still;
+            for (int g : pend) {
+                const Op &o = sub.op(g);
+                if (topo.dist(phi[o.q0], phi[o.q1]) == 1) {
+                    il.emitBefore(g, phi, res);
+                    Op d = o;
+                    d.q0 = phi[o.q0];
+                    d.q1 = phi[o.q1];
+                    res.deviceCircuit.add(d);
+                } else {
+                    still.push_back(g);
+                }
+            }
+            pend.swap(still);
+            if (pend.empty())
+                break;
+
+            if (++guard > max_swaps)
+                throw std::runtime_error(
+                    "icQaoa: livelock guard tripped");
+
+            // Closest remaining operator; SWAP one endpoint along a
+            // shortest path (choosing the neighbour that minimizes
+            // the total remaining distance).
+            int g = pend[0];
+            int gd = topo.dist(phi[sub.op(g).q0], phi[sub.op(g).q1]);
+            for (int k : pend) {
+                int d =
+                    topo.dist(phi[sub.op(k).q0], phi[sub.op(k).q1]);
+                if (d < gd) {
+                    g = k;
+                    gd = d;
+                }
+            }
+            const Op &go = sub.op(g);
+            int pu = phi[go.q0], pv = phi[go.q1];
+
+            long best_cost = -1;
+            std::pair<int, int> best_swap{-1, -1};
+            for (int anchor : {pu, pv}) {
+                int other = anchor == pu ? pv : pu;
+                for (int nb : topo.neighbors(anchor)) {
+                    if (topo.dist(nb, other) >=
+                        topo.dist(anchor, other))
+                        continue;  // only shortest-path moves
+                    Placement trial = phi;
+                    auto inv =
+                        qap::invertPlacement(phi, topo.numQubits());
+                    if (inv[anchor] >= 0)
+                        trial[inv[anchor]] = nb;
+                    if (inv[nb] >= 0)
+                        trial[inv[nb]] = anchor;
+                    long cost = 0;
+                    for (int k : pend) {
+                        const Op &o = sub.op(k);
+                        cost += topo.dist(trial[o.q0], trial[o.q1]);
+                    }
+                    if (best_cost < 0 || cost < best_cost) {
+                        best_cost = cost;
+                        best_swap = {anchor, nb};
+                    }
+                }
+            }
+
+            auto [p, q] = best_swap;
+            auto inv = qap::invertPlacement(phi, topo.numQubits());
+            if (inv[p] >= 0)
+                phi[inv[p]] = q;
+            if (inv[q] >= 0)
+                phi[inv[q]] = p;
+            res.deviceCircuit.add(Op::swap(p, q));
+            ++res.swapCount;
+        }
+    }
+
+    res.finalMap = phi;
+    il.emitTail(phi, res);
+    return res;
+}
+
+} // namespace baseline
+} // namespace tqan

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * IC-QAOA-style compiler (Alam, Ash-Saki, Ghosh; MICRO/DAC 2020) --
+ * the application-specific QAOA comparator of the paper (Fig. 9j-l,
+ * Fig. 10).
+ *
+ * QAOA's problem-layer ZZ operators all commute, and this compiler
+ * class exploits exactly that: at each step every remaining ZZ
+ * operator whose qubits are adjacent executes (instruction
+ * parallelization), then a SWAP is inserted for the closest remaining
+ * operator.  It does *not* do QAP placement, three-criteria SWAP
+ * selection, unitary unifying, or ALAP rescheduling -- the deltas the
+ * paper credits for 2QAN's advantage over IC-QAOA.
+ */
+
+#ifndef TQAN_BASELINE_IC_QAOA_H
+#define TQAN_BASELINE_IC_QAOA_H
+
+#include "baseline/dag_router.h"
+
+namespace tqan {
+namespace baseline {
+
+BaselineResult icQaoaCompile(const qcir::Circuit &circuit,
+                             const device::Topology &topo,
+                             std::mt19937_64 &rng);
+
+} // namespace baseline
+} // namespace tqan
+
+#endif // TQAN_BASELINE_IC_QAOA_H

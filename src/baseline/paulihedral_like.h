@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paulihedral-style compiler (Li et al., "Paulihedral: a generalized
+ * block-wise compiler optimization framework for quantum simulation
+ * kernels") -- the quantum-simulation comparator of Table III.
+ *
+ * Paulihedral was not open-sourced when the paper was written (the
+ * paper copies its published numbers); we re-implement its documented
+ * behaviour class: Pauli terms are grouped into same-qubit-pair
+ * blocks, each block is synthesized as one kernel, blocks are ordered
+ * lexicographically (not permutation-aware), scheduling respects that
+ * order, and routing (when the device is connectivity-constrained)
+ * uses a dependency-respecting router.  It lacks 2QAN's QAP
+ * placement, permutation-aware routing and SWAP unifying -- exactly
+ * the deltas the paper credits (Sec. VI).
+ */
+
+#ifndef TQAN_BASELINE_PAULIHEDRAL_LIKE_H
+#define TQAN_BASELINE_PAULIHEDRAL_LIKE_H
+
+#include "baseline/dag_router.h"
+#include "ham/hamiltonian.h"
+
+namespace tqan {
+namespace baseline {
+
+/**
+ * Compile one Trotter step of a Hamiltonian, block-wise.
+ *
+ * @param h the Hamiltonian (un-unified Pauli-term view is consumed).
+ * @param t Trotter-step time.
+ * @param topo target device; pass an all-to-all topology for the
+ *        connectivity-unconstrained rows of Table III.
+ */
+BaselineResult paulihedralCompile(const ham::TwoLocalHamiltonian &h,
+                                  double t,
+                                  const device::Topology &topo,
+                                  std::mt19937_64 &rng);
+
+} // namespace baseline
+} // namespace tqan
+
+#endif // TQAN_BASELINE_PAULIHEDRAL_LIKE_H

@@ -1,0 +1,231 @@
+#include "baseline/sabre.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+#include "qap/placement.h"
+
+namespace tqan {
+namespace baseline {
+
+using qap::Placement;
+using qcir::Circuit;
+using qcir::GateDag;
+using qcir::Op;
+
+namespace {
+
+struct RouteOut
+{
+    Placement finalMap;
+    int swaps = 0;
+    std::vector<Op> deviceOps;  // only filled when emitting
+};
+
+/**
+ * One SABRE routing pass over the two-qubit sub-circuit.
+ *
+ * @param emit when false, only the final map / swap count are
+ *        tracked (used by the bidirectional mapping refinement).
+ */
+RouteOut
+sabrePass(const Circuit &sub, const device::Topology &topo,
+          const Placement &initial, std::mt19937_64 &rng,
+          const SabreOptions &opt, bool emit,
+          const OneQubitInterleaver *il = nullptr)
+{
+    GateDag dag(sub);
+    int m = sub.size();
+    std::vector<int> indeg(m);
+    for (int i = 0; i < m; ++i)
+        indeg[i] = dag.inDegree(i);
+
+    std::vector<int> front;
+    for (int i = 0; i < m; ++i)
+        if (indeg[i] == 0)
+            front.push_back(i);
+
+    Placement phi = initial;
+    RouteOut out;
+    std::vector<double> decay(topo.numQubits(), 1.0);
+    int rounds_since_reset = 0;
+
+    auto distUnder = [&](const Placement &p, int op) {
+        const Op &o = sub.op(op);
+        return topo.dist(p[o.q0], p[o.q1]);
+    };
+
+    // Extended (lookahead) layer: successors of the front in DAG
+    // order, capped at extSize.
+    auto extendedLayer = [&]() {
+        std::vector<int> ext;
+        std::set<int> seen(front.begin(), front.end());
+        std::deque<int> q(front.begin(), front.end());
+        while (!q.empty() &&
+               static_cast<int>(ext.size()) < opt.extSize) {
+            int v = q.front();
+            q.pop_front();
+            for (int w : dag.successors(v)) {
+                if (seen.insert(w).second) {
+                    ext.push_back(w);
+                    q.push_back(w);
+                }
+            }
+        }
+        return ext;
+    };
+
+    long guard = 0;
+    const long max_swaps =
+        20L * std::max(1, m) * std::max(2, topo.numQubits());
+
+    while (!front.empty()) {
+        // Execute every nearest-neighbour front gate.
+        bool any = true;
+        while (any) {
+            any = false;
+            for (size_t i = 0; i < front.size(); ++i) {
+                int g = front[i];
+                if (distUnder(phi, g) != 1)
+                    continue;
+                const Op &o = sub.op(g);
+                if (emit) {
+                    if (il) {
+                        for (Op b : il->before(g)) {
+                            b.q0 = phi[b.q0];
+                            out.deviceOps.push_back(b);
+                        }
+                    }
+                    Op d = o;
+                    d.q0 = phi[o.q0];
+                    d.q1 = phi[o.q1];
+                    out.deviceOps.push_back(d);
+                }
+                front.erase(front.begin() + i);
+                for (int w : dag.successors(g))
+                    if (--indeg[w] == 0)
+                        front.push_back(w);
+                any = true;
+                break;
+            }
+        }
+        if (front.empty())
+            break;
+
+        if (++guard > max_swaps)
+            throw std::runtime_error("sabre: livelock guard tripped");
+
+        // Candidate SWAPs: edges incident to front-gate qubits.
+        std::set<std::pair<int, int>> cands;
+        for (int g : front) {
+            const Op &o = sub.op(g);
+            for (int dq : {phi[o.q0], phi[o.q1]})
+                for (int nb : topo.neighbors(dq))
+                    cands.insert({std::min(dq, nb), std::max(dq, nb)});
+        }
+
+        std::vector<int> ext = extendedLayer();
+        double best = 0.0;
+        std::pair<int, int> best_swap{-1, -1};
+        bool first = true;
+        for (const auto &[p, q] : cands) {
+            Placement trial = phi;
+            auto inv = qap::invertPlacement(phi, topo.numQubits());
+            if (inv[p] >= 0)
+                trial[inv[p]] = q;
+            if (inv[q] >= 0)
+                trial[inv[q]] = p;
+
+            double sf = 0.0;
+            for (int g : front)
+                sf += distUnder(trial, g);
+            sf /= static_cast<double>(front.size());
+            double se = 0.0;
+            if (!ext.empty()) {
+                for (int g : ext)
+                    se += distUnder(trial, g);
+                se /= static_cast<double>(ext.size());
+            }
+            double score = std::max(decay[p], decay[q]) *
+                           (sf + opt.extWeight * se);
+            if (first || score < best) {
+                best = score;
+                best_swap = {p, q};
+                first = false;
+            }
+        }
+
+        auto [p, q] = best_swap;
+        auto inv = qap::invertPlacement(phi, topo.numQubits());
+        if (inv[p] >= 0)
+            phi[inv[p]] = q;
+        if (inv[q] >= 0)
+            phi[inv[q]] = p;
+        if (emit)
+            out.deviceOps.push_back(Op::swap(p, q));
+        ++out.swaps;
+        decay[p] += opt.decayDelta;
+        decay[q] += opt.decayDelta;
+        if (++rounds_since_reset >= opt.decayReset) {
+            std::fill(decay.begin(), decay.end(), 1.0);
+            rounds_since_reset = 0;
+        }
+        (void)rng;
+    }
+
+    out.finalMap = phi;
+    return out;
+}
+
+Circuit
+reversedSub(const Circuit &sub)
+{
+    Circuit r(sub.numQubits());
+    for (int i = sub.size() - 1; i >= 0; --i)
+        r.add(sub.op(i));
+    return r;
+}
+
+} // namespace
+
+BaselineResult
+sabreCompile(const Circuit &circuit, const device::Topology &topo,
+             std::mt19937_64 &rng, const SabreOptions &opt)
+{
+    Circuit sub = twoQubitSubcircuit(circuit);
+    Circuit rev = reversedSub(sub);
+    OneQubitInterleaver il(circuit);
+
+    BaselineResult best;
+    bool have_best = false;
+    for (int t = 0; t < opt.trials; ++t) {
+        // Bidirectional initial-map refinement.
+        Placement map = qap::randomPlacement(
+            circuit.numQubits(), topo.numQubits(), rng);
+        RouteOut f1 = sabrePass(sub, topo, map, rng, opt, false);
+        RouteOut b1 =
+            sabrePass(rev, topo, f1.finalMap, rng, opt, false);
+        Placement refined = b1.finalMap;
+
+        RouteOut fin =
+            sabrePass(sub, topo, refined, rng, opt, true, &il);
+
+        if (!have_best || fin.swaps < best.swapCount) {
+            best = BaselineResult();
+            best.initialMap = refined;
+            best.finalMap = fin.finalMap;
+            best.swapCount = fin.swaps;
+            best.deviceCircuit = Circuit(topo.numQubits());
+            for (const auto &o : fin.deviceOps)
+                best.deviceCircuit.add(o);
+            have_best = true;
+        }
+    }
+    il.emitTail(best.finalMap, best);
+    return best;
+}
+
+} // namespace baseline
+} // namespace tqan

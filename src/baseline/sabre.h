@@ -1,0 +1,40 @@
+/**
+ * @file
+ * SABRE router (Li, Ding, Xie, ASPLOS 2019) -- the routing engine of
+ * Qiskit's optimization level 3, which the paper benchmarks against
+ * (Qiskit 0.26.2).  Dependency-respecting: the front layer only
+ * advances along the gate DAG of the input circuit.
+ *
+ * Implements the published algorithm: front layer execution, SWAP
+ * scoring over the front + extended (lookahead) layers with decay
+ * factors, and the bidirectional initial-mapping refinement
+ * (forward/backward traversals), best-of-k random trials.
+ */
+
+#ifndef TQAN_BASELINE_SABRE_H
+#define TQAN_BASELINE_SABRE_H
+
+#include "baseline/dag_router.h"
+
+namespace tqan {
+namespace baseline {
+
+struct SabreOptions
+{
+    double extWeight = 0.5;  ///< weight of the extended layer
+    int extSize = 20;        ///< extended-layer size
+    double decayDelta = 0.001;
+    int decayReset = 5;      ///< rounds between decay resets
+    int trials = 5;          ///< random initial maps, keep the best
+};
+
+/** Compile a circuit with SABRE (the paper's "Qiskit" comparator). */
+BaselineResult sabreCompile(const qcir::Circuit &circuit,
+                            const device::Topology &topo,
+                            std::mt19937_64 &rng,
+                            const SabreOptions &opt = SabreOptions());
+
+} // namespace baseline
+} // namespace tqan
+
+#endif // TQAN_BASELINE_SABRE_H

@@ -1,0 +1,214 @@
+#include "baseline/tket_like.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "qap/placement.h"
+
+namespace tqan {
+namespace baseline {
+
+using qap::Placement;
+using qcir::Circuit;
+using qcir::GateDag;
+using qcir::Op;
+
+namespace {
+
+/** Greedy slicing: maximal sets of qubit-disjoint ops in DAG order. */
+std::vector<std::vector<int>>
+buildSlices(const Circuit &sub)
+{
+    GateDag dag(sub);
+    auto order = dag.topoOrder();
+    std::vector<std::vector<int>> slices;
+    std::vector<int> slice_of(sub.size(), -1);
+    std::vector<int> qubit_slice(sub.numQubits(), -1);
+    for (int g : order) {
+        const Op &o = sub.op(g);
+        // Earliest slice after both qubits' last use and after all
+        // predecessors.
+        int s = std::max(qubit_slice[o.q0], qubit_slice[o.q1]);
+        for (int p : dag.predecessors(g))
+            s = std::max(s, slice_of[p]);
+        ++s;
+        if (s >= static_cast<int>(slices.size()))
+            slices.resize(s + 1);
+        slices[s].push_back(g);
+        slice_of[g] = s;
+        qubit_slice[o.q0] = qubit_slice[o.q1] = s;
+    }
+    return slices;
+}
+
+} // namespace
+
+BaselineResult
+tketLikeCompile(const Circuit &circuit, const device::Topology &topo,
+                std::mt19937_64 &rng, const TketLikeOptions &opt)
+{
+    (void)rng;
+    Circuit sub = twoQubitSubcircuit(circuit);
+    auto slices = buildSlices(sub);
+    OneQubitInterleaver il(circuit);
+
+    graph::Graph interaction(circuit.numQubits());
+    for (const auto &o : sub.ops())
+        if (!interaction.hasEdge(o.q0, o.q1))
+            interaction.addEdge(o.q0, o.q1);
+
+    Placement phi =
+        opt.linePlacementFallback
+            ? qap::linePlacement(circuit.numQubits(), topo)
+            : qap::greedyPlacement(interaction, topo);
+
+    BaselineResult res;
+    res.initialMap = phi;
+    res.deviceCircuit = Circuit(topo.numQubits());
+
+    auto emitGate = [&](int g) {
+        il.emitBefore(g, phi, res);
+        const Op &o = sub.op(g);
+        Op d = o;
+        d.q0 = phi[o.q0];
+        d.q1 = phi[o.q1];
+        res.deviceCircuit.add(d);
+    };
+
+    long guard = 0;
+    const long max_swaps =
+        20L * std::max(1, sub.size()) * std::max(2, topo.numQubits());
+    std::pair<int, int> last_swap{-1, -1};
+    int stagnation = 0;
+    bool forced_mode = false;
+    double best_seen = 1e300;  // best score reached since progress
+
+    for (size_t si = 0; si < slices.size(); ++si) {
+        std::vector<int> pend = slices[si];
+        while (!pend.empty()) {
+            // Emit all currently-adjacent gates of the slice.
+            std::vector<int> still;
+            for (int g : pend) {
+                const Op &o = sub.op(g);
+                if (topo.dist(phi[o.q0], phi[o.q1]) == 1)
+                    emitGate(g);
+                else
+                    still.push_back(g);
+            }
+            if (still.size() < pend.size()) {
+                forced_mode = false;  // progress made
+                stagnation = 0;
+                best_seen = 1e300;
+            }
+            pend.swap(still);
+            if (pend.empty())
+                break;
+
+            if (++guard > max_swaps)
+                throw std::runtime_error(
+                    "tketLike: livelock guard tripped");
+
+            // Candidate SWAPs around the pending gates' qubits.
+            std::set<std::pair<int, int>> cands;
+            for (int g : pend) {
+                const Op &o = sub.op(g);
+                for (int dq : {phi[o.q0], phi[o.q1]})
+                    for (int nb : topo.neighbors(dq))
+                        cands.insert(
+                            {std::min(dq, nb), std::max(dq, nb)});
+            }
+
+            // Score: discounted distance sum over this and the next
+            // few slices (pending gates count with weight 1).
+            auto scoreOf = [&](const Placement &p) {
+                double s = 0.0;
+                for (int g : pend) {
+                    const Op &o = sub.op(g);
+                    s += topo.dist(p[o.q0], p[o.q1]);
+                }
+                double w = opt.discount;
+                for (int k = 1; k <= opt.lookaheadSlices; ++k) {
+                    size_t idx = si + k;
+                    if (idx >= slices.size())
+                        break;
+                    for (int g : slices[idx]) {
+                        const Op &o = sub.op(g);
+                        s += w * topo.dist(p[o.q0], p[o.q1]);
+                    }
+                    w *= opt.discount;
+                }
+                return s;
+            };
+
+            double best = 0.0;
+            std::pair<int, int> best_swap{-1, -1};
+            bool first = true;
+            for (const auto &[p, q] : cands) {
+                // Never undo the previous SWAP (oscillation guard).
+                if (std::make_pair(p, q) == last_swap &&
+                    cands.size() > 1)
+                    continue;
+                Placement trial = phi;
+                auto inv =
+                    qap::invertPlacement(phi, topo.numQubits());
+                if (inv[p] >= 0)
+                    trial[inv[p]] = q;
+                if (inv[q] >= 0)
+                    trial[inv[q]] = p;
+                double s = scoreOf(trial);
+                if (first || s < best) {
+                    best = s;
+                    best_swap = {p, q};
+                    first = false;
+                }
+            }
+
+            // Plateau fallback: if no *new minimum* of the score has
+            // been reached for a while without any gate executing,
+            // force progress on the first pending gate along one of
+            // its shortest paths, and keep forcing until a pending
+            // gate actually executes.
+            if (best < best_seen - 1e-9) {
+                best_seen = best;
+                stagnation = 0;
+            } else {
+                ++stagnation;
+            }
+            if (stagnation > topo.numQubits())
+                forced_mode = true;
+            if (forced_mode) {
+                const Op &o = sub.op(pend[0]);
+                int pu = phi[o.q0], pv = phi[o.q1];
+                for (int anchor : {pu, pv}) {
+                    int other = anchor == pu ? pv : pu;
+                    for (int nb : topo.neighbors(anchor)) {
+                        if (topo.dist(nb, other) <
+                            topo.dist(anchor, other)) {
+                            best_swap = {std::min(anchor, nb),
+                                         std::max(anchor, nb)};
+                        }
+                    }
+                }
+                stagnation = 0;
+            }
+
+            auto [p, q] = best_swap;
+            auto inv = qap::invertPlacement(phi, topo.numQubits());
+            if (inv[p] >= 0)
+                phi[inv[p]] = q;
+            if (inv[q] >= 0)
+                phi[inv[q]] = p;
+            res.deviceCircuit.add(Op::swap(p, q));
+            ++res.swapCount;
+            last_swap = {std::min(p, q), std::max(p, q)};
+        }
+    }
+
+    res.finalMap = phi;
+    il.emitTail(phi, res);
+    return res;
+}
+
+} // namespace baseline
+} // namespace tqan

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * t|ket>-style slice router (Cowtan et al., "On the qubit routing
+ * problem", 2019) -- the class of router behind the t|ket> 0.11
+ * 'FullPass' that the paper benchmarks against.
+ *
+ * The circuit is partitioned into timeslices of parallel two-qubit
+ * gates (in DAG order).  Slices are routed one at a time: while the
+ * current slice contains non-adjacent gates, the SWAP maximizing a
+ * geometrically-discounted distance reduction over the next few
+ * slices is inserted.  Initial placement is a graph placement of the
+ * interaction graph (falling back to line placement, as the paper
+ * does for large circuits).
+ */
+
+#ifndef TQAN_BASELINE_TKET_LIKE_H
+#define TQAN_BASELINE_TKET_LIKE_H
+
+#include "baseline/dag_router.h"
+
+namespace tqan {
+namespace baseline {
+
+struct TketLikeOptions
+{
+    int lookaheadSlices = 4;     ///< slices scored beyond the current
+    double discount = 0.5;       ///< geometric weight per slice
+    bool linePlacementFallback = false;  ///< force line placement
+};
+
+BaselineResult tketLikeCompile(
+    const qcir::Circuit &circuit, const device::Topology &topo,
+    std::mt19937_64 &rng,
+    const TketLikeOptions &opt = TketLikeOptions());
+
+} // namespace baseline
+} // namespace tqan
+
+#endif // TQAN_BASELINE_TKET_LIKE_H

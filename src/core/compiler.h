@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The 2QAN compiler pipeline (paper Fig. 2): circuit unitary
+ * unifying -> QAP qubit mapping -> permutation-aware routing (with
+ * SWAP unifying) -> permutation-aware scheduling.  Gate decomposition
+ * is applied afterwards by the decomp passes, keeping the pipeline
+ * independent of the hardware gate set.
+ */
+
+#ifndef TQAN_CORE_COMPILER_H
+#define TQAN_CORE_COMPILER_H
+
+#include <cstdint>
+
+#include <memory>
+
+#include "core/router.h"
+#include "device/noise_map.h"
+#include "core/scheduler.h"
+#include "qap/tabu.h"
+
+namespace tqan {
+namespace core {
+
+/** Initial-placement strategy (Tabu is the paper's choice). */
+enum class MapperKind {
+    Tabu,      ///< QAP via tabu search (paper Sec. III-A)
+    Anneal,    ///< QAP via simulated annealing (ablation)
+    Greedy,    ///< greedy subgraph placement (ablation)
+    Line,      ///< line placement (ablation)
+    Identity,  ///< trivial placement (ablation)
+};
+
+struct CompilerOptions
+{
+    MapperKind mapper = MapperKind::Tabu;
+    /** Randomized mapping trials; the paper uses 5 and keeps the
+     * best. */
+    int mapperTrials = 5;
+    /** Merge same-pair Interact ops before compiling (Sec. III-C). */
+    bool unifyCircuit = true;
+    /** Criterion-3 SWAP selection + dressed SWAPs (Sec. III-C). */
+    bool unifySwaps = true;
+    /** Hybrid ALAP scheduler (Alg. 2) vs. generic order-respecting
+     * scheduler (ablation, Fig. 6a). */
+    bool hybridSchedule = true;
+    qap::TabuOptions tabu;
+    /**
+     * Optional calibration data.  When set, the Tabu mapper solves
+     * the QAP against noise-aware distances (couplers worse than the
+     * device average cost proportionally more), implementing the
+     * noise-aware placement the paper lists as future work (Sec.
+     * VII).  Routing still uses hop distances.
+     */
+    std::shared_ptr<const device::NoiseMap> noiseMap;
+    /** Weight of the noise term in the noise-aware distances. */
+    double noiseLambda = 1.0;
+    std::uint64_t seed = 7;
+};
+
+/** Full result of one compilation, with per-pass wall times. */
+struct CompileResult
+{
+    qap::Placement placement;
+    RoutingResult routing;
+    ScheduleResult sched;
+    double mappingSeconds = 0.0;
+    double routingSeconds = 0.0;
+    double schedulingSeconds = 0.0;
+};
+
+/**
+ * The 2QAN compiler for a fixed target device.
+ *
+ * Usage:
+ * @code
+ *   TqanCompiler comp(device::montreal27());
+ *   auto result = comp.compile(ham::trotterStep(h, 1.0));
+ *   auto hw = decomp::decomposeToCnot(result.sched.deviceCircuit);
+ * @endcode
+ */
+class TqanCompiler
+{
+  public:
+    explicit TqanCompiler(device::Topology topo,
+                          CompilerOptions opt = CompilerOptions());
+
+    const device::Topology &topology() const { return topo_; }
+    const CompilerOptions &options() const { return opt_; }
+
+    /**
+     * Compile one Trotter-step (or QAOA-layer) circuit.  Only
+     * Interact two-qubit ops participate in routing; single-qubit
+     * ops ride along freely.
+     */
+    CompileResult compile(const qcir::Circuit &step) const;
+
+  private:
+    device::Topology topo_;
+    CompilerOptions opt_;
+};
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_COMPILER_H

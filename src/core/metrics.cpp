@@ -1,0 +1,59 @@
+#include "core/metrics.h"
+
+#include "decomp/native_count.h"
+#include "decomp/pass.h"
+
+namespace tqan {
+namespace core {
+
+namespace {
+
+void
+fillNoMap(CompilationMetrics &m, const qcir::Circuit &step,
+          device::GateSet gs)
+{
+    qcir::Circuit unified = qcir::unifySamePairInteractions(step);
+    ScheduleResult nomap = scheduleNoMap(unified);
+    qcir::Circuit expanded =
+        decomp::expandForMetrics(nomap.deviceCircuit, gs);
+    m.native2qNoMap = expanded.twoQubitCount();
+    m.depth2qNoMap = expanded.twoQubitDepth();
+    m.depthAllNoMap = expanded.depth();
+}
+
+} // namespace
+
+CompilationMetrics
+computeMetrics(const ScheduleResult &sched, const qcir::Circuit &step,
+               device::GateSet gs)
+{
+    CompilationMetrics m;
+    m.swaps = sched.swapCount;
+    m.dressed = sched.dressedCount;
+    qcir::Circuit expanded =
+        decomp::expandForMetrics(sched.deviceCircuit, gs);
+    m.native2q = expanded.twoQubitCount();
+    m.depth2q = expanded.twoQubitDepth();
+    m.depthAll = expanded.depth();
+    fillNoMap(m, step, gs);
+    return m;
+}
+
+CompilationMetrics
+computeCircuitMetrics(const qcir::Circuit &mapped,
+                      const qcir::Circuit &step, device::GateSet gs)
+{
+    CompilationMetrics m;
+    m.swaps = mapped.countKind(qcir::OpKind::Swap) +
+              mapped.countKind(qcir::OpKind::DressedSwap);
+    m.dressed = mapped.countKind(qcir::OpKind::DressedSwap);
+    qcir::Circuit expanded = decomp::expandForMetrics(mapped, gs);
+    m.native2q = expanded.twoQubitCount();
+    m.depth2q = expanded.twoQubitDepth();
+    m.depthAll = expanded.depth();
+    fillNoMap(m, step, gs);
+    return m;
+}
+
+} // namespace core
+} // namespace tqan

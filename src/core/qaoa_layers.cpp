@@ -1,0 +1,60 @@
+#include "core/qaoa_layers.h"
+
+#include "ham/trotter.h"
+
+namespace tqan {
+namespace core {
+
+qcir::Circuit
+scaleQaoaLayer(const qcir::Circuit &layer, double gammaRatio,
+               double betaRatio)
+{
+    qcir::Circuit out(layer.numQubits());
+    for (auto op : layer.ops()) {
+        switch (op.kind) {
+          case qcir::OpKind::Interact:
+          case qcir::OpKind::DressedSwap:
+            op.axx *= gammaRatio;
+            op.ayy *= gammaRatio;
+            op.azz *= gammaRatio;
+            break;
+          case qcir::OpKind::Rx:
+            op.theta *= betaRatio;
+            break;
+          default:
+            break;
+        }
+        out.add(op);
+    }
+    return out;
+}
+
+qcir::Circuit
+tqanMultiLayerCircuit(const CompileResult &layer1,
+                      const std::vector<ham::QaoaAngles> &angles)
+{
+    const qcir::Circuit &fwd = layer1.sched.deviceCircuit;
+    qcir::Circuit rev = fwd.reversedTwoQubitOrder();
+    qcir::Circuit out(fwd.numQubits());
+    for (size_t l = 0; l < angles.size(); ++l) {
+        double gr = angles[l].gamma / angles[0].gamma;
+        double br = angles[l].beta / angles[0].beta;
+        out.append(scaleQaoaLayer(l % 2 == 0 ? fwd : rev, gr, br));
+    }
+    return out;
+}
+
+qcir::Circuit
+qaoaMultiLayerStep(const graph::Graph &g,
+                   const std::vector<ham::QaoaAngles> &angles)
+{
+    qcir::Circuit out(g.numNodes());
+    for (const auto &a : angles) {
+        auto h = ham::qaoaLayerHamiltonian(g, a);
+        out.append(ham::trotterStep(h, 1.0));
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace tqan

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Multi-layer QAOA construction from a single compiled layer (paper
+ * Sec. V-C): 2QAN compiles the first layer once; odd layers reuse the
+ * compiled circuit, even layers reverse its two-qubit order (which
+ * returns the register to the initial placement), and every layer is
+ * retargeted to its own (gamma_l, beta_l) by scaling the interaction
+ * and drive angles -- the compiled *structure* is angle-independent.
+ */
+
+#ifndef TQAN_CORE_QAOA_LAYERS_H
+#define TQAN_CORE_QAOA_LAYERS_H
+
+#include "core/compiler.h"
+#include "ham/qaoa.h"
+
+namespace tqan {
+namespace core {
+
+/**
+ * Rescale a compiled QAOA layer circuit to another layer's angles:
+ * interaction payloads (Interact / DressedSwap) scale by gammaRatio,
+ * Rx drives by betaRatio.
+ */
+qcir::Circuit scaleQaoaLayer(const qcir::Circuit &layer,
+                             double gammaRatio, double betaRatio);
+
+/**
+ * The full p-layer compiled QAOA device circuit from a compiled
+ * first layer.  Ends at the layer-1 final map for odd p and at the
+ * initial map for even p.
+ */
+qcir::Circuit
+tqanMultiLayerCircuit(const CompileResult &layer1,
+                      const std::vector<ham::QaoaAngles> &angles);
+
+/** Logical p-layer QAOA circuit (what the baselines compile). */
+qcir::Circuit
+qaoaMultiLayerStep(const graph::Graph &g,
+                   const std::vector<ham::QaoaAngles> &angles);
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_QAOA_LAYERS_H

@@ -1,0 +1,361 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace tqan {
+namespace core {
+
+using qap::Placement;
+
+int
+RoutingResult::dressedCount() const
+{
+    int c = 0;
+    for (const auto &s : swaps)
+        if (s.dressedOp >= 0)
+            ++c;
+    return c;
+}
+
+RoutingResult
+routePermutationAware(const qcir::Circuit &circuit,
+                      const Placement &initial,
+                      const device::Topology &topo,
+                      std::mt19937_64 &rng, const RouterOptions &opt)
+{
+    int n = circuit.numQubits();
+    if (static_cast<int>(initial.size()) != n)
+        throw std::invalid_argument("route: placement size mismatch");
+    if (!qap::placementIsValid(initial, topo.numQubits()))
+        throw std::invalid_argument("route: invalid placement");
+
+    // Collect the two-qubit ops.
+    std::vector<int> op_u, op_v, op_idx;
+    for (int i = 0; i < circuit.size(); ++i) {
+        const auto &o = circuit.op(i);
+        if (o.isTwoQubit()) {
+            op_idx.push_back(i);
+            op_u.push_back(o.q0);
+            op_v.push_back(o.q1);
+        }
+    }
+    int m = static_cast<int>(op_idx.size());
+
+    RoutingResult res;
+    res.maps.push_back(initial);
+    Placement phi = initial;
+    std::vector<int> inv = qap::invertPlacement(phi, topo.numQubits());
+
+    auto distOf = [&](int k) {
+        return topo.dist(phi[op_u[k]], phi[op_v[k]]);
+    };
+
+    // Partition into already-NN and unrouted.
+    std::vector<int> unrouted;
+    res.nnOps.emplace_back();
+    // routedAt[k] = (mapIdx, position in nnOps[mapIdx]) for absorb
+    // lookups; -1 if unrouted or absorbed.
+    std::vector<int> routed_map(m, -1);
+    for (int k = 0; k < m; ++k) {
+        if (distOf(k) == 1) {
+            res.nnOps[0].push_back(k);
+            routed_map[k] = 0;
+        } else {
+            unrouted.push_back(k);
+        }
+    }
+
+    // Approximate per-device-qubit busy time for criterion 2.
+    std::vector<int> busy(topo.numQubits(), 0);
+    for (int k : res.nnOps[0]) {
+        ++busy[phi[op_u[k]]];
+        ++busy[phi[op_v[k]]];
+    }
+
+    // Total remaining distance (criterion 1 bookkeeping).
+    long total = 0;
+    for (int k : unrouted)
+        total += distOf(k);
+
+    const long max_swaps =
+        static_cast<long>(opt.maxSwapFactor) * std::max(1, m) *
+            std::max(2, topo.numQubits()) / 2 +
+        64;
+    long iter = 0;
+    int stagnation = 0;
+    long best_seen = std::numeric_limits<long>::max();
+    bool forced_mode = false;
+
+    while (!unrouted.empty()) {
+        if (++iter > max_swaps)
+            throw std::runtime_error("route: livelock guard tripped");
+
+        // Line 5: shortest-distance unrouted gate (first on ties).
+        int g = unrouted[0];
+        int gd = distOf(g);
+        for (int k : unrouted) {
+            if (distOf(k) < gd) {
+                g = k;
+                gd = distOf(k);
+            }
+        }
+
+        // Line 6: candidate SWAPs on edges incident to g's qubits.
+        int pu = phi[op_u[g]], pv = phi[op_v[g]];
+        std::vector<std::pair<int, int>> cands;
+        for (int nb : topo.neighbors(pu))
+            cands.push_back({pu, nb});
+        for (int nb : topo.neighbors(pv))
+            if (nb != pu)
+                cands.push_back({pv, nb});
+
+        // Criterion 1: remaining total distance after the SWAP.
+        // Only ops touching the two swapped logical qubits change.
+        auto costAfter = [&](int p, int q) {
+            int la = inv[p], lb = inv[q];  // logical occupants
+            long t = total;
+            for (int k : unrouted) {
+                bool touches = op_u[k] == la || op_v[k] == la ||
+                               op_u[k] == lb || op_v[k] == lb;
+                if (!touches)
+                    continue;
+                int du = phi[op_u[k]], dv = phi[op_v[k]];
+                int nu = du == p ? q : (du == q ? p : du);
+                int nv = dv == p ? q : (dv == q ? p : dv);
+                t += topo.dist(nu, nv) - topo.dist(du, dv);
+            }
+            return t;
+        };
+
+        // Criterion 3 helper: an unabsorbed, already-routed circuit
+        // op whose logical pair sits exactly on (p, q).
+        auto dressable = [&](int p, int q) -> int {
+            if (!opt.unifySwaps)
+                return -1;
+            int la = inv[p], lb = inv[q];
+            if (la < 0 || lb < 0)
+                return -1;
+            for (size_t mi = 0; mi < res.nnOps.size(); ++mi) {
+                for (int k : res.nnOps[mi]) {
+                    if ((op_u[k] == la && op_v[k] == lb) ||
+                        (op_u[k] == lb && op_v[k] == la)) {
+                        // Only Interact ops merge into dressed SWAPs.
+                        if (circuit.op(op_idx[k]).kind ==
+                            qcir::OpKind::Interact)
+                            return k;
+                    }
+                }
+            }
+            return -1;
+        };
+
+        // Evaluate criteria in priority order.
+        std::vector<long> c1(cands.size());
+        long best1 = 0;
+        for (size_t i = 0; i < cands.size(); ++i) {
+            c1[i] = costAfter(cands[i].first, cands[i].second);
+            if (i == 0 || c1[i] < best1)
+                best1 = c1[i];
+        }
+        std::vector<size_t> keep;
+        for (size_t i = 0; i < cands.size(); ++i)
+            if (c1[i] == best1)
+                keep.push_back(i);
+
+        // Stagnation fallback: if no new minimum of the remaining
+        // cost has been reached for a while without routing any
+        // gate, force progress on the selected gate g (and keep
+        // forcing until a gate is actually routed).
+        if (best1 < best_seen) {
+            best_seen = best1;
+            stagnation = 0;
+        } else {
+            ++stagnation;
+        }
+        if (stagnation > topo.numQubits() + 4)
+            forced_mode = true;
+        if (forced_mode) {
+            std::vector<size_t> forced;
+            for (size_t i : keep) {
+                auto [p, q] = cands[i];
+                int nu = pu == p ? q : (pu == q ? p : pu);
+                int nv = pv == p ? q : (pv == q ? p : pv);
+                if (topo.dist(nu, nv) < gd)
+                    forced.push_back(i);
+            }
+            if (forced.empty()) {
+                for (size_t i = 0; i < cands.size(); ++i) {
+                    auto [p, q] = cands[i];
+                    int nu = pu == p ? q : (pu == q ? p : pu);
+                    int nv = pv == p ? q : (pv == q ? p : pv);
+                    if (topo.dist(nu, nv) < gd)
+                        forced.push_back(i);
+                }
+            }
+            if (!forced.empty())
+                keep = forced;
+        }
+
+        // Criterion 2: earliest-start estimate.
+        int best2 = 0;
+        bool first = true;
+        std::vector<size_t> keep2;
+        for (size_t i : keep) {
+            int s = std::max(busy[cands[i].first],
+                             busy[cands[i].second]);
+            if (first || s < best2) {
+                best2 = s;
+                first = false;
+            }
+        }
+        for (size_t i : keep)
+            if (std::max(busy[cands[i].first], busy[cands[i].second]) ==
+                best2)
+                keep2.push_back(i);
+
+        // Criterion 3: prefer dressable SWAPs.
+        std::vector<size_t> keep3;
+        std::vector<int> dress(keep2.size(), -1);
+        for (size_t j = 0; j < keep2.size(); ++j) {
+            dress[j] = dressable(cands[keep2[j]].first,
+                                 cands[keep2[j]].second);
+            if (dress[j] >= 0)
+                keep3.push_back(j);
+        }
+        size_t pick_j;
+        if (!keep3.empty()) {
+            std::uniform_int_distribution<size_t> d(0,
+                                                    keep3.size() - 1);
+            pick_j = keep3[d(rng)];
+        } else {
+            std::uniform_int_distribution<size_t> d(0,
+                                                    keep2.size() - 1);
+            pick_j = d(rng);
+        }
+        size_t pick = keep2[pick_j];
+        int sp = cands[pick].first, sq = cands[pick].second;
+        int dressed = dress[pick_j];
+
+        // Apply: record the SWAP, absorb the merged op, update map.
+        SwapStep step;
+        step.p = sp;
+        step.q = sq;
+        if (dressed >= 0) {
+            step.dressedOp = op_idx[dressed];
+            for (auto &bucket : res.nnOps) {
+                auto it = std::find(bucket.begin(), bucket.end(),
+                                    dressed);
+                if (it != bucket.end()) {
+                    bucket.erase(it);
+                    break;
+                }
+            }
+            routed_map[dressed] = -2;  // absorbed
+        }
+        res.swaps.push_back(step);
+
+        int la = inv[sp], lb = inv[sq];
+        if (la >= 0)
+            phi[la] = sq;
+        if (lb >= 0)
+            phi[lb] = sp;
+        std::swap(inv[sp], inv[sq]);
+        res.maps.push_back(phi);
+        ++busy[sp];
+        ++busy[sq];
+
+        // Lines 9-10: newly-NN gates join the bucket of the new map.
+        res.nnOps.emplace_back();
+        total = 0;
+        std::vector<int> still;
+        for (int k : unrouted) {
+            if (distOf(k) == 1) {
+                res.nnOps.back().push_back(k);
+                routed_map[k] = static_cast<int>(res.maps.size()) - 1;
+                ++busy[phi[op_u[k]]];
+                ++busy[phi[op_v[k]]];
+            } else {
+                still.push_back(k);
+                total += distOf(k);
+            }
+        }
+        if (!res.nnOps.back().empty()) {
+            // Progress: a gate was routed; leave forced mode.
+            forced_mode = false;
+            stagnation = 0;
+            best_seen = std::numeric_limits<long>::max();
+        }
+        unrouted.swap(still);
+    }
+
+    // Translate op positions back to circuit indices (dressedOp was
+    // already stored as a circuit index at absorb time).
+    for (auto &bucket : res.nnOps)
+        for (int &k : bucket)
+            k = op_idx[k];
+    return res;
+}
+
+bool
+routingIsValid(const qcir::Circuit &circuit,
+               const device::Topology &topo, const RoutingResult &r)
+{
+    if (r.maps.size() != r.swaps.size() + 1 ||
+        r.nnOps.size() != r.maps.size())
+        return false;
+
+    // Map chain consistency.
+    for (size_t i = 0; i < r.swaps.size(); ++i) {
+        Placement next = r.maps[i];
+        auto inv = qap::invertPlacement(next, topo.numQubits());
+        int la = inv[r.swaps[i].p], lb = inv[r.swaps[i].q];
+        if (!topo.connected(r.swaps[i].p, r.swaps[i].q))
+            return false;
+        if (la >= 0)
+            next[la] = r.swaps[i].q;
+        if (lb >= 0)
+            next[lb] = r.swaps[i].p;
+        if (next != r.maps[i + 1])
+            return false;
+    }
+
+    // Every two-qubit op appears exactly once: in a bucket (NN under
+    // that bucket's map) or as a dressed SWAP payload.
+    std::vector<int> seen(circuit.size(), 0);
+    for (size_t mi = 0; mi < r.nnOps.size(); ++mi) {
+        for (int oi : r.nnOps[mi]) {
+            const auto &o = circuit.op(oi);
+            if (!o.isTwoQubit())
+                return false;
+            if (topo.dist(r.maps[mi][o.q0], r.maps[mi][o.q1]) != 1)
+                return false;
+            ++seen[oi];
+        }
+    }
+    for (size_t si = 0; si < r.swaps.size(); ++si) {
+        int oi = r.swaps[si].dressedOp;
+        if (oi < 0)
+            continue;
+        const auto &o = circuit.op(oi);
+        // Dressed payload must sit on the SWAP's endpoints under the
+        // map in force when the SWAP was inserted.
+        const Placement &mp = r.maps[si];
+        int a = mp[o.q0], b = mp[o.q1];
+        if (!((a == r.swaps[si].p && b == r.swaps[si].q) ||
+              (a == r.swaps[si].q && b == r.swaps[si].p)))
+            return false;
+        ++seen[oi];
+    }
+    for (int i = 0; i < circuit.size(); ++i) {
+        if (circuit.op(i).isTwoQubit() && seen[i] != 1)
+            return false;
+        if (!circuit.op(i).isTwoQubit() && seen[i] != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace core
+} // namespace tqan

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Permutation-aware qubit routing (paper Algorithm 1) with the
+ * three-criteria SWAP selection and SWAP-unitary unifying (Sec. III-B
+ * and III-C).
+ *
+ * Unlike general-purpose routers, no dependency order is imposed on
+ * the circuit's two-qubit operators: any operator whose qubits are
+ * nearest-neighbour under *some* reached mapping can execute there.
+ * The router maintains the current map phi, repeatedly picks the
+ * unrouted operator with the shortest hardware distance, and inserts
+ * the best SWAP incident to its endpoints, chosen by:
+ *
+ *  1. least remaining routing cost (Eq. 7 over un-routed operators),
+ *  2. best interleaving with already-mapped gates (depth estimate),
+ *  3. mergeability with a circuit operator on the same qubit pair
+ *     (the merged operator becomes a "dressed SWAP").
+ *
+ * Ties after all three criteria are broken uniformly at random with
+ * the caller's seeded generator, as in the paper.
+ */
+
+#ifndef TQAN_CORE_ROUTER_H
+#define TQAN_CORE_ROUTER_H
+
+#include <random>
+
+#include "device/topology.h"
+#include "qap/qap.h"
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace core {
+
+/** One inserted SWAP; transitions maps[i] into maps[i + 1]. */
+struct SwapStep
+{
+    int p;             ///< device qubit
+    int q;             ///< device qubit
+    int dressedOp = -1; ///< circuit-op index merged into the SWAP
+};
+
+/** Output of the permutation-aware router. */
+struct RoutingResult
+{
+    /** maps[i][circuit qubit] = device qubit; maps[0] is the initial
+     * placement, maps[i + 1] the map after swaps[i]. */
+    std::vector<qap::Placement> maps;
+    /** nnOps[i] = indices (into the input circuit) of two-qubit ops
+     * first routed (nearest-neighbour) at maps[i]; ops absorbed into
+     * dressed SWAPs are removed from these lists. */
+    std::vector<std::vector<int>> nnOps;
+    std::vector<SwapStep> swaps;
+
+    int swapCount() const { return static_cast<int>(swaps.size()); }
+    int dressedCount() const;
+};
+
+struct RouterOptions
+{
+    /** Enable criterion 3 and dressed-SWAP merging. */
+    bool unifySwaps = true;
+    /** Give up after this many SWAPs per two-qubit op (livelock
+     * guard; generous, never hit in practice). */
+    int maxSwapFactor = 16;
+};
+
+/**
+ * Route the two-qubit ops of a (single Trotter step) circuit.
+ *
+ * @param circuit application-level circuit; only Interact / U2q
+ *        two-qubit ops participate, single-qubit ops are free.
+ * @param initial placement of the circuit qubits.
+ * @param topo device topology.
+ * @param rng tie-break randomness (paper: random choice among ties).
+ */
+RoutingResult routePermutationAware(const qcir::Circuit &circuit,
+                                    const qap::Placement &initial,
+                                    const device::Topology &topo,
+                                    std::mt19937_64 &rng,
+                                    const RouterOptions &opt = {});
+
+/**
+ * Validation helper: true iff every two-qubit op of the circuit is
+ * either nearest-neighbour under the map of its nnOps bucket, or
+ * absorbed into a dressed SWAP whose endpoints match the op's qubits
+ * under the map at that SWAP.  Also checks map consistency along the
+ * SWAP chain.  Used heavily by the tests.
+ */
+bool routingIsValid(const qcir::Circuit &circuit,
+                    const device::Topology &topo,
+                    const RoutingResult &r);
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_ROUTER_H

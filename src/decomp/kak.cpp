@@ -1,0 +1,162 @@
+#include "decomp/kak.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "decomp/weyl.h"
+#include "linalg/eig.h"
+
+namespace tqan {
+namespace decomp {
+
+using linalg::Cx;
+using linalg::Mat2;
+using linalg::Mat4;
+using linalg::RMat4;
+
+linalg::Mat4
+Kak::reconstruct() const
+{
+    Mat4 n = linalg::expXxYyZz(cx, cy, cz);
+    Mat4 r = linalg::kron(a1, a0) * n * linalg::kron(b1, b0);
+    return r * std::exp(Cx(0.0, phase));
+}
+
+namespace {
+
+/** Real orthogonal matrix as a complex Mat4. */
+Mat4
+toComplex(const RMat4 &r)
+{
+    Mat4 m;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            m.at(i, j) = r[i * 4 + j];
+    return m;
+}
+
+/** Largest |imaginary part| over all entries. */
+double
+maxImag(const Mat4 &m)
+{
+    double mx = 0.0;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            mx = std::max(mx, std::abs(m.at(i, j).imag()));
+    return mx;
+}
+
+} // namespace
+
+Kak
+kakDecompose(const Mat4 &u_in)
+{
+    Mat4 us = toSU4(u_in);
+    Mat4 b = linalg::magicBasis();
+    Mat4 bd = b.dagger();
+    Mat4 m = bd * us * b;
+    Mat4 mm = m.transpose() * m;
+
+    // Simultaneously diagonalize Re(M) and Im(M) by diagonalizing a
+    // generic real mixture; retry the mixing angle if a degeneracy of
+    // the mixture (but not of M) spoils it.
+    const double angles[] = {0.7, 0.3, 1.1, 1.9, 2.4, 0.05, 1.47};
+    RMat4 v{};
+    bool ok = false;
+    for (double t : angles) {
+        RMat4 comb{};
+        double cs = std::cos(t), sn = std::sin(t);
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                comb[i * 4 + j] = cs * mm.at(i, j).real() +
+                                  sn * mm.at(i, j).imag();
+        std::array<double, 4> w;
+        if (!linalg::jacobiEig4(comb, w, v))
+            continue;
+        // Check V M V^T is diagonal.
+        Mat4 vm = toComplex(v);
+        Mat4 d = vm * mm * vm.transpose();
+        double off = 0.0;
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                if (i != j)
+                    off += std::abs(d.at(i, j));
+        if (off < 1e-8) {
+            ok = true;
+            break;
+        }
+    }
+    if (!ok)
+        throw std::runtime_error("kakDecompose: diagonalization failed");
+
+    if (linalg::rdet(v) < 0)
+        for (int j = 0; j < 4; ++j)
+            v[0 * 4 + j] = -v[0 * 4 + j];
+
+    Mat4 vm = toComplex(v);
+    Mat4 d = vm * mm * vm.transpose();
+    std::array<double, 4> theta;
+    for (int i = 0; i < 4; ++i)
+        theta[i] = 0.5 * std::arg(d.at(i, i));
+
+    // m = O1 Delta O2 with O2 = V and O1 = m V^T Delta^{-1}.
+    auto computeO1 = [&m, &vm](const std::array<double, 4> &th) {
+        Mat4 dinv;
+        for (int i = 0; i < 4; ++i)
+            dinv.at(i, i) = std::exp(Cx(0.0, -th[i]));
+        return m * vm.transpose() * dinv;
+    };
+    Mat4 o1 = computeO1(theta);
+    if (maxImag(o1) > 1e-7)
+        throw std::runtime_error("kakDecompose: O1 not real");
+
+    // Make det(O1) = +1 by flipping one eigenphase branch (theta_0 ->
+    // theta_0 + pi flips the sign of O1's column 0).
+    RMat4 o1r{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            o1r[i * 4 + j] = o1.at(i, j).real();
+    if (linalg::rdet(o1r) < 0) {
+        theta[0] += M_PI;
+        o1 = computeO1(theta);
+    }
+
+    // Interaction coefficients from the Bell-label eigenphases (see
+    // linalg::expXxYyZz): theta = (a-b+c, -a+b+c, a+b-c, -a-b-c).
+    double ca = 0.5 * (theta[0] + theta[2]);
+    double cb = 0.5 * (theta[1] + theta[2]);
+    double cc = 0.5 * (theta[0] + theta[1]);
+
+    // Map back to the computational basis; both conjugated orthogonal
+    // factors are tensor products of single-qubit unitaries.
+    Mat4 l1 = b * o1 * bd;
+    Mat4 l2 = b * vm * bd;
+
+    Kak k;
+    double r1 = linalg::kronFactor(l1, k.a1, k.a0);
+    double r2 = linalg::kronFactor(l2, k.b1, k.b0);
+    if (r1 > 1e-6 || r2 > 1e-6)
+        throw std::runtime_error("kakDecompose: local factorization "
+                                 "failed");
+    k.cx = ca;
+    k.cy = cb;
+    k.cz = cc;
+
+    // Global phase: compare the phaseless reconstruction against the
+    // original input.
+    k.phase = 0.0;
+    Mat4 recon = k.reconstruct();
+    Cx overlap = 0.0;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            overlap += std::conj(recon.at(i, j)) * u_in.at(i, j);
+    k.phase = std::arg(overlap);
+
+    if (k.reconstruct().distance(u_in) > 1e-6)
+        throw std::runtime_error("kakDecompose: reconstruction "
+                                 "mismatch");
+    return k;
+}
+
+} // namespace decomp
+} // namespace tqan

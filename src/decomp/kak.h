@@ -1,0 +1,52 @@
+/**
+ * @file
+ * KAK (Cartan) decomposition of a two-qubit unitary:
+ *
+ *   U = e^{i phase} (A1 x A0) exp(i(cx XX + cy YY + cz ZZ)) (B1 x B0)
+ *
+ * This is the mathematical core of the gate-decomposition pass: once
+ * a unitary is split this way, the canonical interaction part maps to
+ * native-gate templates and the local factors become single-qubit
+ * rotations.  The implementation follows the standard magic-basis
+ * construction (Kraus-Cirac / Vatan-Williams): diagonalize
+ * M = m^T m with m = B^dag U B, split m = O1 Delta O2 with real
+ * orthogonal O1, O2, and map back.
+ */
+
+#ifndef TQAN_DECOMP_KAK_H
+#define TQAN_DECOMP_KAK_H
+
+#include "linalg/matrix.h"
+#include "linalg/su2.h"
+
+namespace tqan {
+namespace decomp {
+
+/** Result of kakDecompose; reconstruct() must reproduce the input. */
+struct Kak
+{
+    linalg::Mat2 a1;  ///< left local factor on qubit 1
+    linalg::Mat2 a0;  ///< left local factor on qubit 0
+    double cx;        ///< XX interaction coefficient
+    double cy;        ///< YY interaction coefficient
+    double cz;        ///< ZZ interaction coefficient
+    linalg::Mat2 b1;  ///< right local factor on qubit 1
+    linalg::Mat2 b0;  ///< right local factor on qubit 0
+    double phase;     ///< global phase
+
+    /** e^{i phase} (a1 x a0) expXxYyZz(cx, cy, cz) (b1 x b0). */
+    linalg::Mat4 reconstruct() const;
+};
+
+/**
+ * Compute the KAK decomposition of a two-qubit unitary.
+ *
+ * @throws std::runtime_error if the numerics fail to converge (not
+ *         observed for unitary inputs; guarded for safety).
+ */
+Kak kakDecompose(const linalg::Mat4 &u);
+
+} // namespace decomp
+} // namespace tqan
+
+#endif // TQAN_DECOMP_KAK_H

@@ -1,0 +1,151 @@
+#include "decomp/numerical.h"
+
+#include <cmath>
+
+namespace tqan {
+namespace decomp {
+
+using device::GateSet;
+using linalg::Mat2;
+using linalg::Mat4;
+using qcir::Op;
+
+namespace {
+
+Mat4
+nativeMatrix(GateSet gs)
+{
+    switch (gs) {
+      case GateSet::Cnot: return linalg::cnot(0, 1);
+      case GateSet::Cz: return linalg::czGate();
+      case GateSet::ISwap: return linalg::iswapGate();
+      case GateSet::Syc: return linalg::sycGate();
+    }
+    return linalg::czGate();
+}
+
+/** Template evaluation: k native gates, k+1 local layers; each local
+ * layer has 6 parameters (ZYZ per qubit). */
+Mat4
+evalTemplate(const std::vector<double> &p, const Mat4 &g, int k)
+{
+    auto local = [&p](int layer) {
+        int off = layer * 6;
+        Mat2 u0 = linalg::rz(p[off]) * linalg::ry(p[off + 1]) *
+                  linalg::rz(p[off + 2]);
+        Mat2 u1 = linalg::rz(p[off + 3]) * linalg::ry(p[off + 4]) *
+                  linalg::rz(p[off + 5]);
+        return linalg::kron(u1, u0);
+    };
+    Mat4 u = local(0);
+    for (int i = 0; i < k; ++i)
+        u = local(i + 1) * g * u;
+    return u;
+}
+
+double
+fitOnce(const Mat4 &target, const Mat4 &g, int k,
+        std::mt19937_64 &rng, int iters, double tol,
+        std::vector<double> *best_params)
+{
+    int np = 6 * (k + 1);
+    std::uniform_real_distribution<double> uni(-M_PI, M_PI);
+    std::vector<double> p(np);
+    for (double &x : p)
+        x = uni(rng);
+
+    double cur = linalg::phaseDistance(evalTemplate(p, g, k), target);
+    double step = 0.5;
+    for (int it = 0; it < iters && cur > tol; ++it) {
+        bool improved = false;
+        for (int i = 0; i < np; ++i) {
+            for (double s : {step, -step}) {
+                double old = p[i];
+                p[i] = old + s;
+                double d = linalg::phaseDistance(
+                    evalTemplate(p, g, k), target);
+                if (d < cur - 1e-15) {
+                    cur = d;
+                    improved = true;
+                } else {
+                    p[i] = old;
+                }
+            }
+        }
+        if (!improved)
+            step *= 0.5;
+        if (step < 1e-10)
+            break;
+    }
+    if (best_params)
+        *best_params = p;
+    return cur;
+}
+
+} // namespace
+
+std::optional<std::vector<Op>>
+numericalDecompose(const Mat4 &target, int q0, int q1, GateSet gs,
+                   int k, std::mt19937_64 &rng,
+                   const NumericalOptions &opt)
+{
+    Mat4 g = nativeMatrix(gs);
+    std::vector<double> best_p;
+    double best = 1e300;
+    for (int r = 0; r < opt.restarts && best > opt.tol; ++r) {
+        std::vector<double> p;
+        double d = fitOnce(target, g, k, rng, opt.iters, opt.tol, &p);
+        if (d < best) {
+            best = d;
+            best_p = p;
+        }
+    }
+    if (best > opt.tol)
+        return std::nullopt;
+
+    auto emitLocal = [&](std::vector<Op> &ops, int layer) {
+        int off = layer * 6;
+        ops.push_back(Op::rz(q0, best_p[off + 2]));
+        ops.push_back(Op::ry(q0, best_p[off + 1]));
+        ops.push_back(Op::rz(q0, best_p[off]));
+        ops.push_back(Op::rz(q1, best_p[off + 5]));
+        ops.push_back(Op::ry(q1, best_p[off + 4]));
+        ops.push_back(Op::rz(q1, best_p[off + 3]));
+    };
+    auto nativeOp = [&]() {
+        switch (gs) {
+          case GateSet::Cnot: return Op::cnot(q0, q1);
+          case GateSet::Cz: return Op::cz(q0, q1);
+          case GateSet::ISwap: return Op::iswap(q0, q1);
+          case GateSet::Syc: return Op::syc(q0, q1);
+        }
+        return Op::cz(q0, q1);
+    };
+
+    std::vector<Op> ops;
+    emitLocal(ops, 0);
+    for (int i = 0; i < k; ++i) {
+        ops.push_back(nativeOp());
+        emitLocal(ops, i + 1);
+    }
+    return ops;
+}
+
+double
+bestTemplateFit(const Mat4 &target, GateSet gs, int k,
+                std::mt19937_64 &rng, const NumericalOptions &opt)
+{
+    Mat4 g = nativeMatrix(gs);
+    double best = 1e300;
+    for (int r = 0; r < opt.restarts; ++r) {
+        double d =
+            fitOnce(target, g, k, rng, opt.iters, opt.tol, nullptr);
+        best = std::min(best, d);
+        if (best <= opt.tol)
+            break;
+    }
+    return best;
+}
+
+} // namespace decomp
+} // namespace tqan

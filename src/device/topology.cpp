@@ -1,0 +1,31 @@
+#include "device/topology.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tqan {
+namespace device {
+
+std::string
+gateSetName(GateSet g)
+{
+    switch (g) {
+      case GateSet::Cnot: return "CNOT";
+      case GateSet::Cz: return "CZ";
+      case GateSet::ISwap: return "iSWAP";
+      case GateSet::Syc: return "SYC";
+    }
+    return "?";
+}
+
+Topology::Topology(std::string name, graph::Graph coupling)
+    : name_(std::move(name)), coupling_(std::move(coupling))
+{
+    if (!coupling_.isConnected())
+        throw std::invalid_argument(
+            "Topology: coupling graph must be connected");
+    dist_ = graph::floydWarshall(coupling_);
+}
+
+} // namespace device
+} // namespace tqan

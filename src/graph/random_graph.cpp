@@ -1,0 +1,126 @@
+#include "graph/random_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace tqan {
+namespace graph {
+
+namespace {
+
+/**
+ * Dense-degree fallback: start from a circulant d-regular graph and
+ * randomize with degree-preserving double-edge switches.  The pairing
+ * model's rejection rate explodes ~ e^{d^2/4}, so it is hopeless for
+ * d >= ~6; edge switching samples (approximately uniformly) for any
+ * degree.
+ */
+Graph
+switchedRegularGraph(int n, int d, std::mt19937_64 &rng)
+{
+    std::set<Edge> edges;
+    auto key = [](int a, int b) {
+        return Edge{std::min(a, b), std::max(a, b)};
+    };
+    // Circulant seed: i ~ i +- 1..d/2 (+ antipode for odd d; n*d even
+    // forces n even when d is odd).
+    for (int i = 0; i < n; ++i)
+        for (int k = 1; k <= d / 2; ++k)
+            edges.insert(key(i, (i + k) % n));
+    if (d % 2 == 1)
+        for (int i = 0; i < n / 2; ++i)
+            edges.insert(key(i, i + n / 2));
+
+    std::vector<Edge> list(edges.begin(), edges.end());
+    std::uniform_int_distribution<size_t> pick(0, list.size() - 1);
+    std::uniform_int_distribution<int> coin(0, 1);
+    long switches = 40L * n * d;
+    for (long s = 0; s < switches; ++s) {
+        size_t i = pick(rng), j = pick(rng);
+        if (i == j)
+            continue;
+        auto [a, b] = list[i];
+        auto [c, e] = list[j];
+        if (coin(rng))
+            std::swap(c, e);
+        // Rewire (a,b),(c,e) -> (a,c),(b,e).
+        if (a == c || a == e || b == c || b == e)
+            continue;
+        Edge n1 = key(a, c), n2 = key(b, e);
+        if (edges.count(n1) || edges.count(n2))
+            continue;
+        edges.erase(key(a, b));
+        edges.erase(key(c, e));
+        edges.insert(n1);
+        edges.insert(n2);
+        list[i] = n1;
+        list[j] = n2;
+    }
+    Graph g(n);
+    for (const auto &[u, v] : edges)
+        g.addEdge(u, v);
+    return g;
+}
+
+} // namespace
+
+Graph
+randomRegularGraph(int n, int d, std::mt19937_64 &rng)
+{
+    if (d >= n)
+        throw std::invalid_argument("randomRegularGraph: d >= n");
+    if ((n * d) % 2 != 0)
+        throw std::invalid_argument("randomRegularGraph: n*d odd");
+
+    if (d > 5)
+        return switchedRegularGraph(n, d, rng);
+
+    for (int attempt = 0; attempt < 20000; ++attempt) {
+        // Configuration model: d stubs per node, random perfect
+        // matching on the stubs.
+        std::vector<int> stubs;
+        stubs.reserve(n * d);
+        for (int v = 0; v < n; ++v)
+            for (int k = 0; k < d; ++k)
+                stubs.push_back(v);
+        std::shuffle(stubs.begin(), stubs.end(), rng);
+
+        std::set<Edge> seen;
+        bool ok = true;
+        for (size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+            int u = stubs[i], v = stubs[i + 1];
+            if (u == v) {
+                ok = false;
+                break;
+            }
+            Edge e{std::min(u, v), std::max(u, v)};
+            if (!seen.insert(e).second)
+                ok = false;
+        }
+        if (!ok)
+            continue;
+
+        Graph g(n);
+        for (const auto &[u, v] : seen)
+            g.addEdge(u, v);
+        return g;
+    }
+    throw std::runtime_error(
+        "randomRegularGraph: pairing model failed to converge");
+}
+
+Graph
+erdosRenyi(int n, double p, std::mt19937_64 &rng)
+{
+    Graph g(n);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    for (int u = 0; u < n; ++u)
+        for (int v = u + 1; v < n; ++v)
+            if (coin(rng) < p)
+                g.addEdge(u, v);
+    return g;
+}
+
+} // namespace graph
+} // namespace tqan

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Random graph generators for the QAOA benchmarks.
+ *
+ * The paper evaluates QAOA MaxCut on random 3-regular graphs
+ * (QAOA-REG-3, 10 instances per size) and, for the Paulihedral
+ * comparison, on random 4/8/12-regular graphs.  We generate uniform
+ * d-regular graphs with the configuration (pairing) model, rejecting
+ * pairings with self-loops or multi-edges, which is the standard
+ * NetworkX `random_regular_graph` approach.
+ */
+
+#ifndef TQAN_GRAPH_RANDOM_GRAPH_H
+#define TQAN_GRAPH_RANDOM_GRAPH_H
+
+#include <random>
+
+#include "graph/graph.h"
+
+namespace tqan {
+namespace graph {
+
+/**
+ * Uniform random d-regular simple graph on n nodes.
+ *
+ * Requires n * d even and d < n.  Retries the pairing model until a
+ * simple graph is produced (expected O(e^{d^2}) retries; fine for the
+ * benchmark sizes d <= 12, n <= 30).
+ */
+Graph randomRegularGraph(int n, int d, std::mt19937_64 &rng);
+
+/** Erdos-Renyi G(n, p) graph (used for property tests). */
+Graph erdosRenyi(int n, double p, std::mt19937_64 &rng);
+
+} // namespace graph
+} // namespace tqan
+
+#endif // TQAN_GRAPH_RANDOM_GRAPH_H

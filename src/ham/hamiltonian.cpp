@@ -1,0 +1,77 @@
+#include "ham/hamiltonian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tqan {
+namespace ham {
+
+void
+TwoLocalHamiltonian::addPair(int u, int v, double xx, double yy,
+                             double zz)
+{
+    if (u < 0 || v < 0 || u >= n_ || v >= n_)
+        throw std::out_of_range("addPair: qubit out of range");
+    if (u == v)
+        throw std::invalid_argument("addPair: u == v");
+    int a = std::min(u, v), b = std::max(u, v);
+    for (auto &t : pairs_) {
+        if (t.u == a && t.v == b) {
+            // Fold: XX/YY/ZZ are symmetric under qubit exchange and
+            // commute, so coefficients add.
+            t.xx += xx;
+            t.yy += yy;
+            t.zz += zz;
+            return;
+        }
+    }
+    pairs_.push_back({a, b, xx, yy, zz});
+}
+
+void
+TwoLocalHamiltonian::addField(int q, Axis axis, double coeff)
+{
+    if (q < 0 || q >= n_)
+        throw std::out_of_range("addField: qubit out of range");
+    fields_.push_back({q, axis, coeff});
+}
+
+graph::Graph
+TwoLocalHamiltonian::interactionGraph() const
+{
+    graph::Graph g(n_);
+    for (const auto &t : pairs_)
+        if (!g.hasEdge(t.u, t.v))
+            g.addEdge(t.u, t.v);
+    return g;
+}
+
+std::vector<PauliTerm>
+TwoLocalHamiltonian::pauliTerms() const
+{
+    std::vector<PauliTerm> terms;
+    for (const auto &t : pairs_) {
+        if (t.xx != 0.0)
+            terms.push_back({t.u, t.v, Axis::X, t.xx});
+        if (t.yy != 0.0)
+            terms.push_back({t.u, t.v, Axis::Y, t.yy});
+        if (t.zz != 0.0)
+            terms.push_back({t.u, t.v, Axis::Z, t.zz});
+    }
+    for (const auto &f : fields_)
+        terms.push_back({f.q, -1, f.axis, f.coeff});
+    return terms;
+}
+
+bool
+TwoLocalHamiltonian::isDiagonal() const
+{
+    for (const auto &t : pairs_)
+        if (t.xx != 0.0 || t.yy != 0.0)
+            return false;
+    return true;
+}
+
+} // namespace ham
+} // namespace tqan

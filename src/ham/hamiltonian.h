@@ -1,0 +1,94 @@
+/**
+ * @file
+ * 2-local qubit Hamiltonian intermediate representation (paper Eq. 3):
+ *
+ *   H = sum_{(u,v) in E} H_uv + sum_{k in V} H_k
+ *
+ * Two-qubit terms are stored *unified per qubit pair* as coefficient
+ * triples (xx, yy, zz) of the commuting generators XX, YY, ZZ -- this
+ * is the paper's "circuit unitary unifying" preprocessing (Sec. III-C)
+ * applied at the IR level.  The un-unified Pauli-term view used by the
+ * Paulihedral-like baseline can be expanded on demand.
+ */
+
+#ifndef TQAN_HAM_HAMILTONIAN_H
+#define TQAN_HAM_HAMILTONIAN_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tqan {
+namespace ham {
+
+/** Unified two-qubit Hamiltonian term on a pair (u, v). */
+struct TwoQubitTerm
+{
+    int u;
+    int v;
+    double xx = 0.0;
+    double yy = 0.0;
+    double zz = 0.0;
+};
+
+/** Pauli axis of a single-qubit field term. */
+enum class Axis { X, Y, Z };
+
+/** Single-qubit field term coeff * P_q. */
+struct FieldTerm
+{
+    int q;
+    Axis axis;
+    double coeff;
+};
+
+/** One 2-local Pauli string (un-unified view), e.g. 0.3 * X_2 X_5. */
+struct PauliTerm
+{
+    int u;
+    int v;          ///< -1 for single-qubit terms
+    Axis axis;      ///< same axis on both qubits (XX / YY / ZZ)
+    double coeff;
+};
+
+/** A 2-local qubit Hamiltonian. */
+class TwoLocalHamiltonian
+{
+  public:
+    explicit TwoLocalHamiltonian(int n) : n_(n) {}
+
+    int numQubits() const { return n_; }
+    const std::vector<TwoQubitTerm> &pairs() const { return pairs_; }
+    const std::vector<FieldTerm> &fields() const { return fields_; }
+
+    /**
+     * Add (or fold into an existing term on the same pair) a two-qubit
+     * coefficient triple.
+     */
+    void addPair(int u, int v, double xx, double yy, double zz);
+    void addField(int q, Axis axis, double coeff);
+
+    /** Interaction graph G(V, E) of the two-qubit terms. */
+    graph::Graph interactionGraph() const;
+
+    /**
+     * Un-unified Pauli-term list: one entry per nonzero XX/YY/ZZ
+     * coefficient and per field term (input format of the
+     * Paulihedral-like baseline).
+     */
+    std::vector<PauliTerm> pauliTerms() const;
+
+    /** True iff every two-qubit term is diagonal (ZZ only), in which
+     * case all terms mutually commute (Ising / QAOA). */
+    bool isDiagonal() const;
+
+  private:
+    int n_;
+    std::vector<TwoQubitTerm> pairs_;
+    std::vector<FieldTerm> fields_;
+};
+
+} // namespace ham
+} // namespace tqan
+
+#endif // TQAN_HAM_HAMILTONIAN_H

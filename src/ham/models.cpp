@@ -1,0 +1,90 @@
+#include "ham/models.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqan {
+namespace ham {
+
+namespace {
+
+double
+sampleCoeff(std::mt19937_64 &rng)
+{
+    // Paper Sec. IV: coefficients sampled from (0, pi).
+    std::uniform_real_distribution<double> dist(0.0, M_PI);
+    double x = dist(rng);
+    // Avoid an exactly-zero coefficient which would drop the term.
+    return x == 0.0 ? 1e-6 : x;
+}
+
+} // namespace
+
+std::vector<graph::Edge>
+nnnChainEdges(int n)
+{
+    if (n < 3)
+        throw std::invalid_argument("nnnChainEdges: need n >= 3");
+    std::vector<graph::Edge> e;
+    for (int i = 0; i + 1 < n; ++i)
+        e.push_back({i, i + 1});
+    for (int i = 0; i + 2 < n; ++i)
+        e.push_back({i, i + 2});
+    return e;  // (n-1) + (n-2) = 2n - 3 edges, as in the paper.
+}
+
+TwoLocalHamiltonian
+nnnIsing(int n, std::mt19937_64 &rng)
+{
+    TwoLocalHamiltonian h(n);
+    for (const auto &[u, v] : nnnChainEdges(n))
+        h.addPair(u, v, 0.0, 0.0, sampleCoeff(rng));
+    for (int k = 0; k < n; ++k)
+        h.addField(k, Axis::X, sampleCoeff(rng));
+    return h;
+}
+
+TwoLocalHamiltonian
+nnnXY(int n, std::mt19937_64 &rng)
+{
+    TwoLocalHamiltonian h(n);
+    for (const auto &[u, v] : nnnChainEdges(n))
+        h.addPair(u, v, sampleCoeff(rng), sampleCoeff(rng), 0.0);
+    return h;
+}
+
+TwoLocalHamiltonian
+nnnHeisenberg(int n, std::mt19937_64 &rng)
+{
+    TwoLocalHamiltonian h(n);
+    for (const auto &[u, v] : nnnChainEdges(n)) {
+        h.addPair(u, v, sampleCoeff(rng), sampleCoeff(rng),
+                  sampleCoeff(rng));
+    }
+    return h;
+}
+
+TwoLocalHamiltonian
+heisenbergOnGraph(const graph::Graph &g, std::mt19937_64 &rng)
+{
+    TwoLocalHamiltonian h(g.numNodes());
+    for (const auto &[u, v] : g.edges()) {
+        h.addPair(u, v, sampleCoeff(rng), sampleCoeff(rng),
+                  sampleCoeff(rng));
+    }
+    return h;
+}
+
+TwoLocalHamiltonian
+qaoaLayer(const graph::Graph &g, double gamma, double beta)
+{
+    TwoLocalHamiltonian h(g.numNodes());
+    for (const auto &[u, v] : g.edges())
+        h.addPair(u, v, 0.0, 0.0, gamma);
+    for (int k = 0; k < g.numNodes(); ++k)
+        h.addField(k, Axis::X, beta);
+    return h;
+}
+
+} // namespace ham
+} // namespace tqan

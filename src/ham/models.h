@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Benchmark Hamiltonians (paper Sec. IV, "Benchmarks").
+ *
+ * The paper evaluates linear chains with nearest-neighbour (NN) and
+ * next-nearest-neighbour (NNN) interactions for the transverse Ising
+ * model, the XY model and the Heisenberg model (Eq. 4-6), with
+ * coefficients sampled uniformly from (0, pi).  Each Trotter step of
+ * an n-qubit NNN model contains 2n - 3 two-qubit operators.
+ *
+ * Table III additionally uses Heisenberg models on 1D / 2D / 3D
+ * lattices of 30 qubits, provided by heisenbergOnGraph.
+ */
+
+#ifndef TQAN_HAM_MODELS_H
+#define TQAN_HAM_MODELS_H
+
+#include <random>
+
+#include "ham/hamiltonian.h"
+
+namespace tqan {
+namespace ham {
+
+/** NN + NNN chain edges: (i, i+1) and (i, i+2). */
+std::vector<graph::Edge> nnnChainEdges(int n);
+
+/**
+ * Transverse-field Ising chain with NNN couplings (paper Eq. 4):
+ * H = sum gamma_uv Z_u Z_v + sum beta_k X_k, coefficients U(0, pi).
+ */
+TwoLocalHamiltonian nnnIsing(int n, std::mt19937_64 &rng);
+
+/** XY chain with NNN couplings (paper Eq. 5). */
+TwoLocalHamiltonian nnnXY(int n, std::mt19937_64 &rng);
+
+/** Heisenberg chain with NNN couplings (paper Eq. 6). */
+TwoLocalHamiltonian nnnHeisenberg(int n, std::mt19937_64 &rng);
+
+/** Heisenberg model on an arbitrary interaction graph (Table III). */
+TwoLocalHamiltonian heisenbergOnGraph(const graph::Graph &g,
+                                      std::mt19937_64 &rng);
+
+/**
+ * QAOA problem Hamiltonian for MaxCut on a graph: C = sum Z_u Z_v
+ * with angle gamma, plus the drive B = sum X_k with angle beta
+ * (paper Eq. 8; one layer).
+ */
+TwoLocalHamiltonian qaoaLayer(const graph::Graph &g, double gamma,
+                              double beta);
+
+} // namespace ham
+} // namespace tqan
+
+#endif // TQAN_HAM_MODELS_H

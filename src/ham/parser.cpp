@@ -1,0 +1,117 @@
+#include "ham/parser.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tqan {
+namespace ham {
+
+namespace {
+
+[[noreturn]] void
+fail(int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "parseHamiltonian: line " << line << ": " << msg;
+    throw std::runtime_error(os.str());
+}
+
+} // namespace
+
+TwoLocalHamiltonian
+parseHamiltonian(std::istream &in)
+{
+    std::string raw;
+    int lineno = 0;
+    int n = -1;
+    // Collected before the Hamiltonian exists (qubits line may come
+    // first only; enforce that for sane diagnostics).
+    TwoLocalHamiltonian h(1);
+    bool have_h = false;
+
+    while (std::getline(in, raw)) {
+        ++lineno;
+        auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw = raw.substr(0, hash);
+        std::istringstream is(raw);
+        std::string kw;
+        if (!(is >> kw))
+            continue;  // blank / comment line
+
+        if (kw == "qubits") {
+            if (have_h)
+                fail(lineno, "duplicate 'qubits' line");
+            if (!(is >> n) || n < 1)
+                fail(lineno, "bad qubit count");
+            h = TwoLocalHamiltonian(n);
+            have_h = true;
+            continue;
+        }
+        if (!have_h)
+            fail(lineno, "'qubits N' must come first");
+
+        try {
+            if (kw == "xx" || kw == "yy" || kw == "zz") {
+                int u, v;
+                double c;
+                if (!(is >> u >> v >> c))
+                    fail(lineno, "expected: " + kw + " u v coeff");
+                h.addPair(u, v, kw == "xx" ? c : 0.0,
+                          kw == "yy" ? c : 0.0, kw == "zz" ? c : 0.0);
+            } else if (kw == "pair") {
+                int u, v;
+                double cx, cy, cz;
+                if (!(is >> u >> v >> cx >> cy >> cz))
+                    fail(lineno, "expected: pair u v xx yy zz");
+                h.addPair(u, v, cx, cy, cz);
+            } else if (kw == "x" || kw == "y" || kw == "z") {
+                int q;
+                double c;
+                if (!(is >> q >> c))
+                    fail(lineno, "expected: " + kw + " q coeff");
+                Axis a = kw == "x"   ? Axis::X
+                         : kw == "y" ? Axis::Y
+                                     : Axis::Z;
+                h.addField(q, a, c);
+            } else {
+                fail(lineno, "unknown keyword '" + kw + "'");
+            }
+        } catch (const std::out_of_range &e) {
+            fail(lineno, e.what());
+        } catch (const std::invalid_argument &e) {
+            fail(lineno, e.what());
+        }
+    }
+    if (!have_h)
+        throw std::runtime_error(
+            "parseHamiltonian: missing 'qubits N' line");
+    return h;
+}
+
+TwoLocalHamiltonian
+parseHamiltonian(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseHamiltonian(is);
+}
+
+std::string
+formatHamiltonian(const TwoLocalHamiltonian &h)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "qubits " << h.numQubits() << "\n";
+    for (const auto &t : h.pairs())
+        os << "pair " << t.u << " " << t.v << " " << t.xx << " "
+           << t.yy << " " << t.zz << "\n";
+    for (const auto &f : h.fields()) {
+        char a = f.axis == Axis::X ? 'x' : f.axis == Axis::Y ? 'y'
+                                                             : 'z';
+        os << a << " " << f.q << " " << f.coeff << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ham
+} // namespace tqan

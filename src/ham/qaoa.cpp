@@ -1,0 +1,107 @@
+#include "ham/qaoa.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ham/models.h"
+#include "ham/trotter.h"
+
+namespace tqan {
+namespace ham {
+
+using qcir::Circuit;
+using qcir::Op;
+
+std::vector<QaoaAngles>
+qaoaFixedAngles(int p)
+{
+    // Fixed optimal angles for MaxCut on 3-regular graphs.
+    // p = 1: closed-form optimum gamma* ~ 0.6155 (arctan(1/sqrt 2)/?),
+    // beta* = pi/8.  p = 2, 3: fixed-angle tabulations (Wurtz & Love,
+    // "The fixed angle conjecture for QAOA on regular MaxCut graphs").
+    switch (p) {
+      case 1:
+        return {{0.6156, M_PI / 8.0}};
+      case 2:
+        return {{0.4877, 0.5550}, {0.8979, 0.2930}};
+      case 3:
+        return {{0.4220, 0.6089},
+                {0.7984, 0.4590},
+                {0.9370, 0.2350}};
+      default:
+        throw std::invalid_argument(
+            "qaoaFixedAngles: p must be 1, 2 or 3");
+    }
+}
+
+TwoLocalHamiltonian
+qaoaLayerHamiltonian(const graph::Graph &g, const QaoaAngles &a)
+{
+    // Convention: the fixed angles refer to e^{-i gamma C} with
+    // C = sum (1 - Z_u Z_v)/2 and e^{-i beta B}, B = sum X_k.  Up to
+    // global phase that is exp(+i gamma/2 ZZ) per edge and
+    // Rx(2 beta) per qubit.  trotterStep(h, 1.0) applies
+    // exp(i zz ZZ) and Rx(-2 coeff), hence zz = gamma/2 and
+    // field = -beta.
+    TwoLocalHamiltonian h(g.numNodes());
+    for (const auto &[u, v] : g.edges())
+        h.addPair(u, v, 0.0, 0.0, a.gamma / 2.0);
+    for (int k = 0; k < g.numNodes(); ++k)
+        h.addField(k, Axis::X, -a.beta);
+    return h;
+}
+
+Circuit
+qaoaStateCircuit(const graph::Graph &g,
+                 const std::vector<QaoaAngles> &angles)
+{
+    int n = g.numNodes();
+    Circuit c(n);
+    // |+>^n preparation: H = Ry(pi/2) Rz(pi) up to phase; use U1q.
+    for (int q = 0; q < n; ++q)
+        c.add(Op::u1q(q, linalg::hadamard()));
+    for (const auto &a : angles) {
+        // e^{-i gamma C} with C = sum (1 - ZZ)/2 is, up to global
+        // phase, exp(+i gamma/2 ZZ) per edge.
+        for (const auto &[u, v] : g.edges())
+            c.add(Op::interact(u, v, 0.0, 0.0, a.gamma / 2.0));
+        // Drive exp(-i beta X_k) = Rx(2 beta).
+        for (int q = 0; q < n; ++q)
+            c.add(Op::rx(q, 2.0 * a.beta));
+    }
+    return c;
+}
+
+int
+cutValue(const graph::Graph &g, std::uint64_t mask)
+{
+    int cut = 0;
+    for (const auto &[u, v] : g.edges())
+        if (((mask >> u) ^ (mask >> v)) & 1)
+            ++cut;
+    return cut;
+}
+
+int
+maxCut(const graph::Graph &g)
+{
+    int n = g.numNodes();
+    if (n > 30)
+        throw std::invalid_argument("maxCut: n too large");
+    int best = 0;
+    // Fix node 0's side: halves the search space.
+    for (std::uint64_t mask = 0; mask < (1ull << (n - 1)); ++mask)
+        best = std::max(best, cutValue(g, mask << 1));
+    return best;
+}
+
+int
+costOfAssignment(const graph::Graph &g, std::uint64_t mask)
+{
+    // z_u z_v = +1 when u, v on the same side, -1 across the cut:
+    // C = |E| - 2 cut.
+    return g.numEdges() - 2 * cutValue(g, mask);
+}
+
+} // namespace ham
+} // namespace tqan

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * QAOA MaxCut benchmark support (paper Sec. IV and Sec. V-C).
+ *
+ * The paper runs QAOA on random 3-regular graphs (QAOA-REG-3), 10
+ * instances per size, with operator parameters at their theoretically
+ * optimal values (computed with ReCirq in the paper).  We substitute
+ * the published fixed optimal angles for MaxCut on 3-regular graphs
+ * (closed form for p = 1; fixed-angle tabulations for p = 2, 3),
+ * which play the same role: fixed, instance-independent, near-optimal
+ * parameters.
+ */
+
+#ifndef TQAN_HAM_QAOA_H
+#define TQAN_HAM_QAOA_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ham/hamiltonian.h"
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace ham {
+
+/** One QAOA layer's parameters. */
+struct QaoaAngles
+{
+    double gamma;
+    double beta;
+};
+
+/**
+ * Near-optimal fixed angles for p-layer QAOA MaxCut on 3-regular
+ * graphs, p in {1, 2, 3}.
+ */
+std::vector<QaoaAngles> qaoaFixedAngles(int p);
+
+/**
+ * The 2-local Hamiltonian of QAOA layer l (problem + drive), matching
+ * paper Eq. 8.  Compiling one layer is the unit of the benchmarks.
+ */
+TwoLocalHamiltonian qaoaLayerHamiltonian(const graph::Graph &g,
+                                         const QaoaAngles &a);
+
+/**
+ * Full p-layer QAOA state-preparation circuit including the initial
+ * |+>^n layer, for the simulator: H^n, then per layer
+ * exp(-i gamma Z_u Z_v) per edge and Rx(2 beta) per qubit.
+ */
+qcir::Circuit qaoaStateCircuit(const graph::Graph &g,
+                               const std::vector<QaoaAngles> &angles);
+
+/** Cut size of an assignment (bit b of mask = side of node b). */
+int cutValue(const graph::Graph &g, std::uint64_t mask);
+
+/** Brute-force MaxCut (n <= 30ish). */
+int maxCut(const graph::Graph &g);
+
+/**
+ * C(x) = sum_{(u,v)} z_u z_v for the assignment x; C_min = |E| -
+ * 2 maxcut.  The paper's figure of merit is <C>/C_min.
+ */
+int costOfAssignment(const graph::Graph &g, std::uint64_t mask);
+
+} // namespace ham
+} // namespace tqan
+
+#endif // TQAN_HAM_QAOA_H

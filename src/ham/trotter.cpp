@@ -1,0 +1,100 @@
+#include "ham/trotter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tqan {
+namespace ham {
+
+using qcir::Circuit;
+using qcir::Op;
+
+Circuit
+trotterStep(const TwoLocalHamiltonian &h, double t)
+{
+    Circuit c(h.numQubits());
+    for (const auto &p : h.pairs())
+        c.add(Op::interact(p.u, p.v, p.xx * t, p.yy * t, p.zz * t));
+    for (const auto &f : h.fields()) {
+        // exp(i t c P) = R_P(-2 t c) up to global phase.
+        double angle = -2.0 * t * f.coeff;
+        switch (f.axis) {
+          case Axis::X:
+            c.add(Op::rx(f.q, angle));
+            break;
+          case Axis::Y:
+            c.add(Op::ry(f.q, angle));
+            break;
+          case Axis::Z:
+            c.add(Op::rz(f.q, angle));
+            break;
+        }
+    }
+    return c;
+}
+
+namespace {
+
+/** Full reversal of the op list (not just the two-qubit ops). */
+Circuit
+fullyReversed(const Circuit &c)
+{
+    Circuit r(c.numQubits());
+    for (int i = c.size() - 1; i >= 0; --i)
+        r.add(c.op(i));
+    return r;
+}
+
+} // namespace
+
+Circuit
+trotterCircuit(const TwoLocalHamiltonian &h, double t, int r,
+               bool reverseEven)
+{
+    if (r < 1)
+        throw std::invalid_argument("trotterCircuit: r < 1");
+    Circuit step = trotterStep(h, t / r);
+    Circuit rev = step.reversedTwoQubitOrder();
+    Circuit c(h.numQubits());
+    for (int k = 0; k < r; ++k)
+        c.append((reverseEven && k % 2 == 1) ? rev : step);
+    return c;
+}
+
+Circuit
+secondOrderTrotterCircuit(const TwoLocalHamiltonian &h, double t,
+                          int r)
+{
+    if (r < 1)
+        throw std::invalid_argument(
+            "secondOrderTrotterCircuit: r < 1");
+    Circuit half = trotterStep(h, t / (2.0 * r));
+    Circuit back = fullyReversed(half);
+    Circuit c(h.numQubits());
+    for (int k = 0; k < r; ++k) {
+        c.append(half);
+        c.append(back);
+    }
+    return c;
+}
+
+Circuit
+randomizedTrotterCircuit(const TwoLocalHamiltonian &h, double t,
+                         int r, std::mt19937_64 &rng)
+{
+    if (r < 1)
+        throw std::invalid_argument(
+            "randomizedTrotterCircuit: r < 1");
+    Circuit c(h.numQubits());
+    Circuit step = trotterStep(h, t / r);
+    std::vector<qcir::Op> ops(step.ops().begin(), step.ops().end());
+    for (int k = 0; k < r; ++k) {
+        std::shuffle(ops.begin(), ops.end(), rng);
+        for (const auto &o : ops)
+            c.add(o);
+    }
+    return c;
+}
+
+} // namespace ham
+} // namespace tqan

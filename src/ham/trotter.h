@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Product-formula (Trotter) circuit construction (paper Eq. 1-2).
+ *
+ * One Trotter step of time t applies exp(i t h_j H_j) for every term:
+ * one symbolic Interact op per (unified) two-qubit term and one
+ * rotation per field term.  The full first-order circuit repeats the
+ * step r times; following the paper (Sec. V-D), even-numbered steps
+ * may reverse the two-qubit gate order, which both reuses the
+ * compiled first step and mimics second-order Trotterization.
+ */
+
+#ifndef TQAN_HAM_TROTTER_H
+#define TQAN_HAM_TROTTER_H
+
+#include <random>
+
+#include "ham/hamiltonian.h"
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace ham {
+
+/** One Trotter step exp(i t H) ~ prod_j exp(i t h_j H_j). */
+qcir::Circuit trotterStep(const TwoLocalHamiltonian &h, double t);
+
+/**
+ * r-step product formula (V(t/r))^r.
+ *
+ * @param reverseEven reverse the 2q op order of even-numbered steps
+ *        (the paper's compile-once trick, Sec. V-C/V-D).
+ */
+qcir::Circuit trotterCircuit(const TwoLocalHamiltonian &h, double t,
+                             int r, bool reverseEven = true);
+
+/**
+ * Second-order (symmetric Suzuki) product formula, paper Eq. 2:
+ * each step applies all terms at t/2r forward then backward.  Halves
+ * the Trotter-error order at twice the per-step gate count.
+ */
+qcir::Circuit secondOrderTrotterCircuit(const TwoLocalHamiltonian &h,
+                                        double t, int r);
+
+/**
+ * Randomized product formula (the paper's future-work direction,
+ * citing Childs-Ostrander-Su and Campbell): every step applies the
+ * terms in an independent uniformly random order, which provably
+ * reduces the accumulated Trotter error.
+ */
+qcir::Circuit randomizedTrotterCircuit(const TwoLocalHamiltonian &h,
+                                       double t, int r,
+                                       std::mt19937_64 &rng);
+
+} // namespace ham
+} // namespace tqan
+
+#endif // TQAN_HAM_TROTTER_H

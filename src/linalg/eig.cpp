@@ -1,0 +1,114 @@
+#include "linalg/eig.h"
+
+#include <cmath>
+
+namespace tqan {
+namespace linalg {
+
+bool
+jacobiEig4(const RMat4 &a_in, std::array<double, 4> &w, RMat4 &v,
+           double tol)
+{
+    RMat4 a = a_in;
+    v = ridentity();
+
+    auto off = [&a]() {
+        double s = 0.0;
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                if (i != j)
+                    s += a[i * 4 + j] * a[i * 4 + j];
+        return s;
+    };
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps && off() > tol * tol;
+         ++sweep) {
+        for (int p = 0; p < 3; ++p) {
+            for (int q = p + 1; q < 4; ++q) {
+                double apq = a[p * 4 + q];
+                if (std::abs(apq) < 1e-300)
+                    continue;
+                double app = a[p * 4 + p], aqq = a[q * 4 + q];
+                double theta = 0.5 * std::atan2(2.0 * apq, aqq - app);
+                double c = std::cos(theta), s = std::sin(theta);
+
+                // A <- G^T A G where G rotates the (p, q) plane.
+                for (int k = 0; k < 4; ++k) {
+                    double akp = a[k * 4 + p], akq = a[k * 4 + q];
+                    a[k * 4 + p] = c * akp - s * akq;
+                    a[k * 4 + q] = s * akp + c * akq;
+                }
+                for (int k = 0; k < 4; ++k) {
+                    double apk = a[p * 4 + k], aqk = a[q * 4 + k];
+                    a[p * 4 + k] = c * apk - s * aqk;
+                    a[q * 4 + k] = s * apk + c * aqk;
+                }
+                // Accumulate rotation into the eigenvector rows.
+                for (int k = 0; k < 4; ++k) {
+                    double vpk = v[p * 4 + k], vqk = v[q * 4 + k];
+                    v[p * 4 + k] = c * vpk - s * vqk;
+                    v[q * 4 + k] = s * vpk + c * vqk;
+                }
+            }
+        }
+    }
+
+    for (int i = 0; i < 4; ++i)
+        w[i] = a[i * 4 + i];
+    return off() <= tol * tol * 10.0;
+}
+
+RMat4
+rmul(const RMat4 &a, const RMat4 &b)
+{
+    RMat4 r{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            double s = 0.0;
+            for (int k = 0; k < 4; ++k)
+                s += a[i * 4 + k] * b[k * 4 + j];
+            r[i * 4 + j] = s;
+        }
+    return r;
+}
+
+RMat4
+rtranspose(const RMat4 &a)
+{
+    RMat4 r{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r[i * 4 + j] = a[j * 4 + i];
+    return r;
+}
+
+RMat4
+ridentity()
+{
+    RMat4 r{};
+    for (int i = 0; i < 4; ++i)
+        r[i * 4 + i] = 1.0;
+    return r;
+}
+
+double
+rdet(const RMat4 &a)
+{
+    auto m = [&a](int i, int j) { return a[i * 4 + j]; };
+    auto det3 = [&m](int r0, int r1, int r2, int c0, int c1, int c2) {
+        return m(r0, c0) * (m(r1, c1) * m(r2, c2) -
+                            m(r1, c2) * m(r2, c1)) -
+               m(r0, c1) * (m(r1, c0) * m(r2, c2) -
+                            m(r1, c2) * m(r2, c0)) +
+               m(r0, c2) * (m(r1, c0) * m(r2, c1) -
+                            m(r1, c1) * m(r2, c0));
+    };
+    return m(0, 0) * det3(1, 2, 3, 1, 2, 3) -
+           m(0, 1) * det3(1, 2, 3, 0, 2, 3) +
+           m(0, 2) * det3(1, 2, 3, 0, 1, 3) -
+           m(0, 3) * det3(1, 2, 3, 0, 1, 2);
+}
+
+} // namespace linalg
+} // namespace tqan

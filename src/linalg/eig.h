@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small real-symmetric eigensolver (cyclic Jacobi) used by the KAK /
+ * Weyl-chamber analysis of two-qubit unitaries.
+ *
+ * The KAK decomposition diagonalizes a complex-symmetric unitary
+ * M = m^T m in the magic basis.  Writing M = X + iY with X, Y real
+ * symmetric and commuting, a simultaneous orthogonal diagonalization
+ * of X and Y yields the orthogonal factor and the eigenphases.  Both
+ * steps reduce to 4x4 real-symmetric eigenproblems, solved here.
+ */
+
+#ifndef TQAN_LINALG_EIG_H
+#define TQAN_LINALG_EIG_H
+
+#include <array>
+
+namespace tqan {
+namespace linalg {
+
+/** Dense real 4x4 matrix, row-major. */
+using RMat4 = std::array<double, 16>;
+
+/**
+ * Cyclic Jacobi eigendecomposition of a symmetric 4x4 matrix.
+ *
+ * On return a = V^T diag(w) V holds approximately, i.e. the rows of V
+ * are the eigenvectors.  Eigenvalues are not sorted.
+ *
+ * @param a Symmetric input matrix.
+ * @param w Output eigenvalues.
+ * @param v Output eigenvector matrix (row i = eigenvector i).
+ * @param tol Off-diagonal convergence threshold.
+ * @return true on convergence.
+ */
+bool jacobiEig4(const RMat4 &a, std::array<double, 4> &w, RMat4 &v,
+                double tol = 1e-13);
+
+/** r = a * b for real 4x4 matrices. */
+RMat4 rmul(const RMat4 &a, const RMat4 &b);
+
+/** Transpose of a real 4x4 matrix. */
+RMat4 rtranspose(const RMat4 &a);
+
+/** 4x4 identity. */
+RMat4 ridentity();
+
+/** Determinant of a real 4x4 matrix. */
+double rdet(const RMat4 &a);
+
+} // namespace linalg
+} // namespace tqan
+
+#endif // TQAN_LINALG_EIG_H

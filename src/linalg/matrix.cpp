@@ -1,0 +1,460 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tqan {
+namespace linalg {
+
+namespace {
+
+const Cx kI(0.0, 1.0);
+
+} // namespace
+
+// ---------------------------------------------------------------- Mat2
+
+Mat2
+Mat2::operator*(const Mat2 &o) const
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            Cx s = 0.0;
+            for (int k = 0; k < 2; ++k)
+                s += at(i, k) * o.at(k, j);
+            r.at(i, j) = s;
+        }
+    }
+    return r;
+}
+
+Mat2
+Mat2::operator+(const Mat2 &o) const
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.data_[i] = data_[i] + o.data_[i];
+    return r;
+}
+
+Mat2
+Mat2::operator-(const Mat2 &o) const
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.data_[i] = data_[i] - o.data_[i];
+    return r;
+}
+
+Mat2
+Mat2::operator*(Cx s) const
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.data_[i] = data_[i] * s;
+    return r;
+}
+
+Mat2
+Mat2::dagger() const
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            r.at(i, j) = std::conj(at(j, i));
+    return r;
+}
+
+double
+Mat2::distance(const Mat2 &o) const
+{
+    double s = 0.0;
+    for (int i = 0; i < 4; ++i)
+        s += std::norm(data_[i] - o.data_[i]);
+    return std::sqrt(s);
+}
+
+bool
+Mat2::isUnitary(double tol) const
+{
+    return dagger().operator*(*this).distance(identity()) < tol;
+}
+
+Mat2
+Mat2::identity()
+{
+    return Mat2(1.0, 0.0, 0.0, 1.0);
+}
+
+std::string
+Mat2::str() const
+{
+    std::ostringstream os;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j)
+            os << at(i, j) << (j == 1 ? "\n" : " ");
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------- Mat4
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            Cx s = 0.0;
+            for (int k = 0; k < 4; ++k)
+                s += at(i, k) * o.at(k, j);
+            r.at(i, j) = s;
+        }
+    }
+    return r;
+}
+
+Mat4
+Mat4::operator+(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.data_[i] = data_[i] + o.data_[i];
+    return r;
+}
+
+Mat4
+Mat4::operator-(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.data_[i] = data_[i] - o.data_[i];
+    return r;
+}
+
+Mat4
+Mat4::operator*(Cx s) const
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.data_[i] = data_[i] * s;
+    return r;
+}
+
+Mat4
+Mat4::dagger() const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r.at(i, j) = std::conj(at(j, i));
+    return r;
+}
+
+Mat4
+Mat4::transpose() const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r.at(i, j) = at(j, i);
+    return r;
+}
+
+Cx
+Mat4::trace() const
+{
+    return at(0, 0) + at(1, 1) + at(2, 2) + at(3, 3);
+}
+
+Cx
+Mat4::det() const
+{
+    // Laplace expansion over the first row with 3x3 cofactors.
+    auto det3 = [this](int r0, int r1, int r2, int c0, int c1, int c2) {
+        return at(r0, c0) * (at(r1, c1) * at(r2, c2) -
+                             at(r1, c2) * at(r2, c1)) -
+               at(r0, c1) * (at(r1, c0) * at(r2, c2) -
+                             at(r1, c2) * at(r2, c0)) +
+               at(r0, c2) * (at(r1, c0) * at(r2, c1) -
+                             at(r1, c1) * at(r2, c0));
+    };
+    return at(0, 0) * det3(1, 2, 3, 1, 2, 3) -
+           at(0, 1) * det3(1, 2, 3, 0, 2, 3) +
+           at(0, 2) * det3(1, 2, 3, 0, 1, 3) -
+           at(0, 3) * det3(1, 2, 3, 0, 1, 2);
+}
+
+double
+Mat4::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (int i = 0; i < 16; ++i)
+        s += std::norm(data_[i]);
+    return std::sqrt(s);
+}
+
+double
+Mat4::distance(const Mat4 &o) const
+{
+    double s = 0.0;
+    for (int i = 0; i < 16; ++i)
+        s += std::norm(data_[i] - o.data_[i]);
+    return std::sqrt(s);
+}
+
+bool
+Mat4::isUnitary(double tol) const
+{
+    return dagger().operator*(*this).distance(identity()) < tol;
+}
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        r.at(i, i) = 1.0;
+    return r;
+}
+
+std::string
+Mat4::str() const
+{
+    std::ostringstream os;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j)
+            os << at(i, j) << (j == 3 ? "\n" : " ");
+    }
+    return os.str();
+}
+
+// ------------------------------------------------------------ helpers
+
+Mat4
+kron(const Mat2 &a, const Mat2 &b)
+{
+    // Qubit 1 index = bit 1 of the basis index, so A (on qubit 1)
+    // selects the 2x2 block and B fills each block.
+    Mat4 r;
+    for (int i1 = 0; i1 < 2; ++i1)
+        for (int i0 = 0; i0 < 2; ++i0)
+            for (int j1 = 0; j1 < 2; ++j1)
+                for (int j0 = 0; j0 < 2; ++j0)
+                    r.at(i1 * 2 + i0, j1 * 2 + j0) =
+                        a.at(i1, j1) * b.at(i0, j0);
+    return r;
+}
+
+namespace {
+
+/**
+ * min over phi of ||A - e^{i phi} B||_F, reached at the phase of
+ * tr(A B^dag).  Computed by explicitly rotating B (the closed-form
+ * na + nb - 2|overlap| cancels catastrophically near zero).
+ */
+template <typename M>
+double
+phaseDistanceImpl(const M &a, const M &b, int dim)
+{
+    Cx overlap = 0.0;
+    for (int i = 0; i < dim; ++i)
+        for (int j = 0; j < dim; ++j)
+            overlap += a.at(i, j) * std::conj(b.at(i, j));
+    Cx phase = std::abs(overlap) > 1e-300
+                   ? overlap / std::abs(overlap)
+                   : Cx(1.0, 0.0);
+    double d2 = 0.0;
+    for (int i = 0; i < dim; ++i)
+        for (int j = 0; j < dim; ++j)
+            d2 += std::norm(a.at(i, j) - phase * b.at(i, j));
+    return std::sqrt(d2);
+}
+
+} // namespace
+
+double
+phaseDistance(const Mat2 &a, const Mat2 &b)
+{
+    return phaseDistanceImpl(a, b, 2);
+}
+
+double
+phaseDistance(const Mat4 &a, const Mat4 &b)
+{
+    return phaseDistanceImpl(a, b, 4);
+}
+
+Mat2
+pauliI()
+{
+    return Mat2::identity();
+}
+
+Mat2
+pauliX()
+{
+    return Mat2(0.0, 1.0, 1.0, 0.0);
+}
+
+Mat2
+pauliY()
+{
+    return Mat2(0.0, -kI, kI, 0.0);
+}
+
+Mat2
+pauliZ()
+{
+    return Mat2(1.0, 0.0, 0.0, -1.0);
+}
+
+Mat2
+hadamard()
+{
+    double s = 1.0 / std::sqrt(2.0);
+    return Mat2(s, s, s, -s);
+}
+
+Mat2
+sGate()
+{
+    return Mat2(1.0, 0.0, 0.0, kI);
+}
+
+Mat2
+sDagGate()
+{
+    return Mat2(1.0, 0.0, 0.0, -kI);
+}
+
+Mat2
+rx(double theta)
+{
+    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+    return Mat2(c, -kI * s, -kI * s, c);
+}
+
+Mat2
+ry(double theta)
+{
+    double c = std::cos(theta / 2.0), s = std::sin(theta / 2.0);
+    return Mat2(c, -s, s, c);
+}
+
+Mat2
+rz(double theta)
+{
+    return Mat2(std::exp(-kI * (theta / 2.0)), 0.0, 0.0,
+                std::exp(kI * (theta / 2.0)));
+}
+
+Mat4
+cnot(int control, int target)
+{
+    // control/target are qubit indices in {0, 1}; qubit 0 is the least
+    // significant bit of the basis index.
+    Mat4 r;
+    for (int b = 0; b < 4; ++b) {
+        int cbit = (b >> control) & 1;
+        int out = b;
+        if (cbit)
+            out = b ^ (1 << target);
+        r.at(out, b) = 1.0;
+    }
+    return r;
+}
+
+Mat4
+czGate()
+{
+    Mat4 r = Mat4::identity();
+    r.at(3, 3) = -1.0;
+    return r;
+}
+
+Mat4
+swapGate()
+{
+    Mat4 r;
+    r.at(0, 0) = 1.0;
+    r.at(1, 2) = 1.0;
+    r.at(2, 1) = 1.0;
+    r.at(3, 3) = 1.0;
+    return r;
+}
+
+Mat4
+iswapGate()
+{
+    Mat4 r;
+    r.at(0, 0) = 1.0;
+    r.at(1, 2) = kI;
+    r.at(2, 1) = kI;
+    r.at(3, 3) = 1.0;
+    return r;
+}
+
+Mat4
+sycGate()
+{
+    // fSim(pi/2, pi/6): iSWAP-like with a -pi/6 phase on |11>.
+    double s = 1.0 / std::sqrt(2.0);
+    (void)s;
+    Mat4 r;
+    r.at(0, 0) = 1.0;
+    r.at(1, 2) = -kI;
+    r.at(2, 1) = -kI;
+    r.at(3, 3) = std::exp(-kI * (M_PI / 6.0));
+    return r;
+}
+
+Mat4
+expXxYyZz(double axx, double ayy, double azz)
+{
+    // Bell states are common eigenvectors of XX, YY, ZZ:
+    //   |Phi+> = (|00>+|11>)/sqrt2 : XX=+1, YY=-1, ZZ=+1
+    //   |Phi-> = (|00>-|11>)/sqrt2 : XX=-1, YY=+1, ZZ=+1
+    //   |Psi+> = (|01>+|10>)/sqrt2 : XX=+1, YY=+1, ZZ=-1
+    //   |Psi-> = (|01>-|10>)/sqrt2 : XX=-1, YY=-1, ZZ=-1
+    Cx pp = std::exp(kI * (axx - ayy + azz));   // Phi+
+    Cx pm = std::exp(kI * (-axx + ayy + azz));  // Phi-
+    Cx sp = std::exp(kI * (axx + ayy - azz));   // Psi+
+    Cx sm = std::exp(kI * (-axx - ayy - azz));  // Psi-
+
+    Mat4 r;
+    // Subspace {|00>, |11>} carries Phi+/Phi-.
+    r.at(0, 0) = (pp + pm) / 2.0;
+    r.at(0, 3) = (pp - pm) / 2.0;
+    r.at(3, 0) = (pp - pm) / 2.0;
+    r.at(3, 3) = (pp + pm) / 2.0;
+    // Subspace {|01>, |10>} carries Psi+/Psi-.
+    r.at(1, 1) = (sp + sm) / 2.0;
+    r.at(1, 2) = (sp - sm) / 2.0;
+    r.at(2, 1) = (sp - sm) / 2.0;
+    r.at(2, 2) = (sp + sm) / 2.0;
+    return r;
+}
+
+Mat4
+magicBasis()
+{
+    // Columns: |Phi+>, -i|Psi+>?  We use the standard Makhlin magic
+    // basis M = 1/sqrt2 [[1, i, 0, 0], [0, 0, i, 1], [0, 0, i, -1],
+    // [1, -i, 0, 0]] in the ordering |00>, |01>, |10>, |11>.
+    double s = 1.0 / std::sqrt(2.0);
+    Mat4 m;
+    m.at(0, 0) = s;
+    m.at(0, 1) = kI * s;
+    m.at(1, 2) = kI * s;
+    m.at(1, 3) = s;
+    m.at(2, 2) = kI * s;
+    m.at(2, 3) = -s;
+    m.at(3, 0) = s;
+    m.at(3, 1) = -kI * s;
+    return m;
+}
+
+} // namespace linalg
+} // namespace tqan

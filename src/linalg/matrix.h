@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Small dense complex matrices (2x2 and 4x4) used throughout tqan.
+ *
+ * Quantum gates on one and two qubits are 2x2 and 4x4 unitaries.  The
+ * compiler, the decomposition passes (Weyl / KAK analysis) and the tests
+ * all manipulate such matrices.  We implement them as fixed-size
+ * value types rather than pulling in a general linear-algebra library:
+ * the sizes are known at compile time, the hot paths are tiny, and a
+ * self-contained implementation keeps the repository dependency-free.
+ *
+ * Conventions:
+ *  - Row-major storage, `at(r, c)`.
+ *  - Qubit 0 is the least-significant bit of the basis index, so a
+ *    two-qubit basis state |q1 q0> has index (q1 << 1) | q0 and
+ *    kron(A, B) applies A to qubit 1 and B to qubit 0.
+ *  - All angles are radians.
+ */
+
+#ifndef TQAN_LINALG_MATRIX_H
+#define TQAN_LINALG_MATRIX_H
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace tqan {
+namespace linalg {
+
+using Cx = std::complex<double>;
+
+/** 2x2 complex matrix (single-qubit operator). */
+class Mat2
+{
+  public:
+    Mat2() : data_{} {}
+    Mat2(Cx a00, Cx a01, Cx a10, Cx a11) : data_{a00, a01, a10, a11} {}
+
+    Cx &at(int r, int c) { return data_[r * 2 + c]; }
+    const Cx &at(int r, int c) const { return data_[r * 2 + c]; }
+
+    Mat2 operator*(const Mat2 &o) const;
+    Mat2 operator+(const Mat2 &o) const;
+    Mat2 operator-(const Mat2 &o) const;
+    Mat2 operator*(Cx s) const;
+
+    /** Conjugate transpose. */
+    Mat2 dagger() const;
+    Cx trace() const { return data_[0] + data_[3]; }
+    Cx det() const { return data_[0] * data_[3] - data_[1] * data_[2]; }
+
+    /** Frobenius norm of (this - o). */
+    double distance(const Mat2 &o) const;
+    /** True iff this.dagger() * this == I within tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    static Mat2 identity();
+    static Mat2 zero() { return Mat2(); }
+
+    std::string str() const;
+
+  private:
+    std::array<Cx, 4> data_;
+};
+
+/** 4x4 complex matrix (two-qubit operator). */
+class Mat4
+{
+  public:
+    Mat4() : data_{} {}
+
+    Cx &at(int r, int c) { return data_[r * 4 + c]; }
+    const Cx &at(int r, int c) const { return data_[r * 4 + c]; }
+
+    Mat4 operator*(const Mat4 &o) const;
+    Mat4 operator+(const Mat4 &o) const;
+    Mat4 operator-(const Mat4 &o) const;
+    Mat4 operator*(Cx s) const;
+
+    Mat4 dagger() const;
+    /** Plain transpose (no conjugation); used by the KAK analysis. */
+    Mat4 transpose() const;
+    Cx trace() const;
+    Cx det() const;
+
+    double frobeniusNorm() const;
+    double distance(const Mat4 &o) const;
+    bool isUnitary(double tol = 1e-9) const;
+
+    static Mat4 identity();
+    static Mat4 zero() { return Mat4(); }
+
+    std::string str() const;
+
+  private:
+    std::array<Cx, 16> data_;
+};
+
+/**
+ * Kronecker product: kron(A, B) acts as A on qubit 1 (most significant
+ * bit) and B on qubit 0 (least significant bit).
+ */
+Mat4 kron(const Mat2 &a, const Mat2 &b);
+
+/**
+ * Distance between two matrices up to a global phase:
+ * min over phi of ||A - e^{i phi} B||_F.  Returns ~0 for matrices that
+ * implement the same quantum operation.
+ */
+double phaseDistance(const Mat2 &a, const Mat2 &b);
+double phaseDistance(const Mat4 &a, const Mat4 &b);
+
+/** @name Pauli matrices and common constants. @{ */
+Mat2 pauliI();
+Mat2 pauliX();
+Mat2 pauliY();
+Mat2 pauliZ();
+Mat2 hadamard();
+Mat2 sGate();
+Mat2 sDagGate();
+/** @} */
+
+/** @name Single-qubit rotations exp(-i theta/2 P). @{ */
+Mat2 rx(double theta);
+Mat2 ry(double theta);
+Mat2 rz(double theta);
+/** @} */
+
+/** @name Two-qubit primitives. @{ */
+Mat4 cnot(int control, int target);
+Mat4 czGate();
+Mat4 swapGate();
+Mat4 iswapGate();
+/** Google Sycamore gate: fSim(pi/2, pi/6). */
+Mat4 sycGate();
+/** @} */
+
+/**
+ * exp(i (axx XX + ayy YY + azz ZZ)).
+ *
+ * XX, YY and ZZ mutually commute, so the exponential is computed
+ * exactly in the shared (Bell) eigenbasis.  This is the circuit-level
+ * two-qubit operator of a 2-local Hamiltonian term (paper Eq. 3-6) and
+ * the payload of a "unified" circuit unitary (paper Sec. III-C).
+ */
+Mat4 expXxYyZz(double axx, double ayy, double azz);
+
+/**
+ * The "magic" Bell basis change used by the Weyl chamber analysis:
+ * columns are the magic basis states of Makhlin / Kraus-Cirac.
+ */
+Mat4 magicBasis();
+
+} // namespace linalg
+} // namespace tqan
+
+#endif // TQAN_LINALG_MATRIX_H

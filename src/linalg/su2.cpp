@@ -1,0 +1,103 @@
+#include "linalg/su2.h"
+
+#include <cmath>
+
+namespace tqan {
+namespace linalg {
+
+namespace {
+
+const Cx kI(0.0, 1.0);
+
+} // namespace
+
+Zyz
+zyzDecompose(const Mat2 &u)
+{
+    Zyz d{};
+    // Split off the global phase so the remainder is in SU(2).
+    Cx det = u.det();
+    d.phase = 0.5 * std::arg(det);
+    Mat2 v = u * std::exp(-kI * d.phase);
+
+    double ca = std::abs(v.at(0, 0));
+    double sa = std::abs(v.at(1, 0));
+    d.beta = 2.0 * std::atan2(sa, ca);
+
+    if (sa < 1e-12) {
+        // Diagonal-ish: only alpha + gamma is determined.
+        d.gamma = 0.0;
+        d.alpha = -2.0 * std::arg(v.at(0, 0));
+    } else if (ca < 1e-12) {
+        // Anti-diagonal: only alpha - gamma is determined.
+        d.gamma = 0.0;
+        d.alpha = 2.0 * std::arg(v.at(1, 0));
+    } else {
+        double sum = -2.0 * std::arg(v.at(0, 0));  // alpha + gamma
+        double diff = 2.0 * std::arg(v.at(1, 0));  // alpha - gamma
+        d.alpha = 0.5 * (sum + diff);
+        d.gamma = 0.5 * (sum - diff);
+    }
+    return d;
+}
+
+Mat2
+zyzReconstruct(const Zyz &d)
+{
+    return (rz(d.alpha) * ry(d.beta) * rz(d.gamma)) *
+           std::exp(kI * d.phase);
+}
+
+double
+kronFactor(const Mat4 &u, Mat2 &a, Mat2 &b)
+{
+    // Blocks of U = A (x) B: block(i1, j1) = A[i1, j1] * B.
+    auto block = [&u](int i1, int j1) {
+        Mat2 m;
+        for (int i0 = 0; i0 < 2; ++i0)
+            for (int j0 = 0; j0 < 2; ++j0)
+                m.at(i0, j0) = u.at(i1 * 2 + i0, j1 * 2 + j0);
+        return m;
+    };
+
+    // Pick the block with the largest norm as a clean copy of B.
+    int bi = 0, bj = 0;
+    double best = -1.0;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            Mat2 m = block(i, j);
+            double n = std::sqrt(std::norm(m.at(0, 0)) +
+                                 std::norm(m.at(0, 1)) +
+                                 std::norm(m.at(1, 0)) +
+                                 std::norm(m.at(1, 1)));
+            if (n > best) {
+                best = n;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+
+    Mat2 braw = block(bi, bj);
+    // Scale so that det(B) = 1 (B in SU(2)).
+    Cx detb = braw.det();
+    Cx scale = std::sqrt(detb);
+    if (std::abs(scale) < 1e-15) {
+        a = Mat2::identity();
+        b = Mat2::identity();
+        return phaseDistance(kron(a, b), u);
+    }
+    b = braw * (1.0 / scale);
+
+    // A[i, j] = tr(block(i, j) * B^dag) / tr(B B^dag); the denominator
+    // is 2 for B in SU(2).
+    Mat2 bdag = b.dagger();
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            a.at(i, j) = (block(i, j) * bdag).trace() / 2.0;
+
+    return phaseDistance(kron(a, b), u);
+}
+
+} // namespace linalg
+} // namespace tqan

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SU(2) utilities: Euler-angle (ZYZ) decomposition of single-qubit
+ * unitaries and tensor-product factorization of local 4x4 unitaries.
+ *
+ * Both are building blocks of the gate-decomposition pass: after the
+ * KAK analysis splits a two-qubit gate into local factors and a
+ * canonical interaction, the local factors are 4x4 matrices of the
+ * form A (x) B which must be split into the two single-qubit gates,
+ * and each single-qubit gate is finally expressed as Rz Ry Rz.
+ */
+
+#ifndef TQAN_LINALG_SU2_H
+#define TQAN_LINALG_SU2_H
+
+#include "linalg/matrix.h"
+
+namespace tqan {
+namespace linalg {
+
+/** Euler angles of U = e^{i phase} Rz(alpha) Ry(beta) Rz(gamma). */
+struct Zyz
+{
+    double alpha;
+    double beta;
+    double gamma;
+    double phase;
+};
+
+/**
+ * ZYZ Euler decomposition of a single-qubit unitary.
+ * The reconstruction e^{i phase} Rz(alpha) Ry(beta) Rz(gamma) equals U
+ * to ~1e-12.
+ */
+Zyz zyzDecompose(const Mat2 &u);
+
+/** Rebuild the unitary from its ZYZ angles (testing helper). */
+Mat2 zyzReconstruct(const Zyz &d);
+
+/**
+ * Factor a (numerically) tensor-product 4x4 unitary U = A (x) B into
+ * A and B (each unitary, product exact up to global phase).
+ *
+ * @param u Input matrix, assumed to be of tensor product form.
+ * @param a Output factor on qubit 1.
+ * @param b Output factor on qubit 0.
+ * @return Residual phaseDistance(kron(a, b), u); small iff u really
+ *         was a tensor product.
+ */
+double kronFactor(const Mat4 &u, Mat2 &a, Mat2 &b);
+
+} // namespace linalg
+} // namespace tqan
+
+#endif // TQAN_LINALG_SU2_H

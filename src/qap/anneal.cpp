@@ -1,0 +1,59 @@
+#include "qap/anneal.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <cmath>
+#include <numeric>
+
+namespace tqan {
+namespace qap {
+
+Placement
+annealQap(const std::vector<std::vector<double>> &flow,
+          const device::Topology &topo, std::mt19937_64 &rng,
+          const AnnealOptions &opt)
+{
+    int n = static_cast<int>(flow.size());
+    int nloc = topo.numQubits();
+    if (n > nloc)
+        throw std::invalid_argument("annealQap: circuit too large");
+
+    std::vector<int> perm(nloc);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+
+    auto costOf = [&](const std::vector<int> &pm) {
+        Placement p(pm.begin(), pm.begin() + n);
+        return qapCost(flow, topo, p);
+    };
+
+    double cost = costOf(perm);
+    std::vector<int> best = perm;
+    double best_cost = cost;
+
+    std::uniform_int_distribution<int> pick_a(0, n - 1);
+    std::uniform_int_distribution<int> pick_b(0, nloc - 1);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+    double t = opt.t0;
+    for (int s = 0; s < opt.steps; ++s, t *= opt.alpha) {
+        int a = pick_a(rng), b = pick_b(rng);
+        if (a == b)
+            continue;
+        std::swap(perm[a], perm[b]);
+        double c = costOf(perm);
+        if (c <= cost || coin(rng) < std::exp((cost - c) / t)) {
+            cost = c;
+            if (c < best_cost) {
+                best_cost = c;
+                best = perm;
+            }
+        } else {
+            std::swap(perm[a], perm[b]);  // reject
+        }
+    }
+    return Placement(best.begin(), best.begin() + n);
+}
+
+} // namespace qap
+} // namespace tqan

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Simulated-annealing QAP solver.
+ *
+ * The paper notes (Sec. III-A) that other heuristics such as
+ * simulated annealing can also solve the placement QAP; we provide
+ * one as an ablation alternative to the Tabu solver.
+ */
+
+#ifndef TQAN_QAP_ANNEAL_H
+#define TQAN_QAP_ANNEAL_H
+
+#include <random>
+
+#include "qap/qap.h"
+
+namespace tqan {
+namespace qap {
+
+struct AnnealOptions
+{
+    int steps = 20000;
+    double t0 = 4.0;      ///< initial temperature
+    double alpha = 0.999; ///< geometric cooling factor
+};
+
+Placement annealQap(const std::vector<std::vector<double>> &flow,
+                    const device::Topology &topo, std::mt19937_64 &rng,
+                    const AnnealOptions &opt = AnnealOptions());
+
+} // namespace qap
+} // namespace tqan
+
+#endif // TQAN_QAP_ANNEAL_H

@@ -1,0 +1,160 @@
+#include "qap/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tqan {
+namespace qap {
+
+Placement
+identityPlacement(int n)
+{
+    Placement p(n);
+    std::iota(p.begin(), p.end(), 0);
+    return p;
+}
+
+Placement
+randomPlacement(int n, int deviceQubits, std::mt19937_64 &rng)
+{
+    if (n > deviceQubits)
+        throw std::invalid_argument("randomPlacement: n too large");
+    std::vector<int> locs(deviceQubits);
+    std::iota(locs.begin(), locs.end(), 0);
+    std::shuffle(locs.begin(), locs.end(), rng);
+    return Placement(locs.begin(), locs.begin() + n);
+}
+
+Placement
+greedyPlacement(const graph::Graph &interaction,
+                const device::Topology &topo)
+{
+    int n = interaction.numNodes();
+    int nloc = topo.numQubits();
+    if (n > nloc)
+        throw std::invalid_argument("greedyPlacement: n too large");
+
+    Placement place(n, -1);
+    std::vector<char> loc_used(nloc, 0);
+
+    auto device_degree_max = [&topo, &loc_used]() {
+        int best = -1, bd = -1;
+        for (int q = 0; q < topo.numQubits(); ++q) {
+            int d = static_cast<int>(topo.neighbors(q).size());
+            if (!loc_used[q] && d > bd) {
+                bd = d;
+                best = q;
+            }
+        }
+        return best;
+    };
+
+    // Seed: highest-degree circuit qubit on highest-degree device
+    // qubit.
+    int seed = 0;
+    for (int v = 1; v < n; ++v)
+        if (interaction.degree(v) > interaction.degree(seed))
+            seed = v;
+    int seed_loc = device_degree_max();
+    if (seed_loc < 0)
+        throw std::logic_error("greedyPlacement: no free location");
+    place[seed] = seed_loc;
+    loc_used[seed_loc] = 1;
+
+    for (int placed = 1; placed < n; ++placed) {
+        // Circuit qubit with most placed neighbours.
+        int best_v = -1, best_cnt = -1;
+        for (int v = 0; v < n; ++v) {
+            if (place[v] >= 0)
+                continue;
+            int cnt = 0;
+            for (int w : interaction.neighbors(v))
+                if (place[w] >= 0)
+                    ++cnt;
+            if (cnt > best_cnt ||
+                (cnt == best_cnt && best_v >= 0 &&
+                 interaction.degree(v) > interaction.degree(best_v))) {
+                best_cnt = cnt;
+                best_v = v;
+            }
+        }
+
+        // Free device qubit minimizing distance to placed neighbours.
+        int best_loc = -1;
+        long best_cost = -1;
+        for (int q = 0; q < nloc; ++q) {
+            if (loc_used[q])
+                continue;
+            long cost = 0;
+            for (int w : interaction.neighbors(best_v))
+                if (place[w] >= 0)
+                    cost += topo.dist(q, place[w]);
+            if (best_loc < 0 || cost < best_cost) {
+                best_cost = cost;
+                best_loc = q;
+            }
+        }
+        place[best_v] = best_loc;
+        loc_used[best_loc] = 1;
+    }
+    return place;
+}
+
+Placement
+linePlacement(int n, const device::Topology &topo)
+{
+    int nloc = topo.numQubits();
+    if (n > nloc)
+        throw std::invalid_argument("linePlacement: n too large");
+
+    // Greedy DFS longest-path walk: from a degree-min corner, always
+    // step to the unvisited neighbour of smallest remaining degree.
+    int start = 0;
+    for (int q = 1; q < nloc; ++q)
+        if (topo.neighbors(q).size() < topo.neighbors(start).size())
+            start = q;
+
+    std::vector<char> used(nloc, 0);
+    std::vector<int> path;
+    int cur = start;
+    used[cur] = 1;
+    path.push_back(cur);
+    while (static_cast<int>(path.size()) < n) {
+        int next = -1;
+        size_t best_deg = static_cast<size_t>(-1);
+        for (int w : topo.neighbors(cur)) {
+            if (used[w])
+                continue;
+            size_t deg = 0;
+            for (int x : topo.neighbors(w))
+                if (!used[x])
+                    ++deg;
+            if (deg < best_deg) {
+                best_deg = deg;
+                next = w;
+            }
+        }
+        if (next < 0) {
+            // Dead end: jump to the free qubit nearest to the path
+            // head so the placement stays compact.
+            long best_d = -1;
+            for (int q = 0; q < nloc; ++q) {
+                if (used[q])
+                    continue;
+                long d = topo.dist(cur, q);
+                if (best_d < 0 || d < best_d) {
+                    best_d = d;
+                    next = q;
+                }
+            }
+        }
+        used[next] = 1;
+        path.push_back(next);
+        cur = next;
+    }
+    return Placement(path.begin(), path.begin() + n);
+}
+
+} // namespace qap
+} // namespace tqan

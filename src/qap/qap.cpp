@@ -1,0 +1,58 @@
+#include "qap/qap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tqan {
+namespace qap {
+
+std::vector<int>
+invertPlacement(const Placement &p, int deviceQubits)
+{
+    std::vector<int> inv(deviceQubits, -1);
+    for (size_t i = 0; i < p.size(); ++i)
+        inv[p[i]] = static_cast<int>(i);
+    return inv;
+}
+
+bool
+placementIsValid(const Placement &p, int deviceQubits)
+{
+    std::vector<char> used(deviceQubits, 0);
+    for (int loc : p) {
+        if (loc < 0 || loc >= deviceQubits || used[loc])
+            return false;
+        used[loc] = 1;
+    }
+    return true;
+}
+
+std::vector<std::vector<double>>
+flowMatrix(const ham::TwoLocalHamiltonian &h)
+{
+    int n = h.numQubits();
+    std::vector<std::vector<double>> f(n, std::vector<double>(n, 0.0));
+    for (const auto &t : h.pairs()) {
+        f[t.u][t.v] += 1.0;
+        f[t.v][t.u] += 1.0;
+    }
+    return f;
+}
+
+double
+qapCost(const std::vector<std::vector<double>> &flow,
+        const device::Topology &topo, const Placement &p)
+{
+    if (!placementIsValid(p, topo.numQubits()))
+        throw std::invalid_argument("qapCost: invalid placement");
+    int n = static_cast<int>(flow.size());
+    double c = 0.0;
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (flow[i][j] != 0.0)
+                c += flow[i][j] * topo.dist(p[i], p[j]);
+    return c;
+}
+
+} // namespace qap
+} // namespace tqan

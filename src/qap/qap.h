@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Qubit initial placement as a Quadratic Assignment Problem (paper
+ * Sec. III-A, Eq. 7).
+ *
+ * Circuit qubits are facilities, device qubits are locations, the
+ * flow f_ij counts interactions between circuit qubits i and j, and
+ * the distance d is the device hop-distance matrix.  The objective is
+ *
+ *     min_phi  sum_ij f_ij d_{phi(i) phi(j)}.
+ *
+ * The paper solves the QAP with Tabu search (Glover); we implement
+ * the classic robust tabu search plus a simulated-annealing
+ * alternative for ablation.
+ */
+
+#ifndef TQAN_QAP_QAP_H
+#define TQAN_QAP_QAP_H
+
+#include <vector>
+
+#include "device/topology.h"
+#include "ham/hamiltonian.h"
+
+namespace tqan {
+namespace qap {
+
+/**
+ * Placement of circuit qubits onto device qubits:
+ * placement[circuit qubit] = device qubit.  Injective; a device may
+ * have more qubits than the circuit.
+ */
+using Placement = std::vector<int>;
+
+/** Inverse view: device qubit -> circuit qubit or -1 if unused. */
+std::vector<int> invertPlacement(const Placement &p, int deviceQubits);
+
+/** True iff p is injective and within the device range. */
+bool placementIsValid(const Placement &p, int deviceQubits);
+
+/**
+ * Interaction-count flow matrix of a Hamiltonian (f_ij of Eq. 7):
+ * one unit per unified two-qubit term on (i, j).
+ */
+std::vector<std::vector<double>>
+flowMatrix(const ham::TwoLocalHamiltonian &h);
+
+/** QAP objective of Eq. 7 for a given placement. */
+double qapCost(const std::vector<std::vector<double>> &flow,
+               const device::Topology &topo, const Placement &p);
+
+} // namespace qap
+} // namespace tqan
+
+#endif // TQAN_QAP_QAP_H

@@ -1,0 +1,166 @@
+#include "qap/tabu.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <numeric>
+
+namespace tqan {
+namespace qap {
+
+namespace {
+
+/** Sparse row view of the flow matrix: (partner, flow) per facility. */
+std::vector<std::vector<std::pair<int, double>>>
+sparseFlow(const std::vector<std::vector<double>> &flow)
+{
+    int n = static_cast<int>(flow.size());
+    std::vector<std::vector<std::pair<int, double>>> nz(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (flow[i][j] != 0.0)
+                nz[i].push_back({j, flow[i][j]});
+    return nz;
+}
+
+} // namespace
+
+Placement
+tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
+                    const std::vector<std::vector<double>> &dist,
+                    std::mt19937_64 &rng, const TabuOptions &opt)
+{
+    int n = static_cast<int>(flow.size());
+    int nloc = static_cast<int>(dist.size());
+    if (n > nloc)
+        throw std::invalid_argument("tabuSearchQap: circuit too large");
+    const auto &d = dist;
+    auto nz = sparseFlow(flow);
+
+    // Pad with dummy facilities so perm is a full permutation of the
+    // device qubits.
+    std::vector<int> perm(nloc);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+
+    // Cost change of exchanging the locations of facilities a and b.
+    // Only real facilities contribute flow.
+    auto delta = [&](int a, int b) {
+        double dd = 0.0;
+        int pa = perm[a], pb = perm[b];
+        if (a < n) {
+            for (const auto &[k, f] : nz[a]) {
+                if (k == b)
+                    continue;
+                int pk = (k == a) ? pa : perm[k];
+                dd += f * (d[pb][pk] - d[pa][pk]);
+            }
+        }
+        if (b < n) {
+            for (const auto &[k, f] : nz[b]) {
+                if (k == a)
+                    continue;
+                int pk = (k == b) ? pb : perm[k];
+                dd += f * (d[pa][pk] - d[pb][pk]);
+            }
+        }
+        return dd;
+    };
+
+    auto costOf = [&](const Placement &p) {
+        double c = 0.0;
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                if (flow[i][j] != 0.0)
+                    c += flow[i][j] * d[p[i]][p[j]];
+        return c;
+    };
+    Placement cur(perm.begin(), perm.begin() + n);
+    double cost = costOf(cur);
+    double best_cost = cost;
+    std::vector<int> best_perm = perm;
+
+    // tabu[facility * nloc + location] = first iteration at which the
+    // facility may return to the location.
+    std::vector<int> tabu(static_cast<size_t>(nloc) * nloc, 0);
+    std::uniform_int_distribution<int> tenure(
+        opt.tabuLowMul * nloc / 10, opt.tabuHighMul * nloc / 10 + 1);
+
+    int stall = 0;
+    for (int it = 0; it < opt.maxIters && stall < opt.stallLimit;
+         ++it) {
+        double best_delta = 0.0;
+        int ba = -1, bb = -1;
+        bool found = false;
+        for (int a = 0; a < n; ++a) {
+            for (int b = a + 1; b < nloc; ++b) {
+                double dd = delta(a, b);
+                bool is_tabu =
+                    tabu[a * nloc + perm[b]] > it ||
+                    tabu[b * nloc + perm[a]] > it;
+                bool aspire = cost + dd < best_cost - 1e-12;
+                if (is_tabu && !aspire)
+                    continue;
+                if (!found || dd < best_delta) {
+                    best_delta = dd;
+                    ba = a;
+                    bb = b;
+                    found = true;
+                }
+            }
+        }
+        if (!found) {
+            ++stall;
+            continue;
+        }
+
+        int t = tenure(rng);
+        tabu[ba * nloc + perm[ba]] = it + t;
+        tabu[bb * nloc + perm[bb]] = it + t;
+        std::swap(perm[ba], perm[bb]);
+        cost += best_delta;
+        if (cost < best_cost - 1e-12) {
+            best_cost = cost;
+            best_perm = perm;
+            stall = 0;
+        } else {
+            ++stall;
+        }
+    }
+
+    return Placement(best_perm.begin(), best_perm.begin() + n);
+}
+
+Placement
+tabuSearchQap(const std::vector<std::vector<double>> &flow,
+              const device::Topology &topo, std::mt19937_64 &rng,
+              const TabuOptions &opt)
+{
+    int nloc = topo.numQubits();
+    std::vector<std::vector<double>> d(
+        nloc, std::vector<double>(nloc, 0.0));
+    for (int i = 0; i < nloc; ++i)
+        for (int j = 0; j < nloc; ++j)
+            d[i][j] = topo.dist(i, j);
+    return tabuSearchQapMatrix(flow, d, rng, opt);
+}
+
+Placement
+bestOfTabu(const std::vector<std::vector<double>> &flow,
+           const device::Topology &topo, std::mt19937_64 &rng,
+           int trials, const TabuOptions &opt)
+{
+    Placement best;
+    double best_cost = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        Placement p = tabuSearchQap(flow, topo, rng, opt);
+        double c = qapCost(flow, topo, p);
+        if (best.empty() || c < best_cost) {
+            best = p;
+            best_cost = c;
+        }
+    }
+    return best;
+}
+
+} // namespace qap
+} // namespace tqan

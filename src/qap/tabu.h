@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tabu-search QAP solver (paper Sec. III-A; Glover's tabu search,
+ * Taillard's robust variant).
+ *
+ * Works on the *padded* problem: the permutation ranges over all
+ * device qubits; circuit qubits beyond n are dummies with zero flow.
+ * Moves exchange the locations of two facilities; a move is tabu if
+ * it reassigns a facility to a location it occupied recently, with
+ * the usual aspiration criterion (always accept a new global best).
+ */
+
+#ifndef TQAN_QAP_TABU_H
+#define TQAN_QAP_TABU_H
+
+#include <random>
+
+#include "qap/qap.h"
+
+namespace tqan {
+namespace qap {
+
+struct TabuOptions
+{
+    int maxIters = 2000;      ///< neighborhood scans
+    int tabuLowMul = 9;       ///< tabu tenure ~ U[0.9n, 1.1n] style
+    int tabuHighMul = 11;
+    /** Stop early after this many non-improving iterations. */
+    int stallLimit = 500;
+};
+
+/**
+ * Solve the QAP for an initial placement.
+ *
+ * @param flow n x n circuit-qubit interaction counts.
+ * @param topo device (provides the distance matrix and location
+ *        count N >= n).
+ * @param rng seeded generator; the paper runs the randomized mapping
+ *        5 times and keeps the best result.
+ * @return placement of the n circuit qubits (injective into N).
+ */
+Placement tabuSearchQap(const std::vector<std::vector<double>> &flow,
+                        const device::Topology &topo,
+                        std::mt19937_64 &rng,
+                        const TabuOptions &opt = TabuOptions());
+
+/**
+ * Generic-cost variant: solve the QAP against an arbitrary (double)
+ * location-distance matrix, e.g. the noise-aware distances of
+ * device::NoiseMap (the paper's Sec. VII future-work direction).
+ */
+Placement
+tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
+                    const std::vector<std::vector<double>> &dist,
+                    std::mt19937_64 &rng,
+                    const TabuOptions &opt = TabuOptions());
+
+/** Run tabuSearchQap `trials` times, keep the lowest-cost result. */
+Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
+                     const device::Topology &topo, std::mt19937_64 &rng,
+                     int trials = 5,
+                     const TabuOptions &opt = TabuOptions());
+
+} // namespace qap
+} // namespace tqan
+
+#endif // TQAN_QAP_TABU_H

@@ -1,0 +1,159 @@
+#include "qcir/circuit.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tqan {
+namespace qcir {
+
+void
+Circuit::add(const Op &o)
+{
+    if (o.q0 < 0 || o.q0 >= n_ ||
+        (o.isTwoQubit() && (o.q1 < 0 || o.q1 >= n_))) {
+        throw std::out_of_range("Circuit::add: qubit out of range");
+    }
+    ops_.push_back(o);
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    if (other.n_ != n_)
+        throw std::invalid_argument("Circuit::append: size mismatch");
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+}
+
+int
+Circuit::twoQubitCount() const
+{
+    int c = 0;
+    for (const auto &o : ops_)
+        if (o.isTwoQubit())
+            ++c;
+    return c;
+}
+
+int
+Circuit::countKind(OpKind k) const
+{
+    int c = 0;
+    for (const auto &o : ops_)
+        if (o.kind == k)
+            ++c;
+    return c;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(n_, 0);
+    int d = 0;
+    for (const auto &o : ops_) {
+        int t = level[o.q0];
+        if (o.isTwoQubit())
+            t = std::max(t, level[o.q1]);
+        ++t;
+        level[o.q0] = t;
+        if (o.isTwoQubit())
+            level[o.q1] = t;
+        d = std::max(d, t);
+    }
+    return d;
+}
+
+int
+Circuit::twoQubitDepth() const
+{
+    std::vector<int> level(n_, 0);
+    int d = 0;
+    for (const auto &o : ops_) {
+        if (!o.isTwoQubit())
+            continue;
+        int t = std::max(level[o.q0], level[o.q1]) + 1;
+        level[o.q0] = level[o.q1] = t;
+        d = std::max(d, t);
+    }
+    return d;
+}
+
+Circuit
+Circuit::reversedTwoQubitOrder() const
+{
+    Circuit r(n_);
+    // Keep 1q ops in place relative to the end, reverse the 2q ops.
+    std::vector<Op> twoq;
+    for (const auto &o : ops_)
+        if (o.isTwoQubit())
+            twoq.push_back(o);
+    std::reverse(twoq.begin(), twoq.end());
+    size_t next2q = 0;
+    for (const auto &o : ops_) {
+        if (o.isTwoQubit())
+            r.add(twoq[next2q++]);
+        else
+            r.add(o);
+    }
+    return r;
+}
+
+std::string
+Circuit::str() const
+{
+    std::ostringstream os;
+    os << "Circuit(" << n_ << " qubits, " << ops_.size() << " ops)\n";
+    for (const auto &o : ops_)
+        os << "  " << o.str() << "\n";
+    return os.str();
+}
+
+Circuit
+unifySamePairInteractions(const Circuit &c)
+{
+    Circuit r(c.numQubits());
+    // First occurrence of each pair keeps its position; later
+    // occurrences fold their coefficients into it.  A single-qubit op
+    // on either qubit closes the pair's merge window: within one
+    // Trotter step every operator is freely permutable, but across a
+    // drive/mixer layer (e.g. the Rx layer between QAOA layers)
+    // merging would change the semantics.
+    std::map<std::pair<int, int>, int> first;  // pair -> index in r
+    for (const auto &o : c.ops()) {
+        if (!o.isTwoQubit()) {
+            for (auto it = first.begin(); it != first.end();) {
+                if (it->first.first == o.q0 ||
+                    it->first.second == o.q0)
+                    it = first.erase(it);
+                else
+                    ++it;
+            }
+            r.add(o);
+            continue;
+        }
+        if (o.kind != OpKind::Interact) {
+            r.add(o);
+            continue;
+        }
+        std::pair<int, int> key{std::min(o.q0, o.q1),
+                                std::max(o.q0, o.q1)};
+        auto it = first.find(key);
+        if (it == first.end()) {
+            first[key] = r.size();
+            r.add(o);
+        } else {
+            Op &dst = r.ops()[it->second];
+            // Interact(a) * Interact(b) = Interact(a + b): the XX/YY/
+            // ZZ generators commute and are symmetric under qubit
+            // exchange, so orientation does not matter.
+            dst.axx += o.axx;
+            dst.ayy += o.ayy;
+            dst.azz += o.azz;
+        }
+    }
+    return r;
+}
+
+} // namespace qcir
+} // namespace tqan

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quantum circuit container plus the size/depth metrics the paper
+ * reports (Sec. IV, "Metrics").
+ */
+
+#ifndef TQAN_QCIR_CIRCUIT_H
+#define TQAN_QCIR_CIRCUIT_H
+
+#include <vector>
+
+#include "qcir/op.h"
+
+namespace tqan {
+namespace qcir {
+
+/** Ordered list of operations on a fixed qubit register. */
+class Circuit
+{
+  public:
+    Circuit() : n_(0) {}
+    explicit Circuit(int n) : n_(n) {}
+
+    int numQubits() const { return n_; }
+    const std::vector<Op> &ops() const { return ops_; }
+    std::vector<Op> &ops() { return ops_; }
+    int size() const { return static_cast<int>(ops_.size()); }
+    const Op &op(int i) const { return ops_[i]; }
+
+    /** Append one op; validates qubit indices. */
+    void add(const Op &o);
+    /** Append all ops of another circuit on the same register. */
+    void append(const Circuit &other);
+
+    /** @name Metrics (paper Sec. IV). @{ */
+    /** Number of two-qubit operations of any kind. */
+    int twoQubitCount() const;
+    /** Number of ops of a given kind. */
+    int countKind(OpKind k) const;
+    /** ASAP depth counting every op as one cycle. */
+    int depth() const;
+    /** ASAP depth over two-qubit ops only (ignores 1q ops). */
+    int twoQubitDepth() const;
+    /** @} */
+
+    /**
+     * The same circuit with the order of two-qubit ops reversed
+     * (single-qubit ops stay attached to their position class).  Used
+     * for even-numbered Trotter steps / QAOA layers (paper Sec. V-C):
+     * reversing the gate order of the compiled first step yields a
+     * valid next step that also ends in the original qubit placement.
+     */
+    Circuit reversedTwoQubitOrder() const;
+
+    std::string str() const;
+
+  private:
+    int n_;
+    std::vector<Op> ops_;
+};
+
+/**
+ * Circuit unitary unifying (paper Sec. III-C, second part): merge all
+ * Interact ops acting on the same qubit pair into a single Interact.
+ * Valid for Hamiltonian-simulation circuits because operator order is
+ * free; the XX/YY/ZZ coefficients simply add (they commute).
+ *
+ * The paper pre-processes the inputs of *every* evaluated compiler
+ * with this pass.
+ */
+Circuit unifySamePairInteractions(const Circuit &c);
+
+} // namespace qcir
+} // namespace tqan
+
+#endif // TQAN_QCIR_CIRCUIT_H

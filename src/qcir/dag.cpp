@@ -1,0 +1,63 @@
+#include "qcir/dag.h"
+
+#include <deque>
+
+namespace tqan {
+namespace qcir {
+
+GateDag::GateDag(const Circuit &c)
+    : succ_(c.size()), pred_(c.size())
+{
+    std::vector<int> last(c.numQubits(), -1);
+    for (int i = 0; i < c.size(); ++i) {
+        const Op &o = c.op(i);
+        auto link = [this, i](int p) {
+            if (p >= 0) {
+                succ_[p].push_back(i);
+                pred_[i].push_back(p);
+            }
+        };
+        link(last[o.q0]);
+        if (o.isTwoQubit() && last[o.q1] != last[o.q0])
+            link(last[o.q1]);
+        last[o.q0] = i;
+        if (o.isTwoQubit())
+            last[o.q1] = i;
+    }
+}
+
+std::vector<int>
+GateDag::roots() const
+{
+    std::vector<int> r;
+    for (int i = 0; i < numOps(); ++i)
+        if (pred_[i].empty())
+            r.push_back(i);
+    return r;
+}
+
+std::vector<int>
+GateDag::topoOrder() const
+{
+    std::vector<int> indeg(numOps());
+    for (int i = 0; i < numOps(); ++i)
+        indeg[i] = inDegree(i);
+    std::deque<int> q;
+    for (int i = 0; i < numOps(); ++i)
+        if (indeg[i] == 0)
+            q.push_back(i);
+    std::vector<int> order;
+    order.reserve(numOps());
+    while (!q.empty()) {
+        int v = q.front();
+        q.pop_front();
+        order.push_back(v);
+        for (int w : succ_[v])
+            if (--indeg[w] == 0)
+                q.push_back(w);
+    }
+    return order;
+}
+
+} // namespace qcir
+} // namespace tqan

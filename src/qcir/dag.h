@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gate dependency DAG.
+ *
+ * General-purpose compilers must respect the gate order of the input
+ * circuit: two ops sharing a qubit are ordered as written (paper
+ * Sec. II-B).  The baselines (SABRE, the t|ket>-like router, the ASAP
+ * scheduler) consume this DAG.  2QAN itself does *not* build a DAG for
+ * circuit ops -- that is exactly the application-level freedom the
+ * paper exploits -- but its scheduler uses SWAP-to-gate dependencies
+ * tracked separately.
+ */
+
+#ifndef TQAN_QCIR_DAG_H
+#define TQAN_QCIR_DAG_H
+
+#include <vector>
+
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace qcir {
+
+/** Dependency DAG over the ops of a circuit, built from gate order. */
+class GateDag
+{
+  public:
+    explicit GateDag(const Circuit &c);
+
+    int numOps() const { return static_cast<int>(succ_.size()); }
+    const std::vector<int> &successors(int i) const { return succ_[i]; }
+    const std::vector<int> &predecessors(int i) const
+    {
+        return pred_[i];
+    }
+    int inDegree(int i) const
+    {
+        return static_cast<int>(pred_[i].size());
+    }
+
+    /** Ops with no predecessors (the initial front layer). */
+    std::vector<int> roots() const;
+
+    /** A topological order (stable: respects original op order). */
+    std::vector<int> topoOrder() const;
+
+  private:
+    std::vector<std::vector<int>> succ_;
+    std::vector<std::vector<int>> pred_;
+};
+
+} // namespace qcir
+} // namespace tqan
+
+#endif // TQAN_QCIR_DAG_H

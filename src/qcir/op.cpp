@@ -1,0 +1,229 @@
+#include "qcir/op.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tqan {
+namespace qcir {
+
+using linalg::Mat2;
+using linalg::Mat4;
+
+std::string
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Rx: return "Rx";
+      case OpKind::Ry: return "Ry";
+      case OpKind::Rz: return "Rz";
+      case OpKind::U1q: return "U1q";
+      case OpKind::Interact: return "Interact";
+      case OpKind::Swap: return "Swap";
+      case OpKind::DressedSwap: return "DressedSwap";
+      case OpKind::Cnot: return "Cnot";
+      case OpKind::Cz: return "Cz";
+      case OpKind::ISwap: return "iSwap";
+      case OpKind::Syc: return "Syc";
+      case OpKind::U2q: return "U2q";
+    }
+    return "?";
+}
+
+Mat4
+Op::unitary4() const
+{
+    switch (kind) {
+      case OpKind::Interact:
+        return linalg::expXxYyZz(axx, ayy, azz);
+      case OpKind::Swap:
+        return linalg::swapGate();
+      case OpKind::DressedSwap:
+        // SWAP commutes with any symmetric interaction, so the order
+        // of the product does not matter.
+        return linalg::swapGate() * linalg::expXxYyZz(axx, ayy, azz);
+      case OpKind::Cnot:
+        // In the local frame q0 (control) is bit 0, q1 (target) bit 1.
+        return linalg::cnot(0, 1);
+      case OpKind::Cz:
+        return linalg::czGate();
+      case OpKind::ISwap:
+        return linalg::iswapGate();
+      case OpKind::Syc:
+        return linalg::sycGate();
+      case OpKind::U2q:
+        if (!mat2)
+            throw std::logic_error("U2q op without matrix payload");
+        return *mat2;
+      default:
+        throw std::logic_error("unitary4 on a single-qubit op");
+    }
+}
+
+Mat2
+Op::unitary2() const
+{
+    switch (kind) {
+      case OpKind::Rx: return linalg::rx(theta);
+      case OpKind::Ry: return linalg::ry(theta);
+      case OpKind::Rz: return linalg::rz(theta);
+      case OpKind::U1q:
+        if (!mat1)
+            throw std::logic_error("U1q op without matrix payload");
+        return *mat1;
+      default:
+        throw std::logic_error("unitary2 on a two-qubit op");
+    }
+}
+
+std::string
+Op::str() const
+{
+    std::ostringstream os;
+    os << opKindName(kind) << "(q" << q0;
+    if (isTwoQubit())
+        os << ", q" << q1;
+    if (kind == OpKind::Rx || kind == OpKind::Ry || kind == OpKind::Rz)
+        os << "; " << theta;
+    if (kind == OpKind::Interact || kind == OpKind::DressedSwap)
+        os << "; xx=" << axx << ", yy=" << ayy << ", zz=" << azz;
+    os << ")";
+    return os.str();
+}
+
+Op
+Op::rx(int q, double theta)
+{
+    Op o;
+    o.kind = OpKind::Rx;
+    o.q0 = q;
+    o.theta = theta;
+    return o;
+}
+
+Op
+Op::ry(int q, double theta)
+{
+    Op o;
+    o.kind = OpKind::Ry;
+    o.q0 = q;
+    o.theta = theta;
+    return o;
+}
+
+Op
+Op::rz(int q, double theta)
+{
+    Op o;
+    o.kind = OpKind::Rz;
+    o.q0 = q;
+    o.theta = theta;
+    return o;
+}
+
+Op
+Op::u1q(int q, const Mat2 &u)
+{
+    Op o;
+    o.kind = OpKind::U1q;
+    o.q0 = q;
+    o.mat1 = std::make_shared<Mat2>(u);
+    return o;
+}
+
+Op
+Op::interact(int q0, int q1, double axx, double ayy, double azz)
+{
+    if (q0 == q1)
+        throw std::invalid_argument("interact: q0 == q1");
+    Op o;
+    o.kind = OpKind::Interact;
+    o.q0 = q0;
+    o.q1 = q1;
+    o.axx = axx;
+    o.ayy = ayy;
+    o.azz = azz;
+    return o;
+}
+
+Op
+Op::swap(int q0, int q1)
+{
+    if (q0 == q1)
+        throw std::invalid_argument("swap: q0 == q1");
+    Op o;
+    o.kind = OpKind::Swap;
+    o.q0 = q0;
+    o.q1 = q1;
+    return o;
+}
+
+Op
+Op::dressedSwap(int q0, int q1, double axx, double ayy, double azz)
+{
+    if (q0 == q1)
+        throw std::invalid_argument("dressedSwap: q0 == q1");
+    Op o;
+    o.kind = OpKind::DressedSwap;
+    o.q0 = q0;
+    o.q1 = q1;
+    o.axx = axx;
+    o.ayy = ayy;
+    o.azz = azz;
+    return o;
+}
+
+Op
+Op::cnot(int control, int target)
+{
+    if (control == target)
+        throw std::invalid_argument("cnot: control == target");
+    Op o;
+    o.kind = OpKind::Cnot;
+    o.q0 = control;
+    o.q1 = target;
+    return o;
+}
+
+Op
+Op::cz(int q0, int q1)
+{
+    Op o;
+    o.kind = OpKind::Cz;
+    o.q0 = q0;
+    o.q1 = q1;
+    return o;
+}
+
+Op
+Op::iswap(int q0, int q1)
+{
+    Op o;
+    o.kind = OpKind::ISwap;
+    o.q0 = q0;
+    o.q1 = q1;
+    return o;
+}
+
+Op
+Op::syc(int q0, int q1)
+{
+    Op o;
+    o.kind = OpKind::Syc;
+    o.q0 = q0;
+    o.q1 = q1;
+    return o;
+}
+
+Op
+Op::u2q(int q0, int q1, const Mat4 &u)
+{
+    Op o;
+    o.kind = OpKind::U2q;
+    o.q0 = q0;
+    o.q1 = q1;
+    o.mat2 = std::make_shared<Mat4>(u);
+    return o;
+}
+
+} // namespace qcir
+} // namespace tqan

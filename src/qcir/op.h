@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Circuit operations.
+ *
+ * tqan works on two levels, mirroring the paper's flow (Fig. 2):
+ *
+ *  - Application level: two-qubit operators are stored *symbolically*
+ *    as Interact(axx, ayy, azz) = exp(i(axx XX + ayy YY + azz ZZ)),
+ *    i.e. the exponential of one (already unified) 2-local Hamiltonian
+ *    term.  SWAPs inserted by routing stay symbolic too, including the
+ *    "dressed" SWAP = SWAP * Interact produced by unitary unifying
+ *    (paper Sec. III-C).  All permutation-aware passes run here.
+ *
+ *  - Hardware level: after the decomposition pass, circuits contain
+ *    native two-qubit gates (CNOT / CZ / iSWAP / SYC) plus
+ *    single-qubit rotations.
+ *
+ * Every operation can produce its exact unitary, which the tests and
+ * the statevector simulator use to validate the passes.
+ */
+
+#ifndef TQAN_QCIR_OP_H
+#define TQAN_QCIR_OP_H
+
+#include <memory>
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace tqan {
+namespace qcir {
+
+enum class OpKind {
+    // Single-qubit.
+    Rx,
+    Ry,
+    Rz,
+    U1q,          ///< arbitrary single-qubit unitary
+    // Application-level two-qubit.
+    Interact,     ///< exp(i(axx XX + ayy YY + azz ZZ))
+    Swap,         ///< routing SWAP
+    DressedSwap,  ///< SWAP merged with an Interact (unitary unifying)
+    // Hardware-level two-qubit.
+    Cnot,         ///< control = q0, target = q1
+    Cz,
+    ISwap,
+    Syc,          ///< Google Sycamore fSim(pi/2, pi/6)
+    U2q,          ///< arbitrary two-qubit unitary (peephole merges)
+};
+
+/** Human-readable gate name. */
+std::string opKindName(OpKind k);
+
+/**
+ * One circuit operation.  A small value type: symbolic parameters are
+ * inline, dense matrix payloads (U1q / U2q) are shared.
+ */
+struct Op
+{
+    OpKind kind = OpKind::Rz;
+    int q0 = -1;             ///< first qubit (control for Cnot)
+    int q1 = -1;             ///< second qubit, -1 for 1q ops
+    double theta = 0.0;      ///< rotation angle of Rx/Ry/Rz
+    double axx = 0.0;        ///< XX coefficient of Interact payloads
+    double ayy = 0.0;        ///< YY coefficient
+    double azz = 0.0;        ///< ZZ coefficient
+    std::shared_ptr<const linalg::Mat2> mat1;  ///< U1q payload
+    std::shared_ptr<const linalg::Mat4> mat2;  ///< U2q payload
+
+    bool isTwoQubit() const { return q1 >= 0; }
+    bool isSwapLike() const
+    {
+        return kind == OpKind::Swap || kind == OpKind::DressedSwap;
+    }
+    bool touches(int q) const { return q0 == q || q1 == q; }
+
+    /**
+     * Exact 4x4 unitary of a two-qubit op, in the local frame where
+     * op.q0 is qubit 0 (least significant) and op.q1 is qubit 1.
+     */
+    linalg::Mat4 unitary4() const;
+
+    /** Exact 2x2 unitary of a single-qubit op. */
+    linalg::Mat2 unitary2() const;
+
+    std::string str() const;
+
+    /** @name Factories. @{ */
+    static Op rx(int q, double theta);
+    static Op ry(int q, double theta);
+    static Op rz(int q, double theta);
+    static Op u1q(int q, const linalg::Mat2 &u);
+    static Op interact(int q0, int q1, double axx, double ayy,
+                       double azz);
+    static Op swap(int q0, int q1);
+    static Op dressedSwap(int q0, int q1, double axx, double ayy,
+                          double azz);
+    static Op cnot(int control, int target);
+    static Op cz(int q0, int q1);
+    static Op iswap(int q0, int q1);
+    static Op syc(int q0, int q1);
+    static Op u2q(int q0, int q1, const linalg::Mat4 &u);
+    /** @} */
+};
+
+} // namespace qcir
+} // namespace tqan
+
+#endif // TQAN_QCIR_OP_H

@@ -1,0 +1,78 @@
+#include "qcir/qasm.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/su2.h"
+
+namespace tqan {
+namespace qcir {
+
+std::string
+toQasm(const Circuit &c)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+
+    bool has_iswap = c.countKind(OpKind::ISwap) > 0;
+    bool has_syc = c.countKind(OpKind::Syc) > 0;
+    if (has_iswap) {
+        os << "gate iswap a,b { s a; s b; h a; cx a,b; cx b,a; "
+              "h b; }\n";
+    }
+    if (has_syc) {
+        // fSim(pi/2, pi/6) = iSWAP^dag followed by a -pi/6 phase on
+        // |11>; expressed with cu1 + the iswap expansion.
+        os << "gate syc a,b { sdg a; sdg b; h b; cx b,a; cx a,b; "
+              "h a; cu1(-pi/6) a,b; }\n";
+    }
+    os << "qreg q[" << c.numQubits() << "];\n";
+
+    for (const auto &op : c.ops()) {
+        switch (op.kind) {
+          case OpKind::Rx:
+            os << "rx(" << op.theta << ") q[" << op.q0 << "];\n";
+            break;
+          case OpKind::Ry:
+            os << "ry(" << op.theta << ") q[" << op.q0 << "];\n";
+            break;
+          case OpKind::Rz:
+            os << "rz(" << op.theta << ") q[" << op.q0 << "];\n";
+            break;
+          case OpKind::U1q: {
+            linalg::Zyz d = linalg::zyzDecompose(op.unitary2());
+            // u3(theta, phi, lambda) = Rz(phi) Ry(theta) Rz(lambda)
+            // up to global phase.
+            os << "u3(" << d.beta << "," << d.alpha << "," << d.gamma
+               << ") q[" << op.q0 << "];\n";
+            break;
+          }
+          case OpKind::Cnot:
+            os << "cx q[" << op.q0 << "],q[" << op.q1 << "];\n";
+            break;
+          case OpKind::Cz:
+            os << "cz q[" << op.q0 << "],q[" << op.q1 << "];\n";
+            break;
+          case OpKind::ISwap:
+            os << "iswap q[" << op.q0 << "],q[" << op.q1 << "];\n";
+            break;
+          case OpKind::Syc:
+            os << "syc q[" << op.q0 << "],q[" << op.q1 << "];\n";
+            break;
+          case OpKind::Interact:
+          case OpKind::Swap:
+          case OpKind::DressedSwap:
+          case OpKind::U2q:
+            throw std::invalid_argument(
+                "toQasm: circuit contains application-level op '" +
+                opKindName(op.kind) +
+                "'; run a decomposition pass first");
+        }
+    }
+    return os.str();
+}
+
+} // namespace qcir
+} // namespace tqan

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * OpenQASM 2.0 export of hardware-level circuits.
+ *
+ * Lets compiled circuits flow into the wider toolchain (Qiskit,
+ * simulators, hardware providers).  Supported ops: Rx/Ry/Rz, U1q
+ * (emitted as u3 via its ZYZ angles), CNOT (cx), CZ (cz) and, via a
+ * gate definition header, iSWAP and the Sycamore fSim gate.
+ * Application-level ops (Interact / Swap / DressedSwap / U2q) must be
+ * decomposed first (decomp::decomposeToCnot / decomposeToCz); the
+ * exporter rejects them with a clear error.
+ */
+
+#ifndef TQAN_QCIR_QASM_H
+#define TQAN_QCIR_QASM_H
+
+#include <string>
+
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace qcir {
+
+/**
+ * Render the circuit as an OpenQASM 2.0 program.
+ *
+ * @throws std::invalid_argument if the circuit still contains
+ *         application-level two-qubit ops.
+ */
+std::string toQasm(const Circuit &c);
+
+} // namespace qcir
+} // namespace tqan
+
+#endif // TQAN_QCIR_QASM_H

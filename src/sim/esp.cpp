@@ -1,0 +1,45 @@
+#include "sim/esp.h"
+
+#include <cmath>
+
+namespace tqan {
+namespace sim {
+
+CircuitCost
+tallyCircuit(const qcir::Circuit &c, int measuredQubits)
+{
+    CircuitCost cost;
+    cost.gates2q = c.twoQubitCount();
+    cost.gates1q = c.size() - cost.gates2q;
+    cost.depth2q = c.twoQubitDepth();
+    cost.depth1q = std::max(0, c.depth() - cost.depth2q);
+    cost.measuredQubits = measuredQubits;
+    return cost;
+}
+
+double
+esp(const CircuitCost &cost, const NoiseModel &nm)
+{
+    double p = 1.0;
+    p *= std::pow(1.0 - nm.err2q, cost.gates2q);
+    p *= std::pow(1.0 - nm.err1q, cost.gates1q);
+    p *= std::pow(1.0 - nm.errRo, cost.measuredQubits);
+
+    // Schedule duration estimate in microseconds.
+    double t_us = (cost.depth2q * nm.gate2qNs +
+                   cost.depth1q * nm.gate1qNs) /
+                  1000.0;
+    // Average per-qubit decoherence rate (amplitude + phase), summed
+    // over the active register.  Qubits decohere while idle; on a
+    // packed schedule roughly half of each qubit's wall time is
+    // spent inside (error-accounted) gates, hence the 0.5 idle
+    // fraction.
+    const double idle_fraction = 0.5;
+    double rate = 0.5 * (1.0 / nm.t1Us + 1.0 / nm.t2Us);
+    p *= std::exp(-t_us * rate * idle_fraction *
+                  cost.measuredQubits);
+    return p;
+}
+
+} // namespace sim
+} // namespace tqan

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Estimated success probability (ESP) model.
+ *
+ * The standard NISQ fidelity estimate used across the architecture
+ * literature (e.g. Nishio et al., Tannu & Qureshi): the product of
+ * per-gate success probabilities, a readout factor per measured
+ * qubit, and an exponential decoherence factor from the circuit's
+ * wall time against T1/T2.  It captures exactly the dependence the
+ * paper's Fig. 10 demonstrates: more hardware gates and deeper
+ * circuits -> lower application fidelity -> cost ratio decaying to
+ * the random-guess value 0.
+ */
+
+#ifndef TQAN_SIM_ESP_H
+#define TQAN_SIM_ESP_H
+
+#include "qcir/circuit.h"
+#include "sim/noise.h"
+
+namespace tqan {
+namespace sim {
+
+/** Gate/depth tallies the ESP model consumes. */
+struct CircuitCost
+{
+    int gates2q = 0;
+    int gates1q = 0;
+    int depth2q = 0;
+    int depth1q = 0;     ///< all-gate depth minus 2q depth, roughly
+    int measuredQubits = 0;
+};
+
+/** Tally a decomposed hardware circuit. */
+CircuitCost tallyCircuit(const qcir::Circuit &c, int measuredQubits);
+
+/**
+ * ESP = prod (1 - e_g) * (1 - e_ro)^m * exp(-T * m * decoherence),
+ * with T the estimated schedule duration from the depth tallies.
+ */
+double esp(const CircuitCost &cost, const NoiseModel &nm);
+
+} // namespace sim
+} // namespace tqan
+
+#endif // TQAN_SIM_ESP_H

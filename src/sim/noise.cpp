@@ -1,0 +1,57 @@
+#include "sim/noise.h"
+
+namespace tqan {
+namespace sim {
+
+NoiseModel
+montrealNoise()
+{
+    return NoiseModel();
+}
+
+void
+runNoisyTrajectory(Statevector &psi, const qcir::Circuit &c,
+                   const NoiseModel &nm, std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_int_distribution<int> pauli3(0, 2);
+    std::uniform_int_distribution<int> pauli15(1, 15);
+    const char axes[3] = {'X', 'Y', 'Z'};
+
+    for (const auto &op : c.ops()) {
+        psi.applyOp(op);
+        if (op.isTwoQubit()) {
+            if (uni(rng) < nm.err2q) {
+                // Uniform non-identity two-qubit Pauli: encode the
+                // pair (p0, p1) in base 4, skipping (I, I).
+                int code = pauli15(rng);
+                int p0 = code & 3, p1 = (code >> 2) & 3;
+                if (p0)
+                    psi.applyPauli(op.q0, axes[p0 - 1]);
+                if (p1)
+                    psi.applyPauli(op.q1, axes[p1 - 1]);
+            }
+        } else {
+            if (uni(rng) < nm.err1q)
+                psi.applyPauli(op.q0, axes[pauli3(rng)]);
+        }
+    }
+}
+
+double
+noisyExpectationZZ(const qcir::Circuit &c, int numQubits,
+                   const std::vector<graph::Edge> &edges,
+                   const NoiseModel &nm, int shots,
+                   std::mt19937_64 &rng)
+{
+    double acc = 0.0;
+    for (int s = 0; s < shots; ++s) {
+        Statevector psi(numQubits);
+        runNoisyTrajectory(psi, c, nm, rng);
+        acc += psi.expectationZZ(edges);
+    }
+    return acc / shots;
+}
+
+} // namespace sim
+} // namespace tqan

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Device noise model and stochastic-Pauli trajectory execution.
+ *
+ * Fig. 10 of the paper runs QAOA on the real IBMQ Montreal device;
+ * we substitute a calibrated noise simulation (see DESIGN.md).  The
+ * model is depolarizing: after every gate, with the gate's error
+ * probability, a uniformly random non-identity Pauli is applied to
+ * the gate's qubits (the standard stochastic unravelling of the
+ * depolarizing channel); decoherence adds an idle-time-dependent
+ * contribution folded into the ESP model (esp.h).
+ */
+
+#ifndef TQAN_SIM_NOISE_H
+#define TQAN_SIM_NOISE_H
+
+#include <random>
+
+#include "qcir/circuit.h"
+#include "sim/statevector.h"
+
+namespace tqan {
+namespace sim {
+
+/** Calibration data (defaults: IBMQ Montreal on 2021-10-29 as
+ * reported in the paper, Sec. IV). */
+struct NoiseModel
+{
+    double err2q = 0.01241;   ///< average CNOT error rate
+    double err1q = 0.0004;    ///< typical 1q error (not in paper)
+    double errRo = 0.01832;   ///< average readout error rate
+    double t1Us = 87.75;      ///< average T1 (microseconds)
+    double t2Us = 72.65;      ///< average T2 (microseconds)
+    double gate2qNs = 350.0;  ///< CNOT duration
+    double gate1qNs = 35.0;   ///< single-qubit gate duration
+};
+
+/** The paper's Montreal calibration. */
+NoiseModel montrealNoise();
+
+/**
+ * Run one noisy trajectory of a circuit: apply each op, then with the
+ * corresponding error probability inject a uniformly random
+ * non-identity Pauli on the op's qubit(s).
+ */
+void runNoisyTrajectory(Statevector &psi, const qcir::Circuit &c,
+                        const NoiseModel &nm, std::mt19937_64 &rng);
+
+/**
+ * Monte-Carlo estimate of <sum ZZ> over `edges` for a noisy circuit,
+ * averaged over `shots` trajectories (exact expectation per
+ * trajectory, so variance comes only from the error locations).
+ */
+double noisyExpectationZZ(const qcir::Circuit &c, int numQubits,
+                          const std::vector<graph::Edge> &edges,
+                          const NoiseModel &nm, int shots,
+                          std::mt19937_64 &rng);
+
+} // namespace sim
+} // namespace tqan
+
+#endif // TQAN_SIM_NOISE_H

@@ -1,0 +1,63 @@
+#include "sim/qaoa_eval.h"
+
+#include <stdexcept>
+
+namespace tqan {
+namespace sim {
+
+double
+noiselessRatio(const graph::Graph &g,
+               const std::vector<ham::QaoaAngles> &angles)
+{
+    int cmin = g.numEdges() - 2 * ham::maxCut(g);
+    if (cmin == 0)
+        throw std::invalid_argument("noiselessRatio: degenerate C");
+    qcir::Circuit c = ham::qaoaStateCircuit(g, angles);
+    Statevector psi(g.numNodes());
+    psi.applyCircuit(c);
+    return psi.expectationZZ(g) / cmin;
+}
+
+double
+espRatio(double noiseless_ratio, const CircuitCost &cost,
+         const NoiseModel &nm)
+{
+    return esp(cost, nm) * noiseless_ratio;
+}
+
+double
+trajectoryRatio(const qcir::Circuit &device,
+                const std::vector<graph::Edge> &costEdges, int cmin,
+                const NoiseModel &nm, int shots, std::mt19937_64 &rng)
+{
+    if (cmin == 0)
+        throw std::invalid_argument("trajectoryRatio: degenerate C");
+    double e = noisyExpectationZZ(device, device.numQubits(),
+                                  costEdges, nm, shots, rng);
+    return e / cmin;
+}
+
+qcir::Circuit
+compactCircuit(const qcir::Circuit &c, std::vector<int> &qubitMap)
+{
+    qubitMap.assign(c.numQubits(), -1);
+    int next = 0;
+    for (const auto &o : c.ops()) {
+        if (qubitMap[o.q0] < 0)
+            qubitMap[o.q0] = next++;
+        if (o.isTwoQubit() && qubitMap[o.q1] < 0)
+            qubitMap[o.q1] = next++;
+    }
+    qcir::Circuit out(std::max(1, next));
+    for (const auto &o : c.ops()) {
+        qcir::Op r = o;
+        r.q0 = qubitMap[o.q0];
+        if (o.isTwoQubit())
+            r.q1 = qubitMap[o.q1];
+        out.add(r);
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace tqan

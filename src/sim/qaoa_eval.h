@@ -1,0 +1,60 @@
+/**
+ * @file
+ * End-to-end QAOA application-performance evaluation (paper Fig. 10
+ * and Fig. 13): the normalized cost <C>/C_min of compiled QAOA
+ * circuits under the Montreal noise model.
+ *
+ * <C> for MaxCut QAOA: C = sum_{(u,v)} Z_u Z_v; C_min = |E| -
+ * 2 maxcut < 0; random guessing gives <C> ~ 0, the perfect result
+ * gives <C>/C_min -> 1 (up to the algorithmic ratio of the fixed
+ * angles).  With depolarizing noise the state decays toward the
+ * maximally mixed state, whose cost expectation is 0 -- hence
+ * <C>_noisy / C_min ~ F * <C>_noiseless / C_min with F the circuit
+ * ESP, which is the model used for the large sizes; trajectory
+ * simulation cross-checks it for small sizes.
+ */
+
+#ifndef TQAN_SIM_QAOA_EVAL_H
+#define TQAN_SIM_QAOA_EVAL_H
+
+#include "ham/qaoa.h"
+#include "sim/esp.h"
+
+namespace tqan {
+namespace sim {
+
+/** Exact (noiseless) <C>/C_min of p-layer QAOA at the fixed angles;
+ * brute-force C_min, statevector <C>. */
+double noiselessRatio(const graph::Graph &g,
+                      const std::vector<ham::QaoaAngles> &angles);
+
+/** ESP-model noisy ratio: esp * noiseless ratio. */
+double espRatio(double noiseless_ratio, const CircuitCost &cost,
+                const NoiseModel &nm);
+
+/**
+ * Trajectory-simulated noisy ratio of an executable device circuit.
+ *
+ * @param device compiled circuit (compact register; see
+ *        compactCircuit).
+ * @param costEdges the C-operator edges in device-qubit space at
+ *        measurement time.
+ * @param cmin brute-force minimum of C.
+ */
+double trajectoryRatio(const qcir::Circuit &device,
+                       const std::vector<graph::Edge> &costEdges,
+                       int cmin, const NoiseModel &nm, int shots,
+                       std::mt19937_64 &rng);
+
+/**
+ * Re-index a device circuit onto the compact register of qubits it
+ * actually touches.  @param qubitMap output: old device qubit ->
+ * compact index or -1.
+ */
+qcir::Circuit compactCircuit(const qcir::Circuit &c,
+                             std::vector<int> &qubitMap);
+
+} // namespace sim
+} // namespace tqan
+
+#endif // TQAN_SIM_QAOA_EVAL_H

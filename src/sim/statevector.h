@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Substitute for the paper's hardware runs (Fig. 10): executes the
+ * compiled circuits exactly (every op exposes its unitary) and
+ * evaluates QAOA cost expectations.  Also the verification engine of
+ * the integration tests: decomposed circuits are replayed and
+ * compared against their application-level sources.
+ *
+ * Qubit 0 is the least significant bit of the basis index, matching
+ * the Op unitary convention (op.q0 = local bit 0).
+ */
+
+#ifndef TQAN_SIM_STATEVECTOR_H
+#define TQAN_SIM_STATEVECTOR_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/graph.h"
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace sim {
+
+class Statevector
+{
+  public:
+    /** |0...0> on n qubits (n <= 26 guarded). */
+    explicit Statevector(int n);
+
+    int numQubits() const { return n_; }
+    std::uint64_t dim() const { return std::uint64_t(1) << n_; }
+
+    linalg::Cx amplitude(std::uint64_t basis) const
+    {
+        return amp_[basis];
+    }
+    double probability(std::uint64_t basis) const;
+    double norm() const;
+
+    void apply1q(int q, const linalg::Mat2 &u);
+    /** q0 is local bit 0 of the 4x4 unitary (Op convention). */
+    void apply2q(int q0, int q1, const linalg::Mat4 &u);
+    /** Apply any circuit op via its exact unitary. */
+    void applyOp(const qcir::Op &op);
+    void applyCircuit(const qcir::Circuit &c);
+    /** Pauli injection for stochastic noise (axis in {X, Y, Z}). */
+    void applyPauli(int q, char axis);
+
+    /** <psi| sum_{(u,v) in E} Z_u Z_v |psi> (QAOA cost operator). */
+    double expectationZZ(const graph::Graph &g) const;
+    /** Same but with edges given directly (device-qubit pairs). */
+    double expectationZZ(const std::vector<graph::Edge> &edges) const;
+
+    /** |<other|this>|. */
+    double fidelityWith(const Statevector &other) const;
+
+    /** Sample a basis state from the Born distribution. */
+    std::uint64_t sample(std::mt19937_64 &rng) const;
+
+  private:
+    int n_;
+    std::vector<linalg::Cx> amp_;
+};
+
+} // namespace sim
+} // namespace tqan
+
+#endif // TQAN_SIM_STATEVECTOR_H

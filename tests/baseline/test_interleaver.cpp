@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the single-qubit-op interleaver used by all baseline
+ * emitters, and for the multi-layer semantic guards (merge blocking,
+ * layered IC-QAOA).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/dag_router.h"
+#include "baseline/ic_qaoa.h"
+#include "baseline/sabre.h"
+#include "device/devices.h"
+#include "graph/random_graph.h"
+#include "ham/qaoa.h"
+#include "ham/trotter.h"
+#include "sim/statevector.h"
+
+using namespace tqan;
+using namespace tqan::baseline;
+using qcir::Circuit;
+using qcir::Op;
+using qcir::OpKind;
+
+TEST(Interleaver, BeforeAndTailPartition)
+{
+    Circuit c(3);
+    c.add(Op::rx(0, 0.1));                 // before 2q #0
+    c.add(Op::interact(0, 1, 0, 0, 0.5));  // 2q #0
+    c.add(Op::rx(1, 0.2));                 // before 2q #1
+    c.add(Op::rx(2, 0.3));                 // before 2q #1
+    c.add(Op::interact(1, 2, 0, 0, 0.5));  // 2q #1
+    c.add(Op::rx(0, 0.4));                 // tail
+
+    OneQubitInterleaver il(c);
+    ASSERT_EQ(il.before(0).size(), 1u);
+    EXPECT_EQ(il.before(0)[0].q0, 0);
+    ASSERT_EQ(il.before(1).size(), 2u);
+    ASSERT_EQ(il.tail().size(), 1u);
+    EXPECT_NEAR(il.tail()[0].theta, 0.4, 1e-12);
+}
+
+TEST(Interleaver, UnifyBlockedByMixerLayer)
+{
+    // Two ZZ ops on the same pair separated by an Rx on a shared
+    // qubit must NOT merge (QAOA layer boundary).
+    Circuit c(2);
+    c.add(Op::interact(0, 1, 0, 0, 0.3));
+    c.add(Op::rx(0, 0.5));
+    c.add(Op::rx(1, 0.5));
+    c.add(Op::interact(0, 1, 0, 0, 0.4));
+    Circuit u = qcir::unifySamePairInteractions(c);
+    EXPECT_EQ(u.twoQubitCount(), 2);
+
+    // Without the mixer they do merge.
+    Circuit c2(2);
+    c2.add(Op::interact(0, 1, 0, 0, 0.3));
+    c2.add(Op::interact(0, 1, 0, 0, 0.4));
+    EXPECT_EQ(qcir::unifySamePairInteractions(c2).twoQubitCount(), 1);
+}
+
+namespace {
+
+/** Simulate a logical circuit and a compiled baseline result and
+ * compare through the maps (semantic equivalence for any circuit,
+ * since baselines respect per-qubit op order). */
+void
+expectBaselineSemantics(const Circuit &logical,
+                        const device::Topology &topo,
+                        const BaselineResult &r)
+{
+    int n = logical.numQubits();
+    int nd = topo.numQubits();
+    ASSERT_LE(nd, 14);
+
+    sim::Statevector ref(n);
+    for (int q = 0; q < n; ++q)
+        ref.apply1q(q, linalg::hadamard());
+    ref.applyCircuit(logical);
+
+    sim::Statevector dev(nd);
+    for (int q = 0; q < n; ++q)
+        dev.apply1q(r.initialMap[q], linalg::hadamard());
+    dev.applyCircuit(r.deviceCircuit);
+
+    auto inv = qap::invertPlacement(r.finalMap, nd);
+    for (std::uint64_t d = 0; d < dev.dim(); ++d) {
+        std::uint64_t logical_idx = 0;
+        bool unmapped = false;
+        for (int dq = 0; dq < nd; ++dq) {
+            if (!((d >> dq) & 1))
+                continue;
+            if (inv[dq] < 0) {
+                unmapped = true;
+                break;
+            }
+            logical_idx |= std::uint64_t(1) << inv[dq];
+        }
+        if (unmapped)
+            EXPECT_NEAR(std::abs(dev.amplitude(d)), 0.0, 1e-9);
+        else
+            EXPECT_NEAR(std::abs(dev.amplitude(d) -
+                                 ref.amplitude(logical_idx)),
+                        0.0, 1e-9);
+    }
+}
+
+} // namespace
+
+TEST(Interleaver, SabreMultiLayerSemantics)
+{
+    // 2-layer QAOA circuit: the mixer layers must execute between
+    // the ZZ layers on the device too.
+    std::mt19937_64 rng(151);
+    graph::Graph g(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                       {5, 0}, {0, 3}});
+    Circuit full(6);
+    for (auto a : ham::qaoaFixedAngles(2)) {
+        auto h = ham::qaoaLayerHamiltonian(g, a);
+        full.append(ham::trotterStep(h, 1.0));
+    }
+    device::Topology topo = device::grid(2, 4);
+    auto r = sabreCompile(full, topo, rng);
+    EXPECT_TRUE(baselineIsValid(full, topo, r));
+    expectBaselineSemantics(full, topo, r);
+}
+
+TEST(Interleaver, IcQaoaLayeredSemantics)
+{
+    std::mt19937_64 rng(152);
+    graph::Graph g(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                       {0, 4}});
+    Circuit full(6);
+    for (auto a : ham::qaoaFixedAngles(2)) {
+        auto h = ham::qaoaLayerHamiltonian(g, a);
+        full.append(ham::trotterStep(h, 1.0));
+    }
+    device::Topology topo = device::grid(2, 4);
+    auto r = icQaoaCompile(full, topo, rng);
+    expectBaselineSemantics(full, topo, r);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * End-to-end tests of the TqanCompiler pipeline and metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/compiler.h"
+#include "core/metrics.h"
+#include "device/devices.h"
+#include "graph/random_graph.h"
+#include "ham/models.h"
+#include "ham/qaoa.h"
+#include "ham/trotter.h"
+
+using namespace tqan;
+using namespace tqan::core;
+
+TEST(Compiler, RejectsOversizedCircuit)
+{
+    std::mt19937_64 rng(81);
+    auto h = ham::nnnIsing(10, rng);
+    TqanCompiler comp(device::line(5));
+    EXPECT_THROW(comp.compile(ham::trotterStep(h, 1.0)),
+                 std::invalid_argument);
+}
+
+TEST(Compiler, EveryMapperWorks)
+{
+    std::mt19937_64 rng(82);
+    auto h = ham::nnnHeisenberg(8, rng);
+    auto step = ham::trotterStep(h, 1.0);
+    for (MapperKind mk :
+         {MapperKind::Tabu, MapperKind::Anneal, MapperKind::Greedy,
+          MapperKind::Line, MapperKind::Identity}) {
+        CompilerOptions opt;
+        opt.mapper = mk;
+        opt.seed = 100 + static_cast<int>(mk);
+        TqanCompiler comp(device::grid(3, 3), opt);
+        auto res = comp.compile(step);
+        EXPECT_TRUE(scheduleIsValid(
+            qcir::unifySamePairInteractions(step),
+            comp.topology(), res.sched))
+            << "mapper " << static_cast<int>(mk);
+    }
+}
+
+TEST(Compiler, HeisenbergHasNearZeroSycOverhead)
+{
+    // Paper Sec. V-A: on Sycamore, nearly all 2QAN SWAPs merge with
+    // Heisenberg circuit gates, so the SYC count stays close to the
+    // NoMap baseline (3 SYC per pair either way).
+    std::mt19937_64 rng(83);
+    auto h = ham::nnnHeisenberg(16, rng);
+    CompilerOptions opt;
+    opt.seed = 84;
+    TqanCompiler comp(device::sycamore54(), opt);
+    auto res = comp.compile(ham::trotterStep(h, 1.0));
+    auto m = computeMetrics(res.sched, ham::trotterStep(h, 1.0),
+                            device::GateSet::Syc);
+    // NoMap: 29 pairs x 3 SYC.
+    EXPECT_EQ(m.native2qNoMap, 29 * 3);
+    // Overhead only from undressed SWAPs: small fraction.
+    EXPECT_LE(m.gateOverhead(), 18);
+    EXPECT_GE(m.dressed, 1);
+}
+
+TEST(Compiler, UnifyTogglesChangeDressedCounts)
+{
+    std::mt19937_64 rng(85);
+    auto h = ham::nnnIsing(12, rng);
+    auto step = ham::trotterStep(h, 1.0);
+
+    CompilerOptions on;
+    on.seed = 86;
+    CompilerOptions off = on;
+    off.unifySwaps = false;
+
+    TqanCompiler con(device::montreal27(), on);
+    TqanCompiler coff(device::montreal27(), off);
+    auto ron = con.compile(step);
+    auto roff = coff.compile(step);
+    EXPECT_GT(ron.sched.dressedCount, 0);
+    EXPECT_EQ(roff.sched.dressedCount, 0);
+
+    auto mon = computeMetrics(ron.sched, step, device::GateSet::Cnot);
+    auto moff =
+        computeMetrics(roff.sched, step, device::GateSet::Cnot);
+    // Unifying can only help the gate count.
+    EXPECT_LE(mon.native2q, moff.native2q + 3);
+}
+
+TEST(Compiler, MultiLayerQaoaReversalStaysValid)
+{
+    // Compile one QAOA layer; the even-layer trick reverses the 2q
+    // order, which must remain a valid schedule of the same ops.
+    std::mt19937_64 rng(87);
+    auto g = graph::randomRegularGraph(10, 3, rng);
+    auto h = ham::qaoaLayerHamiltonian(g, ham::qaoaFixedAngles(1)[0]);
+    auto step = ham::trotterStep(h, 1.0);
+
+    CompilerOptions opt;
+    opt.seed = 88;
+    TqanCompiler comp(device::montreal27(), opt);
+    auto res = comp.compile(step);
+
+    qcir::Circuit fwd = res.sched.deviceCircuit;
+    qcir::Circuit rev = fwd.reversedTwoQubitOrder();
+    EXPECT_EQ(rev.twoQubitCount(), fwd.twoQubitCount());
+
+    // Replay the reversed circuit: starting from the *final* map it
+    // must execute every op on coupled qubits and end at the initial
+    // map (DESIGN.md: the reversal argument).
+    auto inv = qap::invertPlacement(res.sched.finalMap,
+                                    comp.topology().numQubits());
+    for (const auto &o : rev.ops()) {
+        if (!o.isTwoQubit())
+            continue;
+        EXPECT_TRUE(comp.topology().connected(o.q0, o.q1));
+        if (o.isSwapLike())
+            std::swap(inv[o.q0], inv[o.q1]);
+    }
+    auto inv0 = qap::invertPlacement(res.sched.initialMap,
+                                     comp.topology().numQubits());
+    EXPECT_EQ(inv, inv0);
+}
+
+TEST(Metrics, OverheadAccessors)
+{
+    CompilationMetrics m;
+    m.native2q = 30;
+    m.native2qNoMap = 20;
+    m.depth2q = 12;
+    m.depth2qNoMap = 8;
+    EXPECT_EQ(m.gateOverhead(), 10);
+    EXPECT_EQ(m.depth2qOverhead(), 4);
+}
+
+/** The headline comparison, in miniature: 2QAN never inserts more
+ * SWAPs than a dependency-respecting router on these workloads. */
+class CompilerVsOrderProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CompilerVsOrderProperty, PermutationAwarenessHelps)
+{
+    auto [model, seed] = GetParam();
+    std::mt19937_64 rng(seed * 131 + 3);
+    int n = 12;
+    ham::TwoLocalHamiltonian h =
+        model == 0 ? ham::nnnIsing(n, rng)
+                   : ham::nnnHeisenberg(n, rng);
+    auto step = ham::trotterStep(h, 1.0);
+
+    CompilerOptions opt;
+    opt.seed = seed;
+    TqanCompiler comp(device::montreal27(), opt);
+    auto res = comp.compile(step);
+    // NNN chains embed well under QAP: single-digit SWAP counts.
+    EXPECT_LE(res.sched.swapCount, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompilerVsOrderProperty,
+                         ::testing::Combine(::testing::Range(0, 2),
+                                            ::testing::Range(0, 6)));

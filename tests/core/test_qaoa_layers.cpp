@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the multi-layer QAOA construction (compile once, scale
+ * angles, reverse even layers -- paper Sec. V-C), verified at the
+ * state level against the logical multi-layer circuit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/qaoa_layers.h"
+#include "device/devices.h"
+#include "graph/random_graph.h"
+#include "ham/trotter.h"
+#include "sim/statevector.h"
+
+using namespace tqan;
+using namespace tqan::core;
+
+TEST(QaoaLayers, ScaleLeavesStructure)
+{
+    qcir::Circuit c(3);
+    c.add(qcir::Op::interact(0, 1, 0, 0, 0.4));
+    c.add(qcir::Op::dressedSwap(1, 2, 0, 0, 0.4));
+    c.add(qcir::Op::swap(0, 1));
+    c.add(qcir::Op::rx(0, 0.6));
+    qcir::Circuit s = scaleQaoaLayer(c, 2.0, 0.5);
+    ASSERT_EQ(s.size(), 4);
+    EXPECT_NEAR(s.op(0).azz, 0.8, 1e-12);
+    EXPECT_NEAR(s.op(1).azz, 0.8, 1e-12);
+    EXPECT_EQ(s.op(2).kind, qcir::OpKind::Swap);
+    EXPECT_NEAR(s.op(3).theta, 0.3, 1e-12);
+}
+
+TEST(QaoaLayers, MultiLayerStateEquivalence)
+{
+    // Compile one layer on a small device; the 2- and 3-layer
+    // constructions must produce exactly the logical multi-layer
+    // QAOA state (ZZ ops commute within a layer, layer boundaries
+    // are preserved).
+    std::mt19937_64 rng(181);
+    auto g = graph::randomRegularGraph(6, 3, rng);
+    device::Topology topo = device::grid(2, 4);
+
+    for (int p : {2, 3}) {
+        auto angles = ham::qaoaFixedAngles(p);
+        CompilerOptions opt;
+        opt.seed = 182 + p;
+        TqanCompiler comp(topo, opt);
+        auto layer1 = ham::trotterStep(
+            ham::qaoaLayerHamiltonian(g, angles[0]), 1.0);
+        auto res = comp.compile(layer1);
+
+        qcir::Circuit multi = tqanMultiLayerCircuit(res, angles);
+        qcir::Circuit logical = qaoaMultiLayerStep(g, angles);
+
+        // Logical reference state.
+        sim::Statevector ref(6);
+        for (int q = 0; q < 6; ++q)
+            ref.apply1q(q, linalg::hadamard());
+        ref.applyCircuit(logical);
+
+        // Device state.
+        sim::Statevector dev(8);
+        for (int q = 0; q < 6; ++q)
+            dev.apply1q(res.sched.initialMap[q],
+                        linalg::hadamard());
+        dev.applyCircuit(multi);
+
+        const qap::Placement &final_map =
+            p % 2 == 1 ? res.sched.finalMap : res.sched.initialMap;
+        auto inv = qap::invertPlacement(final_map, 8);
+        for (std::uint64_t d = 0; d < dev.dim(); ++d) {
+            std::uint64_t l = 0;
+            bool unmapped = false;
+            for (int dq = 0; dq < 8; ++dq) {
+                if (!((d >> dq) & 1))
+                    continue;
+                if (inv[dq] < 0) {
+                    unmapped = true;
+                    break;
+                }
+                l |= std::uint64_t(1) << inv[dq];
+            }
+            if (unmapped)
+                EXPECT_NEAR(std::abs(dev.amplitude(d)), 0.0, 1e-9);
+            else
+                EXPECT_NEAR(std::abs(dev.amplitude(d) -
+                                     ref.amplitude(l)),
+                            0.0, 1e-9)
+                    << "p=" << p;
+        }
+    }
+}
+
+TEST(QaoaLayers, MultiLayerCountsScale)
+{
+    std::mt19937_64 rng(183);
+    auto g = graph::randomRegularGraph(10, 3, rng);
+    auto angles = ham::qaoaFixedAngles(3);
+    CompilerOptions opt;
+    opt.seed = 184;
+    TqanCompiler comp(device::montreal27(), opt);
+    auto layer1 = ham::trotterStep(
+        ham::qaoaLayerHamiltonian(g, angles[0]), 1.0);
+    auto res = comp.compile(layer1);
+    qcir::Circuit multi = tqanMultiLayerCircuit(res, angles);
+    EXPECT_EQ(multi.twoQubitCount(),
+              3 * res.sched.deviceCircuit.twoQubitCount());
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the permutation-aware router (paper Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/router.h"
+#include "device/devices.h"
+#include "ham/models.h"
+#include "ham/trotter.h"
+#include "qap/placement.h"
+#include "qap/tabu.h"
+
+using namespace tqan;
+using namespace tqan::core;
+
+namespace {
+
+qcir::Circuit
+stepOf(const ham::TwoLocalHamiltonian &h)
+{
+    return ham::trotterStep(h, 1.0);
+}
+
+} // namespace
+
+TEST(Router, NoSwapsWhenAlreadyNearestNeighbour)
+{
+    // NN chain on a line device with the identity placement.
+    ham::TwoLocalHamiltonian h(5);
+    for (int i = 0; i + 1 < 5; ++i)
+        h.addPair(i, i + 1, 0, 0, 0.5);
+    device::Topology topo = device::line(5);
+    std::mt19937_64 rng(51);
+    auto r = routePermutationAware(stepOf(h), qap::identityPlacement(5),
+                                   topo, rng);
+    EXPECT_EQ(r.swapCount(), 0);
+    EXPECT_EQ(r.nnOps[0].size(), 4u);
+    EXPECT_TRUE(routingIsValid(stepOf(h), topo, r));
+}
+
+TEST(Router, SingleDistantGate)
+{
+    // One gate between the two ends of a 4-line: distance 3, needs
+    // 2 SWAPs.
+    ham::TwoLocalHamiltonian h(4);
+    h.addPair(0, 3, 0, 0, 0.5);
+    device::Topology topo = device::line(4);
+    std::mt19937_64 rng(52);
+    auto r = routePermutationAware(stepOf(h), qap::identityPlacement(4),
+                                   topo, rng);
+    EXPECT_EQ(r.swapCount(), 2);
+    EXPECT_TRUE(routingIsValid(stepOf(h), topo, r));
+}
+
+TEST(Router, DressedSwapOnSharedPair)
+{
+    // Gates (0,1), (1,2), (0,2) on a 3-line: (0,2) is distance 2 and
+    // a SWAP on (0,1) or (1,2) can absorb an existing circuit gate.
+    ham::TwoLocalHamiltonian h(3);
+    h.addPair(0, 1, 0, 0, 0.3);
+    h.addPair(1, 2, 0, 0, 0.4);
+    h.addPair(0, 2, 0, 0, 0.5);
+    device::Topology topo = device::line(3);
+    std::mt19937_64 rng(53);
+    auto r = routePermutationAware(stepOf(h), qap::identityPlacement(3),
+                                   topo, rng);
+    EXPECT_EQ(r.swapCount(), 1);
+    EXPECT_EQ(r.dressedCount(), 1);
+    EXPECT_TRUE(routingIsValid(stepOf(h), topo, r));
+}
+
+TEST(Router, UnifyCanBeDisabled)
+{
+    ham::TwoLocalHamiltonian h(3);
+    h.addPair(0, 1, 0, 0, 0.3);
+    h.addPair(1, 2, 0, 0, 0.4);
+    h.addPair(0, 2, 0, 0, 0.5);
+    device::Topology topo = device::line(3);
+    std::mt19937_64 rng(54);
+    RouterOptions opt;
+    opt.unifySwaps = false;
+    auto r = routePermutationAware(stepOf(h), qap::identityPlacement(3),
+                                   topo, rng, opt);
+    EXPECT_EQ(r.dressedCount(), 0);
+    EXPECT_TRUE(routingIsValid(stepOf(h), topo, r));
+}
+
+TEST(Router, RejectsBadPlacement)
+{
+    ham::TwoLocalHamiltonian h(3);
+    h.addPair(0, 1, 0, 0, 0.3);
+    device::Topology topo = device::line(3);
+    std::mt19937_64 rng(55);
+    EXPECT_THROW(routePermutationAware(stepOf(h), {0, 0, 1}, topo, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(routePermutationAware(stepOf(h), {0, 1}, topo, rng),
+                 std::invalid_argument);
+}
+
+/** Property sweep: model x device x seed. */
+class RouterProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(RouterProperty, AlwaysValidAndBounded)
+{
+    auto [model, dev, seed] = GetParam();
+    std::mt19937_64 rng(seed * 977 + 13);
+
+    int n = 10;
+    ham::TwoLocalHamiltonian h =
+        model == 0   ? ham::nnnIsing(n, rng)
+        : model == 1 ? ham::nnnXY(n, rng)
+                     : ham::nnnHeisenberg(n, rng);
+
+    device::Topology topo = dev == 0   ? device::grid(3, 4)
+                            : dev == 1 ? device::montreal27()
+                                       : device::aspen16();
+
+    qcir::Circuit step = stepOf(h);
+    auto flow = qap::flowMatrix(h);
+    qap::Placement place = qap::tabuSearchQap(flow, topo, rng);
+    auto r = routePermutationAware(step, place, topo, rng);
+
+    EXPECT_TRUE(routingIsValid(step, topo, r));
+    // Loose sanity bound: never more SWAPs than gates * diameter.
+    int diam = 0;
+    for (int a = 0; a < topo.numQubits(); ++a)
+        for (int b = 0; b < topo.numQubits(); ++b)
+            diam = std::max(diam, topo.dist(a, b));
+    EXPECT_LE(r.swapCount(), step.twoQubitCount() * diam);
+    EXPECT_LE(r.dressedCount(), r.swapCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RouterProperty,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 3),
+                       ::testing::Range(0, 5)));

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the numerical template decomposition (the paper's [47]
+ * style synthesis used for non-CNOT gate sets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decomp/native_count.h"
+#include "decomp/numerical.h"
+
+using namespace tqan;
+using namespace tqan::decomp;
+using namespace tqan::linalg;
+using tqan::device::GateSet;
+
+namespace {
+
+Mat4
+opsUnitary(const std::vector<qcir::Op> &ops)
+{
+    Mat4 u = Mat4::identity();
+    for (const auto &op : ops) {
+        Mat4 g;
+        if (op.isTwoQubit()) {
+            g = op.unitary4();
+            if (op.q0 == 1)
+                g = swapGate() * g * swapGate();
+        } else {
+            Mat2 m = op.unitary2();
+            g = op.q0 == 0 ? kron(Mat2::identity(), m)
+                           : kron(m, Mat2::identity());
+        }
+        u = g * u;
+    }
+    return u;
+}
+
+} // namespace
+
+TEST(Numerical, ZzWithTwoCnots)
+{
+    std::mt19937_64 rng(121);
+    Mat4 target = expXxYyZz(0, 0, 0.4);
+    NumericalOptions opt;
+    opt.tol = 1e-5;
+    auto ops = numericalDecompose(target, 0, 1, GateSet::Cnot, 2, rng,
+                                  opt);
+    ASSERT_TRUE(ops.has_value());
+    EXPECT_LT(phaseDistance(opsUnitary(*ops), target), 1e-4);
+    int twoq = 0;
+    for (const auto &o : *ops)
+        if (o.isTwoQubit())
+            ++twoq;
+    EXPECT_EQ(twoq, 2);
+}
+
+TEST(Numerical, ZzWithTwoSycs)
+{
+    // Confirms the SYC count rule: a ZZ interaction fits in 2 SYC.
+    std::mt19937_64 rng(122);
+    Mat4 target = expXxYyZz(0, 0, 0.4);
+    NumericalOptions opt;
+    opt.tol = 1e-4;
+    opt.restarts = 20;
+    double fit = bestTemplateFit(target, GateSet::Syc, 2, rng, opt);
+    EXPECT_LT(fit, 1e-3);
+}
+
+TEST(Numerical, ZzNotReachableWithOneGate)
+{
+    // One CNOT cannot implement a generic ZZ rotation: the best fit
+    // stays far from zero.
+    std::mt19937_64 rng(123);
+    Mat4 target = expXxYyZz(0, 0, 0.4);
+    NumericalOptions opt;
+    opt.restarts = 6;
+    opt.iters = 150;
+    double fit = bestTemplateFit(target, GateSet::Cnot, 1, rng, opt);
+    EXPECT_GT(fit, 0.05);
+}
+
+TEST(Numerical, CnotFromTwoIswaps)
+{
+    // Known construction: CNOT = locals + 2 iSWAP + locals.
+    std::mt19937_64 rng(124);
+    NumericalOptions opt;
+    opt.tol = 1e-4;
+    opt.restarts = 20;
+    double fit =
+        bestTemplateFit(cnot(0, 1), GateSet::ISwap, 2, rng, opt);
+    EXPECT_LT(fit, 1e-3);
+}

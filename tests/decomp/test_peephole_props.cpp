@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Property tests for the peephole passes and the CZ decomposition
+ * path: random circuits, unitary preservation, count monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "decomp/native_count.h"
+#include "decomp/pass.h"
+#include "sim/statevector.h"
+
+using namespace tqan;
+using namespace tqan::decomp;
+using qcir::Circuit;
+using qcir::Op;
+using qcir::OpKind;
+
+namespace {
+
+/** Random 3-qubit circuit over application-level ops. */
+Circuit
+randomCircuit(std::mt19937_64 &rng, int n = 3, int len = 12)
+{
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    std::uniform_int_distribution<int> kind(0, 4);
+    std::uniform_int_distribution<int> qubit(0, n - 1);
+    Circuit c(n);
+    for (int i = 0; i < len; ++i) {
+        int a = qubit(rng), b = qubit(rng);
+        while (b == a)
+            b = qubit(rng);
+        switch (kind(rng)) {
+          case 0:
+            c.add(Op::rx(a, ang(rng)));
+            break;
+          case 1:
+            c.add(Op::rz(a, ang(rng)));
+            break;
+          case 2:
+            c.add(Op::interact(a, b, ang(rng) / 4, ang(rng) / 4,
+                               ang(rng) / 4));
+            break;
+          case 3:
+            c.add(Op::interact(a, b, 0, 0, ang(rng) / 4));
+            break;
+          default:
+            c.add(Op::swap(a, b));
+            break;
+        }
+    }
+    return c;
+}
+
+/** Statevector fidelity of two circuits on a random input state. */
+double
+circuitFidelity(const Circuit &a, const Circuit &b,
+                std::mt19937_64 &rng)
+{
+    int n = a.numQubits();
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    sim::Statevector pa(n), pb(n);
+    for (int q = 0; q < n; ++q) {
+        auto u = linalg::rz(ang(rng)) * linalg::ry(ang(rng));
+        pa.apply1q(q, u);
+        pb.apply1q(q, u);
+    }
+    pa.applyCircuit(a);
+    pb.applyCircuit(b);
+    return pa.fidelityWith(pb);
+}
+
+} // namespace
+
+class PeepholeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PeepholeProperty, MergeAdjacentSamePairPreservesUnitary)
+{
+    std::mt19937_64 rng(GetParam() * 31 + 5);
+    Circuit c = randomCircuit(rng);
+    Circuit merged = mergeAdjacentSamePair(c);
+    EXPECT_LE(merged.twoQubitCount(), c.twoQubitCount());
+    std::mt19937_64 srng(GetParam());
+    EXPECT_NEAR(circuitFidelity(c, merged, srng), 1.0, 1e-9);
+}
+
+TEST_P(PeepholeProperty, DecomposeToCnotPreservesUnitary)
+{
+    std::mt19937_64 rng(GetParam() * 37 + 7);
+    Circuit c = randomCircuit(rng);
+    Circuit hw = decomposeToCnot(c);
+    for (const auto &op : hw.ops())
+        EXPECT_TRUE(!op.isTwoQubit() || op.kind == OpKind::Cnot);
+    std::mt19937_64 srng(GetParam() + 100);
+    EXPECT_NEAR(circuitFidelity(c, hw, srng), 1.0, 1e-8);
+}
+
+TEST_P(PeepholeProperty, DecomposeToCzPreservesUnitary)
+{
+    std::mt19937_64 rng(GetParam() * 41 + 9);
+    Circuit c = randomCircuit(rng);
+    Circuit hw = decomposeToCz(c);
+    for (const auto &op : hw.ops())
+        EXPECT_TRUE(!op.isTwoQubit() || op.kind == OpKind::Cz);
+    std::mt19937_64 srng(GetParam() + 200);
+    EXPECT_NEAR(circuitFidelity(c, hw, srng), 1.0, 1e-8);
+}
+
+TEST_P(PeepholeProperty, Merge1qPreservesUnitary)
+{
+    std::mt19937_64 rng(GetParam() * 43 + 11);
+    Circuit c = randomCircuit(rng);
+    Circuit merged = mergeAdjacent1q(c);
+    std::mt19937_64 srng(GetParam() + 300);
+    EXPECT_NEAR(circuitFidelity(c, merged, srng), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeepholeProperty,
+                         ::testing::Range(0, 10));
+
+TEST(PeepholeCounts, MergedCircuitNeverCostsMore)
+{
+    // Peephole merging can only reduce the native-gate total (two
+    // merged ops cost at most 3, the two separately at least 2+...).
+    std::mt19937_64 rng(171);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c = randomCircuit(rng, 3, 16);
+        Circuit merged = mergeAdjacentSamePair(c);
+        EXPECT_LE(
+            nativeTwoQubitCount(merged, device::GateSet::Cnot),
+            nativeTwoQubitCount(c, device::GateSet::Cnot));
+    }
+}
+
+TEST(PeepholeCounts, SwapPlusZzMergesToThreeCnots)
+{
+    // The exact optimization behind the paper's Fig. 4/5, but found
+    // by the generic peephole: SWAP then ZZ on the same pair = one
+    // 3-CNOT unitary.
+    Circuit c(2);
+    c.add(Op::swap(0, 1));
+    c.add(Op::interact(0, 1, 0, 0, 0.37));
+    Circuit merged = mergeAdjacentSamePair(c);
+    ASSERT_EQ(merged.size(), 1);
+    EXPECT_EQ(nativeTwoQubitCount(merged, device::GateSet::Cnot), 3);
+    EXPECT_EQ(nativeTwoQubitCount(c, device::GateSet::Cnot), 5);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for calibration noise maps and noise-aware placement (the
+ * paper's Sec. VII future-work extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "device/devices.h"
+#include "device/noise_map.h"
+#include "ham/models.h"
+#include "ham/trotter.h"
+#include "qap/tabu.h"
+
+using namespace tqan;
+using device::NoiseMap;
+
+TEST(NoiseMap, ConstructionValidates)
+{
+    device::Topology topo = device::line(3);
+    EXPECT_THROW(NoiseMap(topo, {0.01}, {0.01, 0.01, 0.01}),
+                 std::invalid_argument);  // wrong edge count
+    EXPECT_THROW(NoiseMap(topo, {0.01, 0.01}, {0.01}),
+                 std::invalid_argument);  // wrong qubit count
+    EXPECT_THROW(NoiseMap(topo, {0.01, 1.5}, {0.01, 0.01, 0.01}),
+                 std::invalid_argument);  // bad rate
+    NoiseMap nm(topo, {0.01, 0.02}, {0.01, 0.01, 0.01});
+    EXPECT_DOUBLE_EQ(nm.edgeError(0, 1), 0.01);
+    EXPECT_DOUBLE_EQ(nm.edgeError(2, 1), 0.02);
+    EXPECT_THROW(nm.edgeError(0, 2), std::invalid_argument);
+}
+
+TEST(NoiseMap, SyntheticCalibrationShape)
+{
+    device::Topology topo = device::montreal27();
+    std::mt19937_64 rng(141);
+    NoiseMap nm = NoiseMap::synthetic(topo, rng);
+    double sum = 0.0, mx = 0.0, mn = 1.0;
+    for (double e : nm.edgeErrors()) {
+        sum += e;
+        mx = std::max(mx, e);
+        mn = std::min(mn, e);
+    }
+    double mean = sum / nm.edgeErrors().size();
+    EXPECT_NEAR(mean, 0.0124, 0.01);
+    EXPECT_GT(mx / mn, 1.5);  // genuine inhomogeneity
+}
+
+TEST(NoiseMap, DistancesReduceToHopsAtLambdaZero)
+{
+    device::Topology topo = device::grid(3, 3);
+    std::mt19937_64 rng(142);
+    NoiseMap nm = NoiseMap::synthetic(topo, rng);
+    auto d = nm.noiseAwareDistances(0.0);
+    for (int p = 0; p < 9; ++p)
+        for (int q = 0; q < 9; ++q)
+            EXPECT_NEAR(d[p][q], topo.dist(p, q), 1e-9);
+}
+
+TEST(NoiseMap, BadCouplerGetsAvoided)
+{
+    // Line of 4 with a terrible middle coupler: the noise-aware
+    // distance through it must exceed the hop count substantially.
+    device::Topology topo = device::line(4);
+    NoiseMap nm(topo, {0.005, 0.25, 0.005},
+                {0.01, 0.01, 0.01, 0.01});
+    auto d = nm.noiseAwareDistances(2.0);
+    EXPECT_GT(d[1][2], 2.5);          // inflated single hop
+    EXPECT_LT(d[0][1], 1.5);          // good coupler ~ 1
+}
+
+TEST(NoiseAwarePlacement, PrefersCleanRegion)
+{
+    // 2x4 grid; the right half has 10x worse couplers.  A 3-qubit
+    // chain should be placed in the left half.
+    device::Topology topo = device::grid(2, 4);
+    std::vector<double> errs;
+    for (const auto &[u, v] : topo.edges()) {
+        bool right = (u % 4) >= 2 || (v % 4) >= 2;
+        errs.push_back(right ? 0.10 : 0.004);
+    }
+    NoiseMap nm(topo, errs, std::vector<double>(8, 0.01));
+
+    ham::TwoLocalHamiltonian h(3);
+    h.addPair(0, 1, 0, 0, 0.5);
+    h.addPair(1, 2, 0, 0, 0.5);
+    auto flow = qap::flowMatrix(h);
+    auto dist = nm.noiseAwareDistances(3.0);
+
+    std::mt19937_64 rng(143);
+    auto p = qap::tabuSearchQapMatrix(flow, dist, rng);
+    // All three qubits on the clean columns 0-1.
+    for (int loc : p)
+        EXPECT_LT(loc % 4, 2) << "placed on noisy column";
+}
+
+TEST(NoiseAwarePlacement, CompilerIntegration)
+{
+    std::mt19937_64 rng(144);
+    device::Topology topo = device::montreal27();
+    auto h = ham::nnnIsing(10, rng);
+    auto step = ham::trotterStep(h, 1.0);
+
+    core::CompilerOptions opt;
+    opt.seed = 145;
+    std::mt19937_64 nrng(9);
+    opt.noiseMap = std::make_shared<NoiseMap>(
+        NoiseMap::synthetic(topo, nrng));
+    opt.noiseLambda = 1.5;
+    core::TqanCompiler comp(topo, opt);
+    auto res = comp.compile(step);
+    EXPECT_TRUE(core::scheduleIsValid(
+        qcir::unifySamePairInteractions(step), topo, res.sched));
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for Hamiltonian models, Trotterization and QAOA support.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/random_graph.h"
+#include "ham/models.h"
+#include "ham/qaoa.h"
+#include "ham/trotter.h"
+
+using namespace tqan::ham;
+using tqan::graph::Graph;
+
+TEST(Models, NnnChainEdgeCount)
+{
+    // Paper Sec. IV: 2n - 3 two-qubit operators per step.
+    for (int n : {6, 10, 26, 50})
+        EXPECT_EQ(static_cast<int>(nnnChainEdges(n).size()), 2 * n - 3);
+}
+
+TEST(Models, IsingStructure)
+{
+    std::mt19937_64 rng(7);
+    auto h = nnnIsing(8, rng);
+    EXPECT_EQ(static_cast<int>(h.pairs().size()), 13);
+    EXPECT_EQ(static_cast<int>(h.fields().size()), 8);
+    for (const auto &p : h.pairs()) {
+        EXPECT_EQ(p.xx, 0.0);
+        EXPECT_EQ(p.yy, 0.0);
+        EXPECT_GT(p.zz, 0.0);
+        EXPECT_LT(p.zz, M_PI);
+    }
+    EXPECT_TRUE(h.isDiagonal());
+}
+
+TEST(Models, HeisenbergStructure)
+{
+    std::mt19937_64 rng(8);
+    auto h = nnnHeisenberg(10, rng);
+    EXPECT_EQ(static_cast<int>(h.pairs().size()), 17);
+    for (const auto &p : h.pairs()) {
+        EXPECT_GT(p.xx, 0.0);
+        EXPECT_GT(p.yy, 0.0);
+        EXPECT_GT(p.zz, 0.0);
+    }
+    EXPECT_FALSE(h.isDiagonal());
+    // 3 Pauli terms per pair in the un-unified view.
+    EXPECT_EQ(h.pauliTerms().size(), 3u * 17u);
+}
+
+TEST(Models, XYHasNoZZ)
+{
+    std::mt19937_64 rng(9);
+    auto h = nnnXY(7, rng);
+    for (const auto &p : h.pairs()) {
+        EXPECT_GT(p.xx, 0.0);
+        EXPECT_GT(p.yy, 0.0);
+        EXPECT_EQ(p.zz, 0.0);
+    }
+}
+
+TEST(Models, AddPairFoldsDuplicates)
+{
+    TwoLocalHamiltonian h(4);
+    h.addPair(0, 1, 0.1, 0.0, 0.0);
+    h.addPair(1, 0, 0.0, 0.2, 0.0);
+    EXPECT_EQ(h.pairs().size(), 1u);
+    EXPECT_NEAR(h.pairs()[0].xx, 0.1, 1e-12);
+    EXPECT_NEAR(h.pairs()[0].yy, 0.2, 1e-12);
+}
+
+TEST(Models, InteractionGraph)
+{
+    std::mt19937_64 rng(10);
+    auto h = nnnIsing(6, rng);
+    Graph g = h.interactionGraph();
+    EXPECT_EQ(g.numEdges(), 9);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(Trotter, StepStructure)
+{
+    std::mt19937_64 rng(11);
+    auto h = nnnIsing(6, rng);
+    auto c = trotterStep(h, 0.5);
+    EXPECT_EQ(c.twoQubitCount(), 9);
+    EXPECT_EQ(c.size() - c.twoQubitCount(), 6);  // one Rx per qubit
+    // Interact coefficients scale with t.
+    EXPECT_NEAR(c.op(0).azz, h.pairs()[0].zz * 0.5, 1e-12);
+}
+
+TEST(Trotter, MultiStepReversesEvenSteps)
+{
+    std::mt19937_64 rng(12);
+    auto h = nnnXY(5, rng);
+    auto c1 = trotterStep(h, 1.0 / 3.0);
+    auto c = trotterCircuit(h, 1.0, 3, true);
+    EXPECT_EQ(c.size(), 3 * c1.size());
+    // Step 2's first 2q op equals step 1's last 2q op.
+    int m = c1.twoQubitCount();
+    std::vector<const tqan::qcir::Op *> twoq;
+    for (const auto &o : c.ops())
+        if (o.isTwoQubit())
+            twoq.push_back(&o);
+    EXPECT_EQ(twoq[m]->q0, twoq[m - 1]->q0);
+    EXPECT_EQ(twoq[m]->q1, twoq[m - 1]->q1);
+}
+
+TEST(Trotter, RejectsBadStepCount)
+{
+    std::mt19937_64 rng(13);
+    auto h = nnnIsing(4, rng);
+    EXPECT_THROW(trotterCircuit(h, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Qaoa, FixedAnglesTable)
+{
+    EXPECT_EQ(qaoaFixedAngles(1).size(), 1u);
+    EXPECT_EQ(qaoaFixedAngles(2).size(), 2u);
+    EXPECT_EQ(qaoaFixedAngles(3).size(), 3u);
+    EXPECT_NEAR(qaoaFixedAngles(1)[0].beta, M_PI / 8.0, 1e-12);
+    EXPECT_THROW(qaoaFixedAngles(4), std::invalid_argument);
+}
+
+TEST(Qaoa, CutAndCost)
+{
+    // Square C4: maxcut = 4, Cmin = 4 - 2*4 = -4.
+    Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    EXPECT_EQ(cutValue(g, 0b0101), 4);
+    EXPECT_EQ(maxCut(g), 4);
+    EXPECT_EQ(costOfAssignment(g, 0b0101), -4);
+    EXPECT_EQ(costOfAssignment(g, 0b0000), 4);
+}
+
+TEST(Qaoa, MaxCutK4)
+{
+    Graph g(4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = i + 1; j < 4; ++j)
+            g.addEdge(i, j);
+    EXPECT_EQ(maxCut(g), 4);  // balanced 2-2 split
+}
+
+TEST(Qaoa, LayerHamiltonianMatchesGraph)
+{
+    std::mt19937_64 rng(14);
+    Graph g = tqan::graph::randomRegularGraph(8, 3, rng);
+    auto h = qaoaLayerHamiltonian(g, {0.6, 0.4});
+    EXPECT_EQ(static_cast<int>(h.pairs().size()), g.numEdges());
+    EXPECT_EQ(static_cast<int>(h.fields().size()), 8);
+    for (const auto &p : h.pairs())
+        EXPECT_NEAR(p.zz, 0.3, 1e-12);  // gamma/2 convention
+}
+
+TEST(Qaoa, StateCircuitShape)
+{
+    Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    auto angles = qaoaFixedAngles(2);
+    auto c = qaoaStateCircuit(g, angles);
+    // 4 H + 2 * (4 ZZ + 4 Rx).
+    EXPECT_EQ(c.size(), 4 + 2 * (4 + 4));
+    EXPECT_EQ(c.twoQubitCount(), 8);
+}

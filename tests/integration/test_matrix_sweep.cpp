@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Full-matrix property sweep: every benchmark family x every device
+ * x every gate set, checking the structural invariants that make the
+ * paper's metrics meaningful:
+ *
+ *  - the schedule is semantically valid (scheduleIsValid),
+ *  - cycles contain only qubit-disjoint ops,
+ *  - native gate counts never beat the NoMap baseline,
+ *  - the dressed count never exceeds the SWAP count,
+ *  - the expanded-for-metrics circuit's 2q count equals the analytic
+ *    native count of the scheduled circuit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/compiler.h"
+#include "core/metrics.h"
+#include "decomp/native_count.h"
+#include "decomp/pass.h"
+#include "device/devices.h"
+#include "graph/random_graph.h"
+#include "ham/models.h"
+#include "ham/qaoa.h"
+#include "ham/trotter.h"
+
+using namespace tqan;
+using namespace tqan::core;
+
+namespace {
+
+device::Topology
+deviceOf(int d)
+{
+    switch (d) {
+      case 0: return device::sycamore54();
+      case 1: return device::montreal27();
+      case 2: return device::aspen16();
+      case 3: return device::manhattan65();
+      default: return device::cube(3, 3, 2);
+    }
+}
+
+device::GateSet
+gateSetOf(int g)
+{
+    switch (g) {
+      case 0: return device::GateSet::Cnot;
+      case 1: return device::GateSet::Cz;
+      case 2: return device::GateSet::ISwap;
+      default: return device::GateSet::Syc;
+    }
+}
+
+qcir::Circuit
+workloadOf(int m, int n, std::mt19937_64 &rng)
+{
+    switch (m) {
+      case 0:
+        return ham::trotterStep(ham::nnnHeisenberg(n, rng), 1.0);
+      case 1:
+        return ham::trotterStep(ham::nnnXY(n, rng), 1.0);
+      case 2:
+        return ham::trotterStep(ham::nnnIsing(n, rng), 1.0);
+      default: {
+        auto g = graph::randomRegularGraph(n, 3, rng);
+        return ham::trotterStep(
+            ham::qaoaLayerHamiltonian(g,
+                                      ham::qaoaFixedAngles(1)[0]),
+            1.0);
+      }
+    }
+}
+
+} // namespace
+
+class FullMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(FullMatrix, InvariantsHold)
+{
+    auto [model, dev, gs_i] = GetParam();
+    device::Topology topo = deviceOf(dev);
+    device::GateSet gs = gateSetOf(gs_i);
+    int n = std::min(12, topo.numQubits() - 2);
+    if (model == 3 && n % 2 == 1)
+        --n;  // 3-regular needs even n
+
+    std::mt19937_64 rng(model * 7919 + dev * 104729 + gs_i);
+    qcir::Circuit step = workloadOf(model, n, rng);
+
+    CompilerOptions opt;
+    opt.seed = 1000 + model + dev + gs_i;
+    TqanCompiler comp(topo, opt);
+    auto res = comp.compile(step);
+
+    // Semantic validity.
+    EXPECT_TRUE(scheduleIsValid(
+        qcir::unifySamePairInteractions(step), topo, res.sched));
+
+    // Cycle structure: ops in one cycle are qubit-disjoint.
+    for (const auto &cycle : res.sched.cycles) {
+        std::set<int> used;
+        for (int oi : cycle) {
+            const auto &o = res.sched.deviceCircuit.op(oi);
+            EXPECT_TRUE(used.insert(o.q0).second);
+            EXPECT_TRUE(used.insert(o.q1).second);
+        }
+    }
+
+    // Metric invariants.
+    auto m = computeMetrics(res.sched, step, gs);
+    EXPECT_GE(m.native2q, m.native2qNoMap);
+    EXPECT_GE(m.depth2q, m.depth2qNoMap);
+    EXPECT_LE(m.dressed, m.swaps);
+
+    // Count consistency: expandForMetrics agrees with the analytic
+    // native counts of the scheduled ops.
+    qcir::Circuit expanded =
+        decomp::expandForMetrics(res.sched.deviceCircuit, gs);
+    EXPECT_EQ(expanded.twoQubitCount(),
+              decomp::nativeTwoQubitCount(res.sched.deviceCircuit,
+                                          gs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FullMatrix,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 5),
+                       ::testing::Range(0, 4)));
+
+TEST(DenseWorkload, Reg8OnManhattanRoutes)
+{
+    // Exercises the router's forced-progress path (dense interaction
+    // graphs produce long plateau phases).
+    std::mt19937_64 rng(161);
+    auto g = graph::randomRegularGraph(16, 8, rng);
+    ham::TwoLocalHamiltonian h(16);
+    for (const auto &[u, v] : g.edges())
+        h.addPair(u, v, 0.0, 0.0, 0.4);
+    auto step = ham::trotterStep(h, 1.0);
+
+    CompilerOptions opt;
+    opt.seed = 162;
+    TqanCompiler comp(device::manhattan65(), opt);
+    auto res = comp.compile(step);
+    EXPECT_TRUE(scheduleIsValid(
+        qcir::unifySamePairInteractions(step), comp.topology(),
+        res.sched));
+    EXPECT_GT(res.sched.swapCount, 0);
+}
+
+TEST(DenseWorkload, CompleteGraphOnGrid)
+{
+    // K8 on a 3x3 grid: worst-case density for 8 qubits.
+    ham::TwoLocalHamiltonian h(8);
+    for (int u = 0; u < 8; ++u)
+        for (int v = u + 1; v < 8; ++v)
+            h.addPair(u, v, 0.1, 0.0, 0.4);
+    auto step = ham::trotterStep(h, 1.0);
+
+    CompilerOptions opt;
+    opt.seed = 163;
+    TqanCompiler comp(device::grid(3, 3), opt);
+    auto res = comp.compile(step);
+    EXPECT_TRUE(scheduleIsValid(
+        qcir::unifySamePairInteractions(step), comp.topology(),
+        res.sched));
+    EXPECT_EQ(res.sched.deviceCircuit.twoQubitCount(),
+              28 + res.sched.swapCount - res.sched.dressedCount);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the Jacobi eigensolver and SU(2) utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/eig.h"
+#include "linalg/su2.h"
+
+using namespace tqan::linalg;
+
+namespace {
+
+Mat2
+randomSu2(std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    return rz(ang(rng)) * ry(ang(rng)) * rz(ang(rng));
+}
+
+} // namespace
+
+TEST(JacobiEig, DiagonalInput)
+{
+    RMat4 a{};
+    a[0] = 3.0;
+    a[5] = -1.0;
+    a[10] = 2.0;
+    a[15] = 0.5;
+    std::array<double, 4> w;
+    RMat4 v;
+    EXPECT_TRUE(jacobiEig4(a, w, v));
+    std::array<double, 4> sorted = w;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_NEAR(sorted[0], -1.0, 1e-12);
+    EXPECT_NEAR(sorted[3], 3.0, 1e-12);
+}
+
+TEST(JacobiEig, RandomSymmetricReconstruction)
+{
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> val(-2.0, 2.0);
+    for (int trial = 0; trial < 30; ++trial) {
+        RMat4 a{};
+        for (int i = 0; i < 4; ++i)
+            for (int j = i; j < 4; ++j)
+                a[i * 4 + j] = a[j * 4 + i] = val(rng);
+
+        std::array<double, 4> w;
+        RMat4 v;
+        ASSERT_TRUE(jacobiEig4(a, w, v));
+
+        // A = V^T diag(w) V.
+        RMat4 d{};
+        for (int i = 0; i < 4; ++i)
+            d[i * 4 + i] = w[i];
+        RMat4 recon = rmul(rmul(rtranspose(v), d), v);
+        for (int i = 0; i < 16; ++i)
+            EXPECT_NEAR(recon[i], a[i], 1e-9);
+
+        // V orthogonal.
+        RMat4 vvt = rmul(v, rtranspose(v));
+        RMat4 id = ridentity();
+        for (int i = 0; i < 16; ++i)
+            EXPECT_NEAR(vvt[i], id[i], 1e-10);
+    }
+}
+
+TEST(JacobiEig, DeterminantOfOrthogonal)
+{
+    std::mt19937_64 rng(12);
+    std::uniform_real_distribution<double> val(-1.0, 1.0);
+    RMat4 a{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = i; j < 4; ++j)
+            a[i * 4 + j] = a[j * 4 + i] = val(rng);
+    std::array<double, 4> w;
+    RMat4 v;
+    ASSERT_TRUE(jacobiEig4(a, w, v));
+    EXPECT_NEAR(std::abs(rdet(v)), 1.0, 1e-10);
+}
+
+TEST(Zyz, RoundTripRandomUnitaries)
+{
+    std::mt19937_64 rng(13);
+    for (int i = 0; i < 100; ++i) {
+        Mat2 u = randomSu2(rng) * std::exp(Cx(0.0, 0.3 * i));
+        Zyz d = zyzDecompose(u);
+        EXPECT_LT(zyzReconstruct(d).distance(u), 1e-10)
+            << "trial " << i;
+    }
+}
+
+TEST(Zyz, DiagonalEdgeCase)
+{
+    Zyz d = zyzDecompose(rz(0.7));
+    EXPECT_LT(zyzReconstruct(d).distance(rz(0.7)), 1e-12);
+    EXPECT_NEAR(d.beta, 0.0, 1e-12);
+}
+
+TEST(Zyz, AntiDiagonalEdgeCase)
+{
+    Zyz d = zyzDecompose(pauliX());
+    EXPECT_LT(zyzReconstruct(d).distance(pauliX()), 1e-12);
+    EXPECT_NEAR(d.beta, M_PI, 1e-12);
+}
+
+TEST(KronFactor, RoundTrip)
+{
+    std::mt19937_64 rng(14);
+    for (int i = 0; i < 100; ++i) {
+        Mat2 a = randomSu2(rng), b = randomSu2(rng);
+        Mat4 u = kron(a, b) * std::exp(Cx(0.0, 0.1 * i));
+        Mat2 fa, fb;
+        double resid = kronFactor(u, fa, fb);
+        EXPECT_LT(resid, 1e-10);
+        EXPECT_LT(phaseDistance(kron(fa, fb), u), 1e-10);
+        // Factors match the originals up to phase.
+        EXPECT_LT(phaseDistance(fa, a), 1e-9);
+        EXPECT_LT(phaseDistance(fb, b), 1e-9);
+    }
+}
+
+TEST(KronFactor, NonProductHasLargeResidual)
+{
+    Mat2 a, b;
+    double resid = kronFactor(cnot(0, 1), a, b);
+    EXPECT_GT(resid, 0.1);
+}

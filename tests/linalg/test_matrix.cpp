@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the small complex matrix layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/matrix.h"
+
+using namespace tqan::linalg;
+
+namespace {
+
+Mat2
+randomSu2(std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    return rz(ang(rng)) * ry(ang(rng)) * rz(ang(rng));
+}
+
+} // namespace
+
+TEST(Mat2, IdentityAndMultiply)
+{
+    Mat2 i = Mat2::identity();
+    Mat2 x = pauliX();
+    EXPECT_LT((i * x).distance(x), 1e-12);
+    EXPECT_LT((x * x).distance(i), 1e-12);
+}
+
+TEST(Mat2, PauliAlgebra)
+{
+    // XY = iZ, YZ = iX, ZX = iY.
+    Cx im(0.0, 1.0);
+    EXPECT_LT((pauliX() * pauliY()).distance(pauliZ() * im), 1e-12);
+    EXPECT_LT((pauliY() * pauliZ()).distance(pauliX() * im), 1e-12);
+    EXPECT_LT((pauliZ() * pauliX()).distance(pauliY() * im), 1e-12);
+}
+
+TEST(Mat2, RotationsAreUnitary)
+{
+    std::mt19937_64 rng(1);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    for (int i = 0; i < 50; ++i) {
+        double t = ang(rng);
+        EXPECT_TRUE(rx(t).isUnitary());
+        EXPECT_TRUE(ry(t).isUnitary());
+        EXPECT_TRUE(rz(t).isUnitary());
+    }
+}
+
+TEST(Mat2, HadamardSquaresToIdentity)
+{
+    EXPECT_LT((hadamard() * hadamard()).distance(Mat2::identity()),
+              1e-12);
+}
+
+TEST(Mat2, SGateIsSqrtZ)
+{
+    EXPECT_LT((sGate() * sGate()).distance(pauliZ()), 1e-12);
+    EXPECT_LT((sGate() * sDagGate()).distance(Mat2::identity()),
+              1e-12);
+}
+
+TEST(Mat2, DetAndTrace)
+{
+    Mat2 z = pauliZ();
+    EXPECT_NEAR(std::abs(z.det() + 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(z.trace()), 0.0, 1e-12);
+}
+
+TEST(Mat4, CnotMatrixEntries)
+{
+    // Control = qubit 0 (LSB): |01> -> |11>, |11> -> |01>.
+    Mat4 c = cnot(0, 1);
+    EXPECT_NEAR(std::abs(c.at(0, 0) - 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(c.at(3, 1) - 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(c.at(1, 3) - 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(c.at(2, 2) - 1.0), 0.0, 1e-12);
+    EXPECT_TRUE(c.isUnitary());
+}
+
+TEST(Mat4, CnotConjugationRules)
+{
+    // CNOT(c=0, t=1): X_0 -> X_0 X_1 and Z_1 -> Z_0 Z_1.
+    Mat4 c = cnot(0, 1);
+    Mat4 x0 = kron(pauliI(), pauliX());
+    Mat4 xx = kron(pauliX(), pauliX());
+    EXPECT_LT((c * x0 * c).distance(xx), 1e-12);
+    Mat4 z1 = kron(pauliZ(), pauliI());
+    Mat4 zz = kron(pauliZ(), pauliZ());
+    EXPECT_LT((c * z1 * c).distance(zz), 1e-12);
+}
+
+TEST(Mat4, SwapFromThreeCnots)
+{
+    Mat4 s = cnot(0, 1) * cnot(1, 0) * cnot(0, 1);
+    EXPECT_LT(s.distance(swapGate()), 1e-12);
+}
+
+TEST(Mat4, IswapSquaredIsZz)
+{
+    Mat4 zz = kron(pauliZ(), pauliZ());
+    EXPECT_LT((iswapGate() * iswapGate()).distance(zz), 1e-12);
+}
+
+TEST(Mat4, SycIsUnitary)
+{
+    EXPECT_TRUE(sycGate().isUnitary());
+    // fSim(pi/2, pi/6): |11> phase is e^{-i pi/6}.
+    EXPECT_NEAR(std::arg(sycGate().at(3, 3)), -M_PI / 6.0, 1e-12);
+}
+
+TEST(Mat4, KronStructure)
+{
+    std::mt19937_64 rng(2);
+    Mat2 a = randomSu2(rng), b = randomSu2(rng);
+    Mat4 k = kron(a, b);
+    EXPECT_TRUE(k.isUnitary());
+    // Block (i1, j1) equals a[i1][j1] * b.
+    for (int i1 = 0; i1 < 2; ++i1)
+        for (int j1 = 0; j1 < 2; ++j1)
+            for (int i0 = 0; i0 < 2; ++i0)
+                for (int j0 = 0; j0 < 2; ++j0)
+                    EXPECT_NEAR(
+                        std::abs(k.at(i1 * 2 + i0, j1 * 2 + j0) -
+                                 a.at(i1, j1) * b.at(i0, j0)),
+                        0.0, 1e-12);
+}
+
+TEST(Mat4, PhaseDistanceIgnoresGlobalPhase)
+{
+    std::mt19937_64 rng(3);
+    Mat4 u = kron(randomSu2(rng), randomSu2(rng));
+    Mat4 v = u * std::exp(Cx(0.0, 1.234));
+    EXPECT_GT(u.distance(v), 0.1);
+    EXPECT_LT(phaseDistance(u, v), 1e-10);
+}
+
+TEST(ExpXxYyZz, PureZzMatchesCnotConjugation)
+{
+    // exp(i c ZZ) = CNOT (I x Rz(-2c))? with our conventions:
+    // CNOT(0,1) Rz_1(-2c) CNOT(0,1) where Rz_1 acts on qubit 1.
+    double c = 0.37;
+    Mat4 direct = expXxYyZz(0.0, 0.0, c);
+    Mat4 built =
+        cnot(0, 1) * kron(rz(-2.0 * c), pauliI()) * cnot(0, 1);
+    EXPECT_LT(phaseDistance(direct, built), 1e-12);
+}
+
+TEST(ExpXxYyZz, SwapClassAtQuarterPi)
+{
+    // exp(i pi/4 (XX + YY + ZZ)) is the SWAP up to global phase.
+    Mat4 u = expXxYyZz(M_PI / 4, M_PI / 4, M_PI / 4);
+    EXPECT_LT(phaseDistance(u, swapGate()), 1e-10);
+}
+
+TEST(ExpXxYyZz, FactorsCommute)
+{
+    Mat4 a = expXxYyZz(0.3, 0.0, 0.0);
+    Mat4 b = expXxYyZz(0.0, 0.5, 0.0);
+    Mat4 c = expXxYyZz(0.0, 0.0, 0.7);
+    Mat4 abc = expXxYyZz(0.3, 0.5, 0.7);
+    EXPECT_LT((a * b * c).distance(abc), 1e-12);
+    EXPECT_LT((c * a * b).distance(abc), 1e-12);
+}
+
+TEST(ExpXxYyZz, UnitaryForRandomCoefficients)
+{
+    std::mt19937_64 rng(4);
+    std::uniform_real_distribution<double> coeff(-4.0, 4.0);
+    for (int i = 0; i < 50; ++i) {
+        Mat4 u = expXxYyZz(coeff(rng), coeff(rng), coeff(rng));
+        EXPECT_TRUE(u.isUnitary());
+    }
+}
+
+TEST(ExpXxYyZz, CommutesWithSwap)
+{
+    Mat4 u = expXxYyZz(0.3, 0.5, 0.7);
+    Mat4 s = swapGate();
+    EXPECT_LT((u * s).distance(s * u), 1e-12);
+}
+
+TEST(MagicBasis, IsUnitary)
+{
+    EXPECT_TRUE(magicBasis().isUnitary());
+}
+
+TEST(MagicBasis, DiagonalizesInteractions)
+{
+    // B^dag exp(i(a XX + b YY + c ZZ)) B must be diagonal.
+    Mat4 b = magicBasis();
+    Mat4 u = expXxYyZz(0.21, 0.43, 0.65);
+    Mat4 d = b.dagger() * u * b;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            if (i != j) {
+                EXPECT_NEAR(std::abs(d.at(i, j)), 0.0, 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: ops, circuits, metrics, DAG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qcir/circuit.h"
+#include "qcir/dag.h"
+
+using namespace tqan::qcir;
+using tqan::linalg::Mat4;
+using tqan::linalg::phaseDistance;
+
+TEST(Op, FactoriesValidate)
+{
+    EXPECT_THROW(Op::interact(1, 1, 0, 0, 0.5), std::invalid_argument);
+    EXPECT_THROW(Op::swap(2, 2), std::invalid_argument);
+    EXPECT_THROW(Op::cnot(0, 0), std::invalid_argument);
+}
+
+TEST(Op, DressedSwapUnitaryIsProduct)
+{
+    Op d = Op::dressedSwap(0, 1, 0.2, 0.3, 0.4);
+    Mat4 expect = tqan::linalg::swapGate() *
+                  tqan::linalg::expXxYyZz(0.2, 0.3, 0.4);
+    EXPECT_LT(d.unitary4().distance(expect), 1e-12);
+    // Order does not matter (SWAP commutes with the interaction).
+    Mat4 other = tqan::linalg::expXxYyZz(0.2, 0.3, 0.4) *
+                 tqan::linalg::swapGate();
+    EXPECT_LT(d.unitary4().distance(other), 1e-12);
+}
+
+TEST(Op, RotationUnitaries)
+{
+    EXPECT_LT(Op::rx(0, 0.7).unitary2().distance(
+                  tqan::linalg::rx(0.7)),
+              1e-12);
+    EXPECT_LT(Op::rz(3, -1.2).unitary2().distance(
+                  tqan::linalg::rz(-1.2)),
+              1e-12);
+}
+
+TEST(Circuit, AddValidatesRange)
+{
+    Circuit c(3);
+    EXPECT_NO_THROW(c.add(Op::interact(0, 2, 0, 0, 1.0)));
+    EXPECT_THROW(c.add(Op::interact(0, 3, 0, 0, 1.0)),
+                 std::out_of_range);
+    EXPECT_THROW(c.add(Op::rx(-1, 0.5)), std::out_of_range);
+}
+
+TEST(Circuit, CountsAndDepth)
+{
+    Circuit c(4);
+    c.add(Op::interact(0, 1, 0, 0, 0.5));
+    c.add(Op::interact(2, 3, 0, 0, 0.5));
+    c.add(Op::interact(1, 2, 0, 0, 0.5));
+    c.add(Op::rx(0, 0.1));
+    EXPECT_EQ(c.twoQubitCount(), 3);
+    EXPECT_EQ(c.countKind(OpKind::Interact), 3);
+    EXPECT_EQ(c.twoQubitDepth(), 2);  // (0,1)//(2,3) then (1,2)
+    EXPECT_EQ(c.depth(), 2);  // Rx on q0 fits next to (1,2)
+}
+
+TEST(Circuit, ReversedTwoQubitOrder)
+{
+    Circuit c(3);
+    c.add(Op::interact(0, 1, 0, 0, 0.1));
+    c.add(Op::rx(2, 0.5));
+    c.add(Op::interact(1, 2, 0, 0, 0.2));
+    Circuit r = c.reversedTwoQubitOrder();
+    ASSERT_EQ(r.size(), 3);
+    EXPECT_EQ(r.op(0).q1, 2);  // (1,2) first now
+    EXPECT_EQ(r.op(1).kind, OpKind::Rx);
+    EXPECT_EQ(r.op(2).q1, 1);
+}
+
+TEST(Circuit, UnifySamePairInteractions)
+{
+    Circuit c(3);
+    c.add(Op::interact(0, 1, 0.1, 0.0, 0.0));
+    c.add(Op::interact(1, 2, 0.0, 0.0, 0.3));
+    c.add(Op::interact(1, 0, 0.0, 0.2, 0.0));  // same pair, flipped
+    Circuit u = unifySamePairInteractions(c);
+    EXPECT_EQ(u.twoQubitCount(), 2);
+    const Op &merged = u.op(0);
+    EXPECT_NEAR(merged.axx, 0.1, 1e-12);
+    EXPECT_NEAR(merged.ayy, 0.2, 1e-12);
+    EXPECT_NEAR(merged.azz, 0.0, 1e-12);
+
+    // Unitary equivalence: merged == product of the two ops.
+    Mat4 prod = Op::interact(0, 1, 0.0, 0.2, 0.0).unitary4() *
+                Op::interact(0, 1, 0.1, 0.0, 0.0).unitary4();
+    EXPECT_LT(phaseDistance(merged.unitary4(), prod), 1e-12);
+}
+
+TEST(GateDag, LinearChainDependencies)
+{
+    Circuit c(3);
+    c.add(Op::interact(0, 1, 0, 0, 1.0));  // op 0
+    c.add(Op::interact(1, 2, 0, 0, 1.0));  // op 1 (depends on 0)
+    c.add(Op::interact(0, 1, 0, 0, 1.0));  // op 2 (depends on 0 and 1)
+    GateDag dag(c);
+    EXPECT_EQ(dag.roots(), std::vector<int>{0});
+    EXPECT_EQ(dag.inDegree(1), 1);
+    EXPECT_EQ(dag.inDegree(2), 2);
+    auto order = dag.topoOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+}
+
+TEST(GateDag, ParallelOpsHaveNoDependency)
+{
+    Circuit c(4);
+    c.add(Op::interact(0, 1, 0, 0, 1.0));
+    c.add(Op::interact(2, 3, 0, 0, 1.0));
+    GateDag dag(c);
+    EXPECT_EQ(dag.roots().size(), 2u);
+}
+
+TEST(GateDag, OneQubitOpsChainDependencies)
+{
+    Circuit c(2);
+    c.add(Op::interact(0, 1, 0, 0, 1.0));
+    c.add(Op::rx(0, 0.3));
+    c.add(Op::interact(0, 1, 0, 0, 1.0));
+    GateDag dag(c);
+    // 2q -> rx -> 2q on qubit 0; second 2q also depends on first via
+    // qubit 1.
+    EXPECT_EQ(dag.inDegree(2), 2);
+}

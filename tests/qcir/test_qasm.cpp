@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "decomp/pass.h"
+#include "qcir/qasm.h"
+
+using namespace tqan;
+using qcir::Circuit;
+using qcir::Op;
+
+TEST(Qasm, BasicGates)
+{
+    Circuit c(3);
+    c.add(Op::rx(0, 0.5));
+    c.add(Op::cnot(0, 1));
+    c.add(Op::cz(1, 2));
+    std::string q = qcir::toQasm(c);
+    EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(q.find("rx(0.5) q[0];"), std::string::npos);
+    EXPECT_NE(q.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(q.find("cz q[1],q[2];"), std::string::npos);
+    // No custom gate headers needed.
+    EXPECT_EQ(q.find("gate iswap"), std::string::npos);
+}
+
+TEST(Qasm, U1qAsU3)
+{
+    Circuit c(1);
+    c.add(Op::u1q(0, linalg::hadamard()));
+    std::string q = qcir::toQasm(c);
+    EXPECT_NE(q.find("u3("), std::string::npos);
+}
+
+TEST(Qasm, CustomGateHeaders)
+{
+    Circuit c(2);
+    c.add(Op::iswap(0, 1));
+    c.add(Op::syc(0, 1));
+    std::string q = qcir::toQasm(c);
+    EXPECT_NE(q.find("gate iswap"), std::string::npos);
+    EXPECT_NE(q.find("gate syc"), std::string::npos);
+    EXPECT_NE(q.find("iswap q[0],q[1];"), std::string::npos);
+    EXPECT_NE(q.find("syc q[0],q[1];"), std::string::npos);
+}
+
+TEST(Qasm, RejectsApplicationLevelOps)
+{
+    Circuit c(2);
+    c.add(Op::interact(0, 1, 0, 0, 0.3));
+    EXPECT_THROW(qcir::toQasm(c), std::invalid_argument);
+
+    Circuit s(2);
+    s.add(Op::swap(0, 1));
+    EXPECT_THROW(qcir::toQasm(s), std::invalid_argument);
+}
+
+TEST(Qasm, DecomposedCircuitExports)
+{
+    Circuit c(2);
+    c.add(Op::dressedSwap(0, 1, 0.1, 0.2, 0.3));
+    Circuit hw = decomp::decomposeToCnot(c);
+    std::string q = qcir::toQasm(hw);
+    EXPECT_NE(q.find("cx"), std::string::npos);
+    // Line count sanity: header + qreg + one line per op.
+    int lines = 0;
+    for (char ch : q)
+        if (ch == '\n')
+            ++lines;
+    EXPECT_EQ(lines, 3 + hw.size());
+}

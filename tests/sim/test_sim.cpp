@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the statevector simulator, noise trajectories, ESP model
+ * and QAOA evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/random_graph.h"
+#include "ham/qaoa.h"
+#include "sim/noise.h"
+#include "sim/qaoa_eval.h"
+#include "sim/statevector.h"
+
+using namespace tqan;
+using namespace tqan::sim;
+using tqan::qcir::Circuit;
+using tqan::qcir::Op;
+
+TEST(Statevector, InitialState)
+{
+    Statevector psi(3);
+    EXPECT_NEAR(std::abs(psi.amplitude(0) - 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, BellState)
+{
+    Statevector psi(2);
+    psi.apply1q(0, linalg::hadamard());
+    psi.apply2q(0, 1, linalg::cnot(0, 1));
+    EXPECT_NEAR(psi.probability(0b00), 0.5, 1e-12);
+    EXPECT_NEAR(psi.probability(0b11), 0.5, 1e-12);
+    EXPECT_NEAR(psi.probability(0b01), 0.0, 1e-12);
+}
+
+TEST(Statevector, TwoQubitFrameConvention)
+{
+    // apply2q(q0=1, q1=0, CNOT): control = qubit 1, target = qubit 0.
+    Statevector psi(2);
+    psi.apply1q(1, linalg::pauliX());  // |10>
+    psi.apply2q(1, 0, linalg::cnot(0, 1));
+    EXPECT_NEAR(psi.probability(0b11), 1.0, 1e-12);
+}
+
+TEST(Statevector, MatchesDenseProductOnThreeQubits)
+{
+    // Random circuit on 3 qubits vs. dense 8x8 accumulation.
+    std::mt19937_64 rng(101);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+
+    Circuit c(3);
+    c.add(Op::rx(0, ang(rng)));
+    c.add(Op::interact(0, 1, ang(rng), 0.0, ang(rng)));
+    c.add(Op::ry(2, ang(rng)));
+    c.add(Op::interact(1, 2, 0.0, ang(rng), 0.0));
+    c.add(Op::swap(0, 2));
+    c.add(Op::rz(1, ang(rng)));
+    c.add(Op::interact(0, 2, 0.3, 0.4, 0.5));
+
+    Statevector psi(3);
+    psi.applyCircuit(c);
+
+    // Dense reference.
+    std::vector<linalg::Cx> ref(8, 0.0);
+    ref[0] = 1.0;
+    auto apply_dense = [&ref](const Op &o) {
+        std::vector<linalg::Cx> out(8, 0.0);
+        if (o.isTwoQubit()) {
+            auto u = o.unitary4();
+            for (int b = 0; b < 8; ++b) {
+                int b0 = (b >> o.q0) & 1, b1 = (b >> o.q1) & 1;
+                int in = (b1 << 1) | b0;
+                for (int r = 0; r < 4; ++r) {
+                    int nb = b;
+                    nb &= ~(1 << o.q0);
+                    nb &= ~(1 << o.q1);
+                    nb |= (r & 1) << o.q0;
+                    nb |= ((r >> 1) & 1) << o.q1;
+                    out[nb] += u.at(r, in) * ref[b];
+                }
+            }
+        } else {
+            auto u = o.unitary2();
+            for (int b = 0; b < 8; ++b) {
+                int bit = (b >> o.q0) & 1;
+                for (int r = 0; r < 2; ++r) {
+                    int nb = (b & ~(1 << o.q0)) | (r << o.q0);
+                    out[nb] += u.at(r, bit) * ref[b];
+                }
+            }
+        }
+        ref = out;
+    };
+    for (const auto &o : c.ops())
+        apply_dense(o);
+
+    for (int b = 0; b < 8; ++b)
+        EXPECT_NEAR(std::abs(psi.amplitude(b) - ref[b]), 0.0, 1e-10);
+}
+
+TEST(Statevector, ExpectationZZ)
+{
+    graph::Graph g(2, {{0, 1}});
+    Statevector psi(2);
+    EXPECT_NEAR(psi.expectationZZ(g), 1.0, 1e-12);  // |00>: same side
+    psi.applyPauli(0, 'X');                          // |01>
+    EXPECT_NEAR(psi.expectationZZ(g), -1.0, 1e-12);
+    psi.apply1q(1, linalg::hadamard());
+    EXPECT_NEAR(psi.expectationZZ(g), 0.0, 1e-12);
+}
+
+TEST(Statevector, SamplingFollowsBorn)
+{
+    Statevector psi(1);
+    psi.apply1q(0, linalg::hadamard());
+    std::mt19937_64 rng(102);
+    int ones = 0;
+    for (int i = 0; i < 2000; ++i)
+        ones += psi.sample(rng) & 1;
+    EXPECT_NEAR(ones / 2000.0, 0.5, 0.05);
+}
+
+TEST(Noise, ZeroErrorIsExact)
+{
+    std::mt19937_64 rng(103);
+    graph::Graph g = graph::randomRegularGraph(6, 3, rng);
+    auto c = ham::qaoaStateCircuit(g, ham::qaoaFixedAngles(1));
+    NoiseModel nm;
+    nm.err1q = nm.err2q = 0.0;
+    double noisy =
+        noisyExpectationZZ(c, 6, g.edges(), nm, 3, rng);
+    Statevector ref(6);
+    ref.applyCircuit(c);
+    EXPECT_NEAR(noisy, ref.expectationZZ(g), 1e-9);
+}
+
+TEST(Noise, ErrorsDegradeCost)
+{
+    std::mt19937_64 rng(104);
+    graph::Graph g = graph::randomRegularGraph(8, 3, rng);
+    auto c = ham::qaoaStateCircuit(g, ham::qaoaFixedAngles(1));
+    int cmin = g.numEdges() - 2 * ham::maxCut(g);
+
+    Statevector ref(8);
+    ref.applyCircuit(c);
+    double clean = ref.expectationZZ(g) / cmin;
+
+    NoiseModel heavy;
+    heavy.err2q = 0.15;
+    heavy.err1q = 0.02;
+    double noisy = noisyExpectationZZ(c, 8, g.edges(), heavy, 40,
+                                      rng) /
+                   cmin;
+    EXPECT_LT(noisy, clean);
+}
+
+TEST(Esp, MonotonicInGateCount)
+{
+    NoiseModel nm = montrealNoise();
+    CircuitCost small{10, 20, 5, 5, 8};
+    CircuitCost big{100, 200, 50, 50, 8};
+    EXPECT_GT(esp(small, nm), esp(big, nm));
+    EXPECT_GT(esp(small, nm), 0.0);
+    EXPECT_LT(esp(small, nm), 1.0);
+}
+
+TEST(Esp, TallyCountsCircuit)
+{
+    Circuit c(3);
+    c.add(Op::cnot(0, 1));
+    c.add(Op::rx(2, 0.3));
+    c.add(Op::cnot(1, 2));
+    auto cost = tallyCircuit(c, 3);
+    EXPECT_EQ(cost.gates2q, 2);
+    EXPECT_EQ(cost.gates1q, 1);
+    EXPECT_EQ(cost.measuredQubits, 3);
+}
+
+TEST(QaoaEval, NoiselessRatioInRange)
+{
+    std::mt19937_64 rng(105);
+    graph::Graph g = graph::randomRegularGraph(8, 3, rng);
+    double r1 = noiselessRatio(g, ham::qaoaFixedAngles(1));
+    EXPECT_GT(r1, 0.2);   // fixed angles are decent
+    EXPECT_LT(r1, 1.0);
+    // More layers should not hurt (fixed-angle tables improve).
+    double r2 = noiselessRatio(g, ham::qaoaFixedAngles(2));
+    EXPECT_GT(r2, r1 - 0.05);
+}
+
+TEST(QaoaEval, EspRatioBelowNoiseless)
+{
+    CircuitCost cost{60, 100, 30, 30, 10};
+    NoiseModel nm = montrealNoise();
+    EXPECT_LT(espRatio(0.7, cost, nm), 0.7);
+    EXPECT_GT(espRatio(0.7, cost, nm), 0.0);
+}
+
+TEST(QaoaEval, CompactCircuit)
+{
+    Circuit c(10);
+    c.add(Op::interact(7, 3, 0, 0, 0.5));
+    c.add(Op::rx(9, 0.1));
+    std::vector<int> map;
+    Circuit out = compactCircuit(c, map);
+    EXPECT_EQ(out.numQubits(), 3);
+    EXPECT_EQ(map[7], 0);
+    EXPECT_EQ(map[3], 1);
+    EXPECT_EQ(map[9], 2);
+    EXPECT_EQ(map[0], -1);
+}
