@@ -60,7 +60,7 @@ compileTqan(const graph::Graph &g,
     auto layer1 = ham::trotterStep(
         ham::qaoaLayerHamiltonian(g, angles[0]), 1.0);
     core::CompileResult res;
-    runTqan(layer1, topo, device::GateSet::Cnot, seed, &res);
+    runCompiler("2qan", layer1, topo, device::GateSet::Cnot, seed, &res);
     Compiled c;
     c.initial = res.sched.initialMap;
     c.final_map = angles.size() % 2 == 1 ? res.sched.finalMap
@@ -75,20 +75,15 @@ compileBaseline(const std::string &name, const graph::Graph &g,
                 const std::vector<ham::QaoaAngles> &angles,
                 const device::Topology &topo, std::uint64_t seed)
 {
-    std::mt19937_64 rng(seed);
-    qcir::Circuit full = qcir::unifySamePairInteractions(
-        qaoaMultiLayerStep(g, angles));
-    baseline::BaselineResult r;
-    if (name == "qiskit_sabre")
-        r = baseline::sabreCompile(full, topo, rng);
-    else if (name == "tket_like")
-        r = baseline::tketLikeCompile(full, topo, rng);
-    else
-        r = baseline::icQaoaCompile(full, topo, rng);
+    qcir::Circuit full = qaoaMultiLayerStep(g, angles);
+    core::CompileJob job;
+    job.step = &full;
+    job.options.seed = seed;
+    auto r = core::backendByName(name).compile(job, topo);
     Compiled c;
-    c.initial = r.initialMap;
-    c.final_map = r.finalMap;
-    c.device = withPrep(r.deviceCircuit, c.initial);
+    c.initial = r.sched.initialMap;
+    c.final_map = r.sched.finalMap;
+    c.device = withPrep(r.sched.deviceCircuit, c.initial);
     return c;
 }
 

@@ -35,7 +35,7 @@ main(int argc, char **argv)
             auto layer1 = ham::trotterStep(
                 ham::qaoaLayerHamiltonian(g, angles[0]), 1.0);
             core::CompileResult res;
-            runTqan(layer1, topo, device::GateSet::Cnot,
+            runCompiler("2qan", layer1, topo, device::GateSet::Cnot,
                     instanceSeed(Family::QaoaReg3, n, 500 + inst),
                     &res);
             qcir::Circuit tq3 = tqanMultiLayerCircuit(res, angles);
@@ -49,7 +49,7 @@ main(int argc, char **argv)
             // Baselines on the full 3-layer circuit.
             for (const char *b :
                  {"qiskit_sabre", "tket_like", "ic_qaoa"}) {
-                auto mb = runBaseline(
+                auto mb = runCompiler(
                     b, full, topo, device::GateSet::Cnot,
                     instanceSeed(Family::QaoaReg3, n, 600 + inst));
                 printRow("fig13", "QAOA_REG3_p3", topo.name(),

@@ -25,7 +25,7 @@ BM_TqanCompile(benchmark::State &state)
     qcir::Circuit step = familyStep(Family::NnnHeisenberg, n, 0, rng);
     core::CompileResult res;
     for (auto _ : state) {
-        auto m = runTqan(step, topo, device::GateSet::Syc,
+        auto m = runCompiler("2qan", step, topo, device::GateSet::Syc,
                          instanceSeed(Family::NnnHeisenberg, n, 1),
                          &res);
         benchmark::DoNotOptimize(m);

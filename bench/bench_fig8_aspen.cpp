@@ -23,7 +23,7 @@ BM_TqanCompileAspen(benchmark::State &state)
     qcir::Circuit step = familyStep(Family::NnnXY, n, 0, rng);
     core::CompileResult res;
     for (auto _ : state) {
-        auto m = runTqan(step, topo, device::GateSet::ISwap,
+        auto m = runCompiler("2qan", step, topo, device::GateSet::ISwap,
                          instanceSeed(Family::NnnXY, n, 1), &res);
         benchmark::DoNotOptimize(m);
     }

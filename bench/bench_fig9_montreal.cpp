@@ -23,7 +23,7 @@ BM_TqanCompileMontreal(benchmark::State &state)
     qcir::Circuit step = familyStep(Family::NnnIsing, n, 0, rng);
     core::CompileResult res;
     for (auto _ : state) {
-        auto m = runTqan(step, topo, device::GateSet::Cnot,
+        auto m = runCompiler("2qan", step, topo, device::GateSet::Cnot,
                          instanceSeed(Family::NnnIsing, n, 1), &res);
         benchmark::DoNotOptimize(m);
     }

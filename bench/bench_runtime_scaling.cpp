@@ -79,7 +79,7 @@ BM_FullCompile(benchmark::State &state)
     std::mt19937_64 rng(instanceSeed(Family::NnnHeisenberg, n, 0));
     auto step = familyStep(Family::NnnHeisenberg, n, 0, rng);
     for (auto _ : state) {
-        auto m = runTqan(step, topo, device::GateSet::Syc, 11);
+        auto m = runCompiler("2qan", step, topo, device::GateSet::Syc, 11);
         benchmark::DoNotOptimize(m);
     }
 }

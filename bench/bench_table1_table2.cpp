@@ -105,10 +105,10 @@ runDevice(const device::Topology &topo, device::GateSet gs,
             std::mt19937_64 rng(instanceSeed(f, n, inst));
             qcir::Circuit step = familyStep(f, n, inst, rng);
             auto tq =
-                runTqan(step, topo, gs, instanceSeed(f, n, 1000 + inst));
-            auto sb = runBaseline("qiskit_sabre", step, topo, gs,
+                runCompiler("2qan", step, topo, gs, instanceSeed(f, n, 1000 + inst));
+            auto sb = runCompiler("qiskit_sabre", step, topo, gs,
                                   instanceSeed(f, n, 2000 + inst));
-            auto tk = runBaseline("tket_like", step, topo, gs,
+            auto tk = runCompiler("tket_like", step, topo, gs,
                                   instanceSeed(f, n, 3000 + inst));
             accumulate(vs_tket, tk, tq);
             accumulate(vs_sabre, sb, tq);

@@ -30,15 +30,17 @@ runHeisenberg(const char *name, const graph::Graph &interaction)
     device::Topology topo = device::allToAll(30);
 
     // Paulihedral-like: block kernels in lexicographic order.
-    std::mt19937_64 r1(1);
-    auto pl = baseline::paulihedralCompile(h, 1.0, topo, r1);
-    auto mp = core::computeCircuitMetrics(
-        pl.deviceCircuit, ham::trotterStep(h, 1.0),
-        device::GateSet::Cnot);
+    qcir::Circuit step = ham::trotterStep(h, 1.0);
+    core::CompileJob job;
+    job.hamiltonian = &h;
+    job.options.seed = 1;
+    const auto &pl = core::backendByName("paulihedral_like");
+    auto mp = pl.metrics(pl.compile(job, topo), step,
+                         device::GateSet::Cnot);
 
     // 2QAN.
-    auto mt = runTqan(ham::trotterStep(h, 1.0), topo,
-                      device::GateSet::Cnot, 2);
+    auto mt = runCompiler("2qan", step, topo,
+                          device::GateSet::Cnot, 2);
 
     std::printf("table3,%s,alltoall30,CNOT,paulihedral_like,30,0,"
                 "%d,%d\n",
@@ -63,13 +65,15 @@ runQaoaReg(int degree)
         for (int q = 0; q < 20; ++q)
             h.addField(q, ham::Axis::X, 0.2);
 
-        std::mt19937_64 r1(inst);
-        auto pl = baseline::paulihedralCompile(h, 1.0, topo, r1);
-        auto mp = core::computeCircuitMetrics(
-            pl.deviceCircuit, ham::trotterStep(h, 1.0),
-            device::GateSet::Cnot);
-        auto mt = runTqan(ham::trotterStep(h, 1.0), topo,
-                          device::GateSet::Cnot, 77 + inst);
+        qcir::Circuit step = ham::trotterStep(h, 1.0);
+        core::CompileJob job;
+        job.hamiltonian = &h;
+        job.options.seed = inst;
+        const auto &plb = core::backendByName("paulihedral_like");
+        auto mp = plb.metrics(plb.compile(job, topo), step,
+                              device::GateSet::Cnot);
+        auto mt = runCompiler("2qan", step, topo,
+                              device::GateSet::Cnot, 77 + inst);
         pl_gates += mp.native2q;
         pl_depth += mp.depthAll;
         tq_gates += mt.native2q;

@@ -21,11 +21,9 @@
 #include <functional>
 #include <random>
 #include <string>
+#include <utility>
 
-#include "baseline/ic_qaoa.h"
-#include "baseline/paulihedral_like.h"
-#include "baseline/sabre.h"
-#include "baseline/tket_like.h"
+#include "core/backend.h"
 #include "core/compiler.h"
 #include "core/metrics.h"
 #include "core/qaoa_layers.h"
@@ -107,53 +105,26 @@ instanceSeed(Family f, int n, int instance)
            n * 1299709ull + instance * 15485863ull;
 }
 
-/** Compile with 2QAN and compute metrics. */
-inline core::CompilationMetrics
-runTqan(const qcir::Circuit &step, const device::Topology &topo,
-        device::GateSet gs, std::uint64_t seed,
-        core::CompileResult *out = nullptr)
-{
-    core::CompilerOptions opt;
-    opt.seed = seed;
-    core::TqanCompiler comp(topo, opt);
-    auto res = comp.compile(step);
-    if (out)
-        *out = res;
-    return core::computeMetrics(res.sched, step, gs);
-}
-
 /**
- * Compile with a baseline and compute metrics.  Baselines receive
- * the circuit-unified input (as the paper does) and the
- * FullPeepholeOptimise-style adjacent same-pair merging on their
- * output before counting.
+ * Compile one step with any registered backend ("2qan",
+ * "qiskit_sabre", "tket_like", "ic_qaoa", ...) and score it the way
+ * the paper scores that compiler class.
  */
 inline core::CompilationMetrics
-runBaseline(const std::string &name, const qcir::Circuit &step,
+runCompiler(const std::string &backend, const qcir::Circuit &step,
             const device::Topology &topo, device::GateSet gs,
-            std::uint64_t seed)
+            std::uint64_t seed, core::CompileResult *out = nullptr,
+            core::CompilerOptions opt = core::CompilerOptions())
 {
-    std::mt19937_64 rng(seed);
-    qcir::Circuit unified = qcir::unifySamePairInteractions(step);
-    baseline::BaselineResult r;
-    if (name == "qiskit_sabre") {
-        r = baseline::sabreCompile(unified, topo, rng);
-    } else if (name == "tket_like") {
-        r = baseline::tketLikeCompile(unified, topo, rng);
-    } else if (name == "ic_qaoa") {
-        r = baseline::icQaoaCompile(unified, topo, rng);
-    } else {
-        std::fprintf(stderr, "unknown baseline %s\n", name.c_str());
-        std::abort();
-    }
-    qcir::Circuit merged =
-        decomp::mergeAdjacentSamePair(r.deviceCircuit);
-    auto m = core::computeCircuitMetrics(merged, step, gs);
-    // Swap accounting is done before merging (merging hides SWAPs
-    // inside U2q payloads, which is exactly the optimization, but the
-    // figure reports inserted SWAPs).
-    m.swaps = r.swapCount;
-    m.dressed = 0;
+    const core::CompilerBackend &b = core::backendByName(backend);
+    core::CompileJob job;
+    job.step = &step;
+    job.options = opt;
+    job.options.seed = seed;
+    auto res = b.compile(job, topo);
+    auto m = b.metrics(res, step, gs);
+    if (out)
+        *out = std::move(res);
     return m;
 }
 
@@ -203,14 +174,16 @@ runFigureSweep(const std::string &experiment,
         for (int n : chainSizes(cap)) {
             std::mt19937_64 rng(instanceSeed(f, n, 0));
             qcir::Circuit step = familyStep(f, n, 0, rng);
-            auto mt = runTqan(step, topo, gs, instanceSeed(f, n, 1));
+            auto mt =
+                runCompiler("2qan", step, topo, gs,
+                            instanceSeed(f, n, 1));
             printRow(experiment, familyName(f), topo.name(), gs,
                      "2QAN", n, 0, mt);
-            auto ms = runBaseline("qiskit_sabre", step, topo, gs,
+            auto ms = runCompiler("qiskit_sabre", step, topo, gs,
                                   instanceSeed(f, n, 2));
             printRow(experiment, familyName(f), topo.name(), gs,
                      "qiskit_sabre", n, 0, ms);
-            auto mk = runBaseline("tket_like", step, topo, gs,
+            auto mk = runCompiler("tket_like", step, topo, gs,
                                   instanceSeed(f, n, 3));
             printRow(experiment, familyName(f), topo.name(), gs,
                      "tket_like", n, 0, mk);
@@ -223,23 +196,23 @@ runFigureSweep(const std::string &experiment,
                 instanceSeed(Family::QaoaReg3, n, inst));
             qcir::Circuit step =
                 familyStep(Family::QaoaReg3, n, inst, rng);
-            auto mt = runTqan(step, topo, gs,
-                              instanceSeed(Family::QaoaReg3, n,
-                                           100 + inst));
+            auto mt = runCompiler("2qan", step, topo, gs,
+                                  instanceSeed(Family::QaoaReg3, n,
+                                               100 + inst));
             printRow(experiment, "QAOA_REG3", topo.name(), gs, "2QAN",
                      n, inst, mt);
-            auto ms = runBaseline("qiskit_sabre", step, topo, gs,
+            auto ms = runCompiler("qiskit_sabre", step, topo, gs,
                                   instanceSeed(Family::QaoaReg3, n,
                                                200 + inst));
             printRow(experiment, "QAOA_REG3", topo.name(), gs,
                      "qiskit_sabre", n, inst, ms);
-            auto mk = runBaseline("tket_like", step, topo, gs,
+            auto mk = runCompiler("tket_like", step, topo, gs,
                                   instanceSeed(Family::QaoaReg3, n,
                                                300 + inst));
             printRow(experiment, "QAOA_REG3", topo.name(), gs,
                      "tket_like", n, inst, mk);
             if (withIcQaoa) {
-                auto mi = runBaseline("ic_qaoa", step, topo, gs,
+                auto mi = runCompiler("ic_qaoa", step, topo, gs,
                                       instanceSeed(Family::QaoaReg3,
                                                    n, 400 + inst));
                 printRow(experiment, "QAOA_REG3", topo.name(), gs,

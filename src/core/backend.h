@@ -1,0 +1,87 @@
+/**
+ * @file
+ * One entry point for every compiler the repo implements.
+ *
+ * A CompilerBackend compiles one step circuit (or Hamiltonian) for a
+ * target device and returns a CompileResult whose `sched` slot always
+ * carries the device circuit, initial/final maps and SWAP count —
+ * the 2QAN pipeline and the four baselines (qiskit_sabre, tket_like,
+ * ic_qaoa, paulihedral_like) all conform.  metrics() knows how each
+ * compiler class is scored in the paper (2QAN results are measured on
+ * the schedule; dependency-respecting baselines get the
+ * FullPeepholeOptimise-style same-pair merging before counting).
+ *
+ * Backends live in a process-wide registry keyed by name, so bench
+ * harnesses and tools select compilers with a string instead of
+ * per-compiler branching.
+ */
+
+#ifndef TQAN_CORE_BACKEND_H
+#define TQAN_CORE_BACKEND_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "core/metrics.h"
+#include "ham/hamiltonian.h"
+
+namespace tqan {
+namespace core {
+
+/** One compilation request, consumed by any backend. */
+struct CompileJob
+{
+    /** The step circuit to compile (required by every backend except
+     * paulihedral_like, which synthesizes from the Hamiltonian). */
+    const qcir::Circuit *step = nullptr;
+    /** Pauli-term view; required by paulihedral_like only. */
+    const ham::TwoLocalHamiltonian *hamiltonian = nullptr;
+    /** Trotter-step time (Hamiltonian-consuming backends). */
+    double time = 1.0;
+    /** options.seed is honored by every backend; every other field
+     * (mapper, trials, jobs, noise map, ablation toggles) steers the
+     * 2QAN pipeline only and is ignored by the baselines. */
+    CompilerOptions options;
+};
+
+class CompilerBackend
+{
+  public:
+    virtual ~CompilerBackend() = default;
+    virtual std::string name() const = 0;
+
+    /** Compile one job; throws std::invalid_argument when the job
+     * lacks the inputs this backend needs. */
+    virtual CompileResult compile(const CompileJob &job,
+                                  const device::Topology &topo)
+        const = 0;
+
+    /** Score a result of this backend against the step circuit's
+     * NoMap baseline, the way the paper scores this compiler class. */
+    virtual CompilationMetrics metrics(const CompileResult &res,
+                                       const qcir::Circuit &step,
+                                       device::GateSet gs) const;
+};
+
+using BackendFactory =
+    std::function<std::unique_ptr<CompilerBackend>()>;
+
+/** Register a backend under a unique name; false if taken. */
+bool registerBackend(const std::string &name, BackendFactory factory);
+
+bool hasBackend(const std::string &name);
+
+/** Shared instance by name; throws std::invalid_argument listing the
+ * registered names when the lookup fails. */
+const CompilerBackend &backendByName(const std::string &name);
+
+/** Registered backend names, sorted. */
+std::vector<std::string> backendNames();
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_BACKEND_H

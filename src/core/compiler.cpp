@@ -1,56 +1,40 @@
 #include "core/compiler.h"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
-#include "qap/anneal.h"
-#include "qap/placement.h"
+#include "core/passes.h"
 
 namespace tqan {
 namespace core {
 
-using Clock = std::chrono::steady_clock;
-
-namespace {
-
-double
-secondsSince(Clock::time_point t0)
+std::string
+mapperKindName(MapperKind kind)
 {
-    return std::chrono::duration<double>(Clock::now() - t0).count();
+    static const char *names[] = {"tabu", "anneal", "greedy", "line",
+                                  "identity"};
+    auto i = static_cast<size_t>(kind);
+    if (i >= sizeof(names) / sizeof(names[0]))
+        throw std::invalid_argument("mapperKindName: bad kind");
+    return names[i];
 }
-
-/** Interaction-count flow matrix straight from a circuit. */
-std::vector<std::vector<double>>
-circuitFlow(const qcir::Circuit &c)
-{
-    int n = c.numQubits();
-    std::vector<std::vector<double>> f(n,
-                                       std::vector<double>(n, 0.0));
-    for (const auto &o : c.ops()) {
-        if (o.isTwoQubit()) {
-            f[o.q0][o.q1] += 1.0;
-            f[o.q1][o.q0] += 1.0;
-        }
-    }
-    return f;
-}
-
-graph::Graph
-interactionGraphOf(const qcir::Circuit &c)
-{
-    graph::Graph g(c.numQubits());
-    for (const auto &o : c.ops())
-        if (o.isTwoQubit() && !g.hasEdge(o.q0, o.q1))
-            g.addEdge(o.q0, o.q1);
-    return g;
-}
-
-} // namespace
 
 TqanCompiler::TqanCompiler(device::Topology topo, CompilerOptions opt)
     : topo_(std::move(topo)), opt_(opt)
 {
+}
+
+PassManager
+TqanCompiler::buildPipeline() const
+{
+    PassManager pm;
+    if (opt_.unifyCircuit)
+        pm.add(makeUnifyPass());
+    pm.add(makeMappingPass(mapperKindName(opt_.mapper),
+                           opt_.mapperTrials, opt_.tabu));
+    pm.add(makeRoutingPass(opt_.unifySwaps));
+    pm.add(makeSchedulingPass(opt_.hybridSchedule));
+    return pm;
 }
 
 CompileResult
@@ -60,72 +44,19 @@ TqanCompiler::compile(const qcir::Circuit &step) const
         throw std::invalid_argument(
             "TqanCompiler: circuit larger than device");
 
-    qcir::Circuit c = opt_.unifyCircuit
-                          ? qcir::unifySamePairInteractions(step)
-                          : step;
-    std::mt19937_64 rng(opt_.seed);
+    CompileContext ctx(step, topo_, opt_.seed);
+    ctx.jobs = opt_.jobs;
+    ctx.noiseMap = opt_.noiseMap;
+    ctx.noiseLambda = opt_.noiseLambda;
 
     CompileResult res;
-
-    // Pass 1: qubit mapping.
-    auto t0 = Clock::now();
-    switch (opt_.mapper) {
-      case MapperKind::Tabu:
-        if (opt_.noiseMap) {
-            auto dist =
-                opt_.noiseMap->noiseAwareDistances(opt_.noiseLambda);
-            auto flow = circuitFlow(c);
-            qap::Placement best;
-            double best_cost = 0.0;
-            for (int t = 0; t < opt_.mapperTrials; ++t) {
-                auto p = qap::tabuSearchQapMatrix(flow, dist, rng,
-                                                  opt_.tabu);
-                double cost = 0.0;
-                for (size_t i = 0; i < p.size(); ++i)
-                    for (size_t j = i + 1; j < p.size(); ++j)
-                        cost += flow[i][j] * dist[p[i]][p[j]];
-                if (best.empty() || cost < best_cost) {
-                    best = p;
-                    best_cost = cost;
-                }
-            }
-            res.placement = best;
-        } else {
-            res.placement =
-                qap::bestOfTabu(circuitFlow(c), topo_, rng,
-                                opt_.mapperTrials, opt_.tabu);
-        }
-        break;
-      case MapperKind::Anneal:
-        res.placement = qap::annealQap(circuitFlow(c), topo_, rng);
-        break;
-      case MapperKind::Greedy:
-        res.placement =
-            qap::greedyPlacement(interactionGraphOf(c), topo_);
-        break;
-      case MapperKind::Line:
-        res.placement = qap::linePlacement(c.numQubits(), topo_);
-        break;
-      case MapperKind::Identity:
-        res.placement = qap::identityPlacement(c.numQubits());
-        break;
-    }
-    res.mappingSeconds = secondsSince(t0);
-
-    // Pass 2: permutation-aware routing + SWAP unifying.
-    t0 = Clock::now();
-    RouterOptions ropt;
-    ropt.unifySwaps = opt_.unifySwaps;
-    res.routing =
-        routePermutationAware(c, res.placement, topo_, rng, ropt);
-    res.routingSeconds = secondsSince(t0);
-
-    // Pass 3: scheduling.
-    t0 = Clock::now();
-    res.sched = opt_.hybridSchedule
-                    ? scheduleHybridAlap(c, topo_, res.routing)
-                    : scheduleGenericAlap(c, topo_, res.routing);
-    res.schedulingSeconds = secondsSince(t0);
+    res.passTimes = buildPipeline().run(ctx);
+    res.placement = std::move(ctx.placement);
+    res.routing = std::move(ctx.routing);
+    res.sched = std::move(ctx.sched);
+    res.mappingSeconds = passSeconds(res.passTimes, "mapping");
+    res.routingSeconds = passSeconds(res.passTimes, "routing");
+    res.schedulingSeconds = passSeconds(res.passTimes, "scheduling");
     return res;
 }
 

@@ -5,6 +5,12 @@
  * SWAP unifying) -> permutation-aware scheduling.  Gate decomposition
  * is applied afterwards by the decomp passes, keeping the pipeline
  * independent of the hardware gate set.
+ *
+ * The pipeline is assembled from core/passes.h building blocks and
+ * executed by a PassManager (core/pass.h); the mapper stage is a
+ * pluggable qap::Mapper registry strategy.  TqanCompiler is the
+ * convenience front end that wires the standard pipeline from
+ * CompilerOptions.
  */
 
 #ifndef TQAN_CORE_COMPILER_H
@@ -13,7 +19,9 @@
 #include <cstdint>
 
 #include <memory>
+#include <string>
 
+#include "core/pass.h"
 #include "core/router.h"
 #include "device/noise_map.h"
 #include "core/scheduler.h"
@@ -31,12 +39,19 @@ enum class MapperKind {
     Identity,  ///< trivial placement (ablation)
 };
 
+/** Registry name of a built-in mapper kind ("tabu", "anneal", ...). */
+std::string mapperKindName(MapperKind kind);
+
 struct CompilerOptions
 {
     MapperKind mapper = MapperKind::Tabu;
     /** Randomized mapping trials; the paper uses 5 and keeps the
      * best. */
     int mapperTrials = 5;
+    /** Worker threads for the randomized mapping trials.  Trials use
+     * derived seeds (seed + trial), so any jobs value produces the
+     * same placement as the sequential run. */
+    int jobs = 1;
     /** Merge same-pair Interact ops before compiling (Sec. III-C). */
     bool unifyCircuit = true;
     /** Criterion-3 SWAP selection + dressed SWAPs (Sec. III-C). */
@@ -64,6 +79,11 @@ struct CompileResult
     qap::Placement placement;
     RoutingResult routing;
     ScheduleResult sched;
+    /** Wall time of every executed pass, in execution order. */
+    std::vector<PassTiming> passTimes;
+
+    /** Convenience accessors over passTimes for the three classic
+     * stages (0.0 when a stage did not run). */
     double mappingSeconds = 0.0;
     double routingSeconds = 0.0;
     double schedulingSeconds = 0.0;
@@ -94,6 +114,11 @@ class TqanCompiler
      * ops ride along freely.
      */
     CompileResult compile(const qcir::Circuit &step) const;
+
+    /** The standard pass pipeline the options describe (unify ->
+     * mapping -> routing -> scheduling, with ablation toggles
+     * applied). */
+    PassManager buildPipeline() const;
 
   private:
     device::Topology topo_;

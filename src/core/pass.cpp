@@ -1,0 +1,69 @@
+#include "core/pass.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace tqan {
+namespace core {
+
+const std::vector<std::vector<double>> &
+CompileContext::distances() const
+{
+    if (!distReady_) {
+        dist_ = noiseMap ? noiseMap->noiseAwareDistances(noiseLambda)
+                         : qap::hopDistanceMatrix(*topo);
+        distReady_ = true;
+    }
+    return dist_;
+}
+
+double
+passSeconds(const std::vector<PassTiming> &times,
+            const std::string &pass)
+{
+    double s = 0.0;
+    for (const auto &t : times)
+        if (t.pass == pass)
+            s += t.seconds;
+    return s;
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    if (!pass)
+        throw std::invalid_argument("PassManager::add: null pass");
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const auto &p : passes_)
+        names.push_back(p->name());
+    return names;
+}
+
+std::vector<PassTiming>
+PassManager::run(CompileContext &ctx) const
+{
+    using Clock = std::chrono::steady_clock;
+    std::vector<PassTiming> times;
+    times.reserve(passes_.size());
+    for (const auto &p : passes_) {
+        auto t0 = Clock::now();
+        p->run(ctx);
+        times.push_back(
+            {p->name(),
+             std::chrono::duration<double>(Clock::now() - t0)
+                 .count()});
+    }
+    return times;
+}
+
+} // namespace core
+} // namespace tqan

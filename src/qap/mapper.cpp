@@ -1,0 +1,148 @@
+#include "qap/mapper.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "qap/anneal.h"
+#include "qap/placement.h"
+
+namespace tqan {
+namespace qap {
+
+namespace {
+
+class TabuMapper : public Mapper
+{
+  public:
+    std::string name() const override { return "tabu"; }
+    Placement map(const MapperRequest &req) const override
+    {
+        return bestOfTabu(flowMatrixOf(*req.circuit), *req.dist,
+                          req.seed, req.trials, req.tabu, req.jobs);
+    }
+};
+
+class AnnealMapper : public Mapper
+{
+  public:
+    std::string name() const override { return "anneal"; }
+    Placement map(const MapperRequest &req) const override
+    {
+        std::mt19937_64 rng(req.seed);
+        return annealQap(flowMatrixOf(*req.circuit), *req.topo, rng);
+    }
+};
+
+class GreedyMapper : public Mapper
+{
+  public:
+    std::string name() const override { return "greedy"; }
+    Placement map(const MapperRequest &req) const override
+    {
+        return greedyPlacement(interactionGraphOf(*req.circuit),
+                               *req.topo);
+    }
+};
+
+class LineMapper : public Mapper
+{
+  public:
+    std::string name() const override { return "line"; }
+    Placement map(const MapperRequest &req) const override
+    {
+        return linePlacement(req.circuit->numQubits(), *req.topo);
+    }
+};
+
+class IdentityMapper : public Mapper
+{
+  public:
+    std::string name() const override { return "identity"; }
+    Placement map(const MapperRequest &req) const override
+    {
+        return identityPlacement(req.circuit->numQubits());
+    }
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, MapperFactory> factories;
+};
+
+/** Lazily-built registry with the builtins pre-registered; avoids
+ * static-initialization-order and dead-TU issues in static libs. */
+Registry &
+registry()
+{
+    static Registry *r = []() {
+        auto *init = new Registry;
+        init->factories["tabu"] = []() {
+            return std::unique_ptr<Mapper>(new TabuMapper);
+        };
+        init->factories["anneal"] = []() {
+            return std::unique_ptr<Mapper>(new AnnealMapper);
+        };
+        init->factories["greedy"] = []() {
+            return std::unique_ptr<Mapper>(new GreedyMapper);
+        };
+        init->factories["line"] = []() {
+            return std::unique_ptr<Mapper>(new LineMapper);
+        };
+        init->factories["identity"] = []() {
+            return std::unique_ptr<Mapper>(new IdentityMapper);
+        };
+        return init;
+    }();
+    return *r;
+}
+
+} // namespace
+
+bool
+registerMapper(const std::string &name, MapperFactory factory)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.factories.emplace(name, std::move(factory)).second;
+}
+
+bool
+hasMapper(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.factories.count(name) != 0;
+}
+
+std::unique_ptr<Mapper>
+makeMapper(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.factories.find(name);
+    if (it == r.factories.end()) {
+        std::string known;
+        for (const auto &kv : r.factories)
+            known += (known.empty() ? "" : ", ") + kv.first;
+        throw std::invalid_argument("unknown mapper '" + name +
+                                    "' (registered: " + known + ")");
+    }
+    return it->second();
+}
+
+std::vector<std::string>
+mapperNames()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<std::string> names;
+    for (const auto &kv : r.factories)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace qap
+} // namespace tqan

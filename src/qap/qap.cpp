@@ -39,6 +39,30 @@ flowMatrix(const ham::TwoLocalHamiltonian &h)
     return f;
 }
 
+std::vector<std::vector<double>>
+flowMatrixOf(const qcir::Circuit &c)
+{
+    int n = c.numQubits();
+    std::vector<std::vector<double>> f(n, std::vector<double>(n, 0.0));
+    for (const auto &o : c.ops()) {
+        if (o.isTwoQubit()) {
+            f[o.q0][o.q1] += 1.0;
+            f[o.q1][o.q0] += 1.0;
+        }
+    }
+    return f;
+}
+
+graph::Graph
+interactionGraphOf(const qcir::Circuit &c)
+{
+    graph::Graph g(c.numQubits());
+    for (const auto &o : c.ops())
+        if (o.isTwoQubit() && !g.hasEdge(o.q0, o.q1))
+            g.addEdge(o.q0, o.q1);
+    return g;
+}
+
 double
 qapCost(const std::vector<std::vector<double>> &flow,
         const device::Topology &topo, const Placement &p)
@@ -52,6 +76,33 @@ qapCost(const std::vector<std::vector<double>> &flow,
             if (flow[i][j] != 0.0)
                 c += flow[i][j] * topo.dist(p[i], p[j]);
     return c;
+}
+
+double
+qapCostMatrix(const std::vector<std::vector<double>> &flow,
+              const std::vector<std::vector<double>> &dist,
+              const Placement &p)
+{
+    if (!placementIsValid(p, static_cast<int>(dist.size())))
+        throw std::invalid_argument("qapCostMatrix: invalid placement");
+    int n = static_cast<int>(flow.size());
+    double c = 0.0;
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (flow[i][j] != 0.0)
+                c += flow[i][j] * dist[p[i]][p[j]];
+    return c;
+}
+
+std::vector<std::vector<double>>
+hopDistanceMatrix(const device::Topology &topo)
+{
+    int n = topo.numQubits();
+    std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            d[i][j] = topo.dist(i, j);
+    return d;
 }
 
 } // namespace qap

@@ -21,6 +21,7 @@
 
 #include "device/topology.h"
 #include "ham/hamiltonian.h"
+#include "qcir/circuit.h"
 
 namespace tqan {
 namespace qap {
@@ -45,9 +46,31 @@ bool placementIsValid(const Placement &p, int deviceQubits);
 std::vector<std::vector<double>>
 flowMatrix(const ham::TwoLocalHamiltonian &h);
 
+/** Interaction-count flow matrix straight from a circuit's two-qubit
+ * ops (one unit per op, both triangles filled). */
+std::vector<std::vector<double>>
+flowMatrixOf(const qcir::Circuit &c);
+
+/** Interaction graph of a circuit: one edge per distinct interacting
+ * qubit pair. */
+graph::Graph interactionGraphOf(const qcir::Circuit &c);
+
 /** QAP objective of Eq. 7 for a given placement. */
 double qapCost(const std::vector<std::vector<double>> &flow,
                const device::Topology &topo, const Placement &p);
+
+/**
+ * QAP objective against an arbitrary location-distance matrix (hop
+ * distances, or the noise-aware distances of device::NoiseMap).
+ */
+double qapCostMatrix(const std::vector<std::vector<double>> &flow,
+                     const std::vector<std::vector<double>> &dist,
+                     const Placement &p);
+
+/** The hop-distance matrix of a device, widened to double (the
+ * memoized QAP distance matrix of CompileContext). */
+std::vector<std::vector<double>>
+hopDistanceMatrix(const device::Topology &topo);
 
 } // namespace qap
 } // namespace tqan

@@ -1,8 +1,10 @@
 #include "qap/tabu.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <numeric>
+#include <thread>
 
 namespace tqan {
 namespace qap {
@@ -135,13 +137,8 @@ tabuSearchQap(const std::vector<std::vector<double>> &flow,
               const device::Topology &topo, std::mt19937_64 &rng,
               const TabuOptions &opt)
 {
-    int nloc = topo.numQubits();
-    std::vector<std::vector<double>> d(
-        nloc, std::vector<double>(nloc, 0.0));
-    for (int i = 0; i < nloc; ++i)
-        for (int j = 0; j < nloc; ++j)
-            d[i][j] = topo.dist(i, j);
-    return tabuSearchQapMatrix(flow, d, rng, opt);
+    return tabuSearchQapMatrix(flow, hopDistanceMatrix(topo), rng,
+                               opt);
 }
 
 Placement
@@ -160,6 +157,60 @@ bestOfTabu(const std::vector<std::vector<double>> &flow,
         }
     }
     return best;
+}
+
+Placement
+bestOfTabu(const std::vector<std::vector<double>> &flow,
+           const std::vector<std::vector<double>> &dist,
+           std::uint64_t seed, int trials, const TabuOptions &opt,
+           int jobs)
+{
+    if (trials < 1)
+        throw std::invalid_argument("bestOfTabu: trials < 1");
+
+    // Every trial runs on its own generator seeded `seed + t`, so the
+    // work partition over threads cannot influence any result.
+    std::vector<Placement> placements(trials);
+    std::vector<double> costs(trials, 0.0);
+    auto runTrial = [&](int t) {
+        std::mt19937_64 trial_rng(seed + static_cast<std::uint64_t>(t));
+        placements[t] = tabuSearchQapMatrix(flow, dist, trial_rng, opt);
+        costs[t] = qapCostMatrix(flow, dist, placements[t]);
+    };
+
+    int workers = std::min(jobs, trials);
+    if (workers <= 1) {
+        for (int t = 0; t < trials; ++t)
+            runTrial(t);
+    } else {
+        std::atomic<int> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back([&]() {
+                for (int t = next.fetch_add(1); t < trials;
+                     t = next.fetch_add(1))
+                    runTrial(t);
+            });
+        for (auto &th : pool)
+            th.join();
+    }
+
+    // Reduce sequentially; ties break towards the lowest trial index.
+    int best = 0;
+    for (int t = 1; t < trials; ++t)
+        if (costs[t] < costs[best])
+            best = t;
+    return placements[best];
+}
+
+Placement
+bestOfTabu(const std::vector<std::vector<double>> &flow,
+           const device::Topology &topo, std::uint64_t seed,
+           int trials, const TabuOptions &opt, int jobs)
+{
+    return bestOfTabu(flow, hopDistanceMatrix(topo), seed, trials, opt,
+                      jobs);
 }
 
 } // namespace qap

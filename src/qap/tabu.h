@@ -13,6 +13,7 @@
 #ifndef TQAN_QAP_TABU_H
 #define TQAN_QAP_TABU_H
 
+#include <cstdint>
 #include <random>
 
 #include "qap/qap.h"
@@ -60,6 +61,30 @@ Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
                      const device::Topology &topo, std::mt19937_64 &rng,
                      int trials = 5,
                      const TabuOptions &opt = TabuOptions());
+
+/**
+ * Best-of-trials against an arbitrary location-distance matrix (the
+ * hop matrix, or device::NoiseMap's noise-aware distances), with the
+ * trials distributed over up to `jobs` worker threads.
+ *
+ * Trial t always runs on its own generator seeded `seed + t` and ties
+ * are broken towards the lowest trial index, so the result is
+ * bit-identical for every `jobs` value (jobs == 1 is the sequential
+ * reference).
+ */
+Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
+                     const std::vector<std::vector<double>> &dist,
+                     std::uint64_t seed, int trials = 5,
+                     const TabuOptions &opt = TabuOptions(),
+                     int jobs = 1);
+
+/** Hop-distance convenience wrapper of the deterministic parallel
+ * best-of-trials. */
+Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
+                     const device::Topology &topo, std::uint64_t seed,
+                     int trials = 5,
+                     const TabuOptions &opt = TabuOptions(),
+                     int jobs = 1);
 
 } // namespace qap
 } // namespace tqan

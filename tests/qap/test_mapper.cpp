@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests of the pluggable mapper registry and the deterministic
+ * parallel Tabu trials.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "device/devices.h"
+#include "ham/models.h"
+#include "ham/trotter.h"
+#include "qap/mapper.h"
+
+using namespace tqan;
+using namespace tqan::qap;
+
+namespace {
+
+MapperRequest
+requestFor(const qcir::Circuit &c, const device::Topology &topo,
+           const std::vector<std::vector<double>> &dist,
+           std::uint64_t seed)
+{
+    MapperRequest req;
+    req.circuit = &c;
+    req.topo = &topo;
+    req.dist = &dist;
+    req.seed = seed;
+    return req;
+}
+
+} // namespace
+
+TEST(MapperRegistry, BuiltinsAreRegistered)
+{
+    for (const char *name :
+         {"tabu", "anneal", "greedy", "line", "identity"}) {
+        EXPECT_TRUE(hasMapper(name)) << name;
+        auto m = makeMapper(name);
+        ASSERT_NE(m, nullptr);
+        EXPECT_EQ(m->name(), name);
+    }
+}
+
+TEST(MapperRegistry, UnknownNameThrowsWithKnownNames)
+{
+    EXPECT_FALSE(hasMapper("nope"));
+    try {
+        makeMapper("nope");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        // The error must help the caller: list what IS registered.
+        EXPECT_NE(std::string(e.what()).find("tabu"),
+                  std::string::npos);
+    }
+}
+
+TEST(MapperRegistry, CustomStrategyPlugsIn)
+{
+    struct ReverseMapper : Mapper
+    {
+        std::string name() const override { return "test_reverse"; }
+        Placement map(const MapperRequest &req) const override
+        {
+            int n = req.circuit->numQubits();
+            Placement p(n);
+            for (int i = 0; i < n; ++i)
+                p[i] = n - 1 - i;
+            return p;
+        }
+    };
+
+    if (!hasMapper("test_reverse"))
+        EXPECT_TRUE(registerMapper("test_reverse", []() {
+            return std::unique_ptr<Mapper>(new ReverseMapper);
+        }));
+    // Duplicate registration is refused, not overwritten.
+    EXPECT_FALSE(registerMapper("test_reverse", []() {
+        return std::unique_ptr<Mapper>(new ReverseMapper);
+    }));
+
+    qcir::Circuit c(4);
+    device::Topology topo = device::line(4);
+    auto dist = hopDistanceMatrix(topo);
+    auto p = makeMapper("test_reverse")->map(
+        requestFor(c, topo, dist, 0));
+    EXPECT_EQ(p, (Placement{3, 2, 1, 0}));
+}
+
+TEST(MapperRegistry, EveryBuiltinProducesValidPlacement)
+{
+    std::mt19937_64 rng(51);
+    auto h = ham::nnnHeisenberg(8, rng);
+    auto step = ham::trotterStep(h, 1.0);
+    device::Topology topo = device::grid(3, 3);
+    auto dist = hopDistanceMatrix(topo);
+
+    for (const auto &name : mapperNames()) {
+        if (name.rfind("test_", 0) == 0)
+            continue;  // unit-test strategies from other cases
+        auto p = makeMapper(name)->map(
+            requestFor(step, topo, dist, 52));
+        EXPECT_TRUE(placementIsValid(p, topo.numQubits())) << name;
+        EXPECT_EQ(p.size(), 8u) << name;
+    }
+}
+
+TEST(TabuParallel, JobsDoNotChangeThePlacement)
+{
+    // The determinism contract: parallel trials derive their seeds as
+    // seed + trial, so any jobs value must give a bit-identical
+    // placement.
+    std::mt19937_64 rng(61);
+    auto h = ham::nnnHeisenberg(12, rng);
+    auto f = flowMatrix(h);
+    device::Topology topo = device::montreal27();
+    auto dist = hopDistanceMatrix(topo);
+
+    for (std::uint64_t seed : {7ull, 62ull, 1000003ull}) {
+        Placement seq = bestOfTabu(f, dist, seed, 5, TabuOptions(), 1);
+        for (int jobs : {2, 4, 16}) {
+            Placement par =
+                bestOfTabu(f, dist, seed, 5, TabuOptions(), jobs);
+            EXPECT_EQ(seq, par)
+                << "seed " << seed << " jobs " << jobs;
+        }
+    }
+}
+
+TEST(TabuParallel, CompilerJobsProduceIdenticalSchedules)
+{
+    // End-to-end: --jobs N must not change any compilation output.
+    std::mt19937_64 rng(71);
+    auto h = ham::nnnIsing(10, rng);
+    auto step = ham::trotterStep(h, 1.0);
+
+    core::CompilerOptions opt;
+    opt.seed = 72;
+    opt.jobs = 1;
+    core::TqanCompiler seq(device::montreal27(), opt);
+    auto a = seq.compile(step);
+
+    opt.jobs = 4;
+    core::TqanCompiler par(device::montreal27(), opt);
+    auto b = par.compile(step);
+
+    EXPECT_EQ(a.placement, b.placement);
+    EXPECT_EQ(a.sched.swapCount, b.sched.swapCount);
+    EXPECT_EQ(a.sched.initialMap, b.sched.initialMap);
+    EXPECT_EQ(a.sched.finalMap, b.sched.finalMap);
+    ASSERT_EQ(a.sched.deviceCircuit.size(),
+              b.sched.deviceCircuit.size());
+    for (int i = 0; i < a.sched.deviceCircuit.size(); ++i) {
+        EXPECT_EQ(a.sched.deviceCircuit.op(i).q0,
+                  b.sched.deviceCircuit.op(i).q0);
+        EXPECT_EQ(a.sched.deviceCircuit.op(i).q1,
+                  b.sched.deviceCircuit.op(i).q1);
+    }
+}
+
+TEST(TabuParallel, NoiseAwareTrialsShareTheSamePath)
+{
+    // The noise-aware branch routes through the same bestOfTabu as
+    // the hop-distance one: jobs-independence must hold there too.
+    device::Topology topo = device::montreal27();
+    std::mt19937_64 nrng(81);
+    auto nm = device::NoiseMap::synthetic(topo, nrng);
+    auto dist = nm.noiseAwareDistances(1.0);
+
+    std::mt19937_64 rng(82);
+    auto h = ham::nnnHeisenberg(10, rng);
+    auto f = flowMatrix(h);
+
+    Placement seq = bestOfTabu(f, dist, 83, 5, TabuOptions(), 1);
+    Placement par = bestOfTabu(f, dist, 83, 5, TabuOptions(), 8);
+    EXPECT_EQ(seq, par);
+    EXPECT_TRUE(placementIsValid(seq, topo.numQubits()));
+}
+
+TEST(TabuParallel, RejectsZeroTrials)
+{
+    device::Topology topo = device::line(4);
+    std::vector<std::vector<double>> f(4,
+                                       std::vector<double>(4, 0.0));
+    EXPECT_THROW(
+        bestOfTabu(f, hopDistanceMatrix(topo), 1, 0, TabuOptions(), 2),
+        std::invalid_argument);
+}

@@ -3,21 +3,9 @@
  * tqanc -- command-line front end of the tqan compiler.
  *
  * Compiles a 2-local Hamiltonian (text format, see ham/parser.h) for
- * a target device and prints the compilation metrics; optionally
- * emits the decomposed circuit as OpenQASM 2.0.
- *
- * Usage:
- *   tqanc <hamiltonian-file|-> [options]
- *     --device NAME     montreal | sycamore | aspen | manhattan |
- *                       line:N | grid:RxC   (default: montreal)
- *     --gateset G       cnot | cz | iswap | syc (default: cnot)
- *     --time T          Trotter-step time (default 1.0)
- *     --seed S          RNG seed (default 7)
- *     --mapper M        tabu | anneal | greedy | line | identity
- *     --noise-aware     synthetic-calibration noise-aware placement
- *     --no-unify        disable SWAP-unitary unifying
- *     --generic-sched   use the order-respecting scheduler
- *     --qasm            print the decomposed circuit (CNOT/CZ only)
+ * a target device through any registered compiler backend and prints
+ * the compilation metrics; optionally emits the decomposed circuit
+ * as OpenQASM 2.0.
  *
  * Example:
  *   echo 'qubits 4
@@ -33,12 +21,14 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/backend.h"
 #include "core/compiler.h"
 #include "core/metrics.h"
 #include "decomp/pass.h"
 #include "device/devices.h"
 #include "ham/parser.h"
 #include "ham/trotter.h"
+#include "qap/mapper.h"
 #include "qcir/qasm.h"
 
 using namespace tqan;
@@ -83,15 +73,67 @@ gateSetByName(const std::string &name)
     throw std::runtime_error("unknown gate set '" + name + "'");
 }
 
-int
-usage()
+std::string
+joined(const std::vector<std::string> &names)
 {
-    std::fprintf(stderr,
-                 "usage: tqanc <hamiltonian-file|-> [--device D] "
-                 "[--gateset G] [--time T] [--seed S] [--mapper M] "
-                 "[--noise-aware] [--no-unify] [--generic-sched] "
-                 "[--qasm]\n");
-    return 2;
+    std::string s;
+    for (const auto &n : names)
+        s += (s.empty() ? "" : " | ") + n;
+    return s;
+}
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: tqanc <hamiltonian-file|-> [options]\n"
+        "\n"
+        "Compile a 2-local Hamiltonian (see ham/parser.h for the\n"
+        "text format; '-' reads stdin) and print the compilation\n"
+        "metrics.\n"
+        "\n"
+        "options:\n"
+        "  --device NAME     montreal | sycamore | aspen | manhattan\n"
+        "                    | line:N | grid:RxC  (default montreal)\n"
+        "  --gateset G       cnot | cz | iswap | syc (default cnot)\n"
+        "  --pipeline B      compiler backend: %s\n"
+        "                    (default 2qan)\n"
+        "  --time T          Trotter-step time (default 1.0)\n"
+        "  --seed S          RNG seed (default 7)\n"
+        "  --qasm            print the decomposed circuit "
+        "(CNOT/CZ only)\n"
+        "  --help            show this help and exit\n"
+        "\n"
+        "2qan-pipeline options (rejected for other backends):\n"
+        "  --jobs N          worker threads for the mapper trials;\n"
+        "                    results are identical for every N\n"
+        "  --mapper M        placement strategy: %s\n"
+        "  --trials K        randomized mapping trials (default 5)\n"
+        "  --noise-aware     synthetic-calibration noise-aware "
+        "placement\n"
+        "  --no-unify        disable SWAP-unitary unifying\n"
+        "  --generic-sched   use the order-respecting scheduler\n",
+        joined(core::backendNames()).c_str(),
+        joined(qap::mapperNames()).c_str());
+}
+
+core::MapperKind
+mapperByName(const std::string &name)
+{
+    const std::pair<const char *, core::MapperKind> kinds[] = {
+        {"tabu", core::MapperKind::Tabu},
+        {"anneal", core::MapperKind::Anneal},
+        {"greedy", core::MapperKind::Greedy},
+        {"line", core::MapperKind::Line},
+        {"identity", core::MapperKind::Identity},
+    };
+    for (const auto &[n, k] : kinds)
+        if (name == n)
+            return k;
+    throw std::runtime_error("unknown mapper '" + name +
+                             "' (expected " +
+                             joined(qap::mapperNames()) + ")");
 }
 
 } // namespace
@@ -99,16 +141,30 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            printHelp(stdout);
+            return 0;
+        }
+    }
+    if (argc < 2) {
+        printHelp(stderr);
+        return 2;
+    }
 
     std::string input = argv[1];
-    std::string dev = "montreal", gs_name = "cnot",
-                mapper = "tabu";
+    std::string dev = "montreal", gs_name = "cnot", mapper = "tabu",
+                pipeline = "2qan";
     double t = 1.0;
     std::uint64_t seed = 7;
+    int jobs = 1, trials = 5;
     bool noise_aware = false, no_unify = false,
          generic_sched = false, qasm = false;
+    /** 2QAN-only options the user set explicitly, so selecting a
+     * baseline pipeline can reject them instead of silently ignoring
+     * them (wrong ablation conclusions otherwise). */
+    std::vector<std::string> tqan_only;
 
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
@@ -122,26 +178,47 @@ main(int argc, char **argv)
                 dev = next();
             else if (a == "--gateset")
                 gs_name = next();
+            else if (a == "--pipeline")
+                pipeline = next();
             else if (a == "--time")
                 t = std::stod(next());
             else if (a == "--seed")
                 seed = std::stoull(next());
-            else if (a == "--mapper")
+            else if (a == "--jobs") {
+                jobs = std::stoi(next());
+                tqan_only.push_back(a);
+            } else if (a == "--mapper") {
                 mapper = next();
-            else if (a == "--noise-aware")
+                tqan_only.push_back(a);
+            } else if (a == "--trials") {
+                trials = std::stoi(next());
+                tqan_only.push_back(a);
+            } else if (a == "--noise-aware") {
                 noise_aware = true;
-            else if (a == "--no-unify")
+                tqan_only.push_back(a);
+            } else if (a == "--no-unify") {
                 no_unify = true;
-            else if (a == "--generic-sched")
+                tqan_only.push_back(a);
+            } else if (a == "--generic-sched") {
                 generic_sched = true;
-            else if (a == "--qasm")
+                tqan_only.push_back(a);
+            } else if (a == "--qasm")
                 qasm = true;
             else
-                return usage();
+                throw std::runtime_error(
+                    "unknown option '" + a +
+                    "' (run 'tqanc --help' for the option list)");
         } catch (const std::exception &e) {
             std::fprintf(stderr, "tqanc: %s\n", e.what());
             return 2;
         }
+    }
+    if (pipeline != "2qan" && !tqan_only.empty()) {
+        std::fprintf(stderr,
+                     "tqanc: option '%s' only applies to the 2qan "
+                     "pipeline (got --pipeline %s)\n",
+                     tqan_only.front().c_str(), pipeline.c_str());
+        return 2;
     }
 
     try {
@@ -157,49 +234,44 @@ main(int argc, char **argv)
         device::Topology topo = deviceByName(dev);
         device::GateSet gs = gateSetByName(gs_name);
 
-        core::CompilerOptions opt;
-        opt.seed = seed;
-        opt.unifySwaps = !no_unify;
-        opt.hybridSchedule = !generic_sched;
-        if (mapper == "tabu")
-            opt.mapper = core::MapperKind::Tabu;
-        else if (mapper == "anneal")
-            opt.mapper = core::MapperKind::Anneal;
-        else if (mapper == "greedy")
-            opt.mapper = core::MapperKind::Greedy;
-        else if (mapper == "line")
-            opt.mapper = core::MapperKind::Line;
-        else if (mapper == "identity")
-            opt.mapper = core::MapperKind::Identity;
-        else
-            return usage();
+        core::CompileJob job;
+        job.hamiltonian = &h;
+        job.time = t;
+        job.options.seed = seed;
+        job.options.jobs = jobs;
+        job.options.mapperTrials = trials;
+        job.options.unifySwaps = !no_unify;
+        job.options.hybridSchedule = !generic_sched;
+        job.options.mapper = mapperByName(mapper);
         if (noise_aware) {
             std::mt19937_64 nrng(seed ^ 0xCA11B8A7Eull);
-            opt.noiseMap = std::make_shared<device::NoiseMap>(
-                device::NoiseMap::synthetic(topo, nrng));
+            job.options.noiseMap =
+                std::make_shared<device::NoiseMap>(
+                    device::NoiseMap::synthetic(topo, nrng));
         }
 
-        core::TqanCompiler compiler(topo, opt);
+        const core::CompilerBackend &backend =
+            core::backendByName(pipeline);
         qcir::Circuit step = ham::trotterStep(h, t);
-        auto res = compiler.compile(step);
-        auto m = core::computeMetrics(res.sched, step, gs);
+        job.step = &step;
+        auto res = backend.compile(job, topo);
+        auto m = backend.metrics(res, step, gs);
 
         std::fprintf(stderr,
-                     "tqanc: %d qubits -> %s (%s)\n"
+                     "tqanc: %d qubits -> %s (%s, %s)\n"
                      "  swaps          %d (dressed %d)\n"
                      "  native 2q      %d (NoMap %d, overhead %d)\n"
                      "  2q depth       %d (NoMap %d)\n"
-                     "  all-gate depth %d (NoMap %d)\n"
-                     "  pass times     map %.1f ms, route %.2f ms, "
-                     "sched %.2f ms\n",
+                     "  all-gate depth %d (NoMap %d)\n",
                      h.numQubits(), topo.name().c_str(),
-                     device::gateSetName(gs).c_str(), m.swaps,
-                     m.dressed, m.native2q, m.native2qNoMap,
-                     m.gateOverhead(), m.depth2q, m.depth2qNoMap,
-                     m.depthAll, m.depthAllNoMap,
-                     res.mappingSeconds * 1e3,
-                     res.routingSeconds * 1e3,
-                     res.schedulingSeconds * 1e3);
+                     device::gateSetName(gs).c_str(),
+                     backend.name().c_str(), m.swaps, m.dressed,
+                     m.native2q, m.native2qNoMap, m.gateOverhead(),
+                     m.depth2q, m.depth2qNoMap, m.depthAll,
+                     m.depthAllNoMap);
+        for (const auto &pt : res.passTimes)
+            std::fprintf(stderr, "  pass %-10s %8.2f ms\n",
+                         pt.pass.c_str(), pt.seconds * 1e3);
 
         if (qasm) {
             qcir::Circuit hw =
