@@ -17,7 +17,7 @@ int
 main(int argc, char **argv)
 {
     printHeader();
-    runFigureSweep("fig11", device::sycamore54(), device::GateSet::Cz,
+    runFigureSweep("fig11", "sycamore", /*gateset=*/"cz",
                    /*chainCap=*/50, /*qaoaCap=*/22,
                    /*withIcQaoa=*/false);
     benchmark::Initialize(&argc, argv);

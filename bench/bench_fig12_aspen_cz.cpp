@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     printHeader();
-    runFigureSweep("fig12", device::aspen16(), device::GateSet::Cz,
+    runFigureSweep("fig12", "aspen", /*gateset=*/"cz",
                    /*chainCap=*/16, /*qaoaCap=*/16,
                    /*withIcQaoa=*/false);
     benchmark::Initialize(&argc, argv);

@@ -55,9 +55,9 @@ main(int argc, char **argv)
             table_only = true;
 
     printHeader();
-    runFigureSweep("fig7", device::sycamore54(),
-                   device::GateSet::Syc, /*chainCap=*/50,
-                   /*qaoaCap=*/22, /*withIcQaoa=*/false);
+    runFigureSweep("fig7", "sycamore", /*gateset=*/"",
+                   /*chainCap=*/50, /*qaoaCap=*/22,
+                   /*withIcQaoa=*/false);
 
     if (!table_only) {
         benchmark::Initialize(&argc, argv);

@@ -49,7 +49,7 @@ main(int argc, char **argv)
             table_only = true;
 
     printHeader();
-    runFigureSweep("fig8", device::aspen16(), device::GateSet::ISwap,
+    runFigureSweep("fig8", "aspen", /*gateset=*/"",
                    /*chainCap=*/16, /*qaoaCap=*/16,
                    /*withIcQaoa=*/false);
 

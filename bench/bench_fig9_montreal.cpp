@@ -51,9 +51,9 @@ main(int argc, char **argv)
             table_only = true;
 
     printHeader();
-    runFigureSweep("fig9", device::montreal27(),
-                   device::GateSet::Cnot, /*chainCap=*/26,
-                   /*qaoaCap=*/22, /*withIcQaoa=*/true);
+    runFigureSweep("fig9", "montreal", /*gateset=*/"",
+                   /*chainCap=*/26, /*qaoaCap=*/22,
+                   /*withIcQaoa=*/true);
 
     if (!table_only) {
         benchmark::Initialize(&argc, argv);

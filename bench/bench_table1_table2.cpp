@@ -1,136 +1,47 @@
 /**
  * @file
  * Paper Tables I and II: average and maximum compilation-overhead
- * reduction of 2QAN versus the t|ket>-like router (Table I) and the
- * SABRE/Qiskit router (Table II), per benchmark family and device.
+ * reduction of 2QAN versus the t|ket>-like router (Table I,
+ * vs_tket_like rows) and the SABRE/Qiskit router (Table II,
+ * vs_qiskit_sabre rows), per benchmark family and device.
  *
- * overhead(compiler) = metric(compiler) - metric(NoMap) for gate
- * counts and depths, and the raw SWAP count for SWAPs; the reduction
- * is overhead(baseline) / overhead(2QAN).  Rows where 2QAN has zero
- * overhead print "inf" (the paper prints '-' and calls the overhead
- * negligible).
+ * The whole grid is the built-in "table1_table2" sweep preset run
+ * through the batch engine and aggregated by core::aggregateTables
+ * (`tqan-sweep --preset table1_table2 --tables-only` prints the same
+ * rows).  overhead(compiler) = metric(compiler) - metric(NoMap) for
+ * gate counts and depths, and the raw SWAP count for SWAPs; the
+ * reduction is overhead(baseline) / overhead(2QAN).  Rows where 2QAN
+ * has zero overhead print "inf" (the paper prints '-' and calls the
+ * overhead negligible).
  */
 
 #include <benchmark/benchmark.h>
-
-#include <cmath>
-#include <map>
-#include <vector>
 
 #include "common.h"
 
 using namespace tqan;
 using namespace tqan::bench;
 
-namespace {
-
-struct Agg
-{
-    std::vector<double> swap_ratio;
-    std::vector<double> gate_ratio;
-    std::vector<double> depth_ratio;
-};
-
-void
-accumulate(Agg &agg, const core::CompilationMetrics &base,
-           const core::CompilationMetrics &tq)
-{
-    auto ratio = [](double num, double den) {
-        if (den <= 0.0)
-            return num > 0.0 ? std::numeric_limits<double>::infinity()
-                             : 1.0;
-        return num / den;
-    };
-    agg.swap_ratio.push_back(ratio(base.swaps, tq.swaps));
-    agg.gate_ratio.push_back(
-        ratio(base.gateOverhead(), tq.gateOverhead()));
-    agg.depth_ratio.push_back(
-        ratio(base.depth2qOverhead(), tq.depth2qOverhead()));
-}
-
-std::pair<double, double>
-avgMax(const std::vector<double> &v)
-{
-    double sum = 0.0, mx = 0.0;
-    int finite = 0;
-    for (double x : v) {
-        if (std::isfinite(x)) {
-            sum += x;
-            mx = std::max(mx, x);
-            ++finite;
-        }
-    }
-    if (finite == 0)
-        return {std::numeric_limits<double>::infinity(),
-                std::numeric_limits<double>::infinity()};
-    return {sum / finite, mx};
-}
-
-void
-printAgg(const char *table, const char *base, const char *fam,
-         const char *dev, const Agg &agg)
-{
-    auto [sa, sm] = avgMax(agg.swap_ratio);
-    auto [ga, gm] = avgMax(agg.gate_ratio);
-    auto [da, dm] = avgMax(agg.depth_ratio);
-    std::printf("%s,%s,%s,%s,swaps,%.2f,%.2f\n", table, base, fam,
-                dev, sa, sm);
-    std::printf("%s,%s,%s,%s,gates,%.2f,%.2f\n", table, base, fam,
-                dev, ga, gm);
-    std::printf("%s,%s,%s,%s,depth2q,%.2f,%.2f\n", table, base, fam,
-                dev, da, dm);
-    std::fflush(stdout);
-}
-
-void
-runDevice(const device::Topology &topo, device::GateSet gs,
-          int chainCap, int qaoaCap)
-{
-    const Family fams[] = {Family::NnnHeisenberg, Family::NnnXY,
-                           Family::NnnIsing, Family::QaoaReg3};
-    for (Family f : fams) {
-        Agg vs_tket, vs_sabre;
-        std::vector<std::pair<int, int>> configs;  // (n, instance)
-        if (f == Family::QaoaReg3) {
-            for (int n : qaoaSizes(qaoaCap))
-                for (int i = 0; i < 5; ++i)
-                    configs.push_back({n, i});
-        } else {
-            int cap = f == Family::NnnIsing ? std::min(chainCap, 40)
-                                            : chainCap;
-            for (int n : chainSizes(cap))
-                configs.push_back({n, 0});
-        }
-        for (auto [n, inst] : configs) {
-            std::mt19937_64 rng(instanceSeed(f, n, inst));
-            qcir::Circuit step = familyStep(f, n, inst, rng);
-            auto tq =
-                runCompiler("2qan", step, topo, gs, instanceSeed(f, n, 1000 + inst));
-            auto sb = runCompiler("qiskit_sabre", step, topo, gs,
-                                  instanceSeed(f, n, 2000 + inst));
-            auto tk = runCompiler("tket_like", step, topo, gs,
-                                  instanceSeed(f, n, 3000 + inst));
-            accumulate(vs_tket, tk, tq);
-            accumulate(vs_sabre, sb, tq);
-        }
-        printAgg("table1_vs_tket", "tket_like", familyName(f),
-                 topo.name().c_str(), vs_tket);
-        printAgg("table2_vs_qiskit", "qiskit_sabre", familyName(f),
-                 topo.name().c_str(), vs_sabre);
-    }
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    std::printf(
-        "table,baseline,benchmark,device,metric,avg_reduction,"
-        "max_reduction\n");
-    runDevice(device::sycamore54(), device::GateSet::Syc, 50, 22);
-    runDevice(device::aspen16(), device::GateSet::ISwap, 16, 16);
-    runDevice(device::montreal27(), device::GateSet::Cnot, 26, 22);
+    int jobs = 1;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--jobs")
+            jobs = std::atoi(argv[i + 1]);
+
+    core::BatchCompiler bc({jobs});
+    auto rows =
+        core::runSweep(core::sweepPreset("table1_table2"), bc);
+    for (const auto &row : rows)
+        if (!row.ok())
+            std::fprintf(stderr, "table1_table2: %s failed: %s\n",
+                         row.backend.c_str(), row.error.c_str());
+
+    std::printf("%s\n", core::sweepTableCsvHeader().c_str());
+    for (const auto &t : core::aggregateTables(
+             rows, "2qan", {"tket_like", "qiskit_sabre"}))
+        std::printf("%s\n", core::toCsv(t).c_str());
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

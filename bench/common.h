@@ -2,7 +2,8 @@
  * @file
  * Shared harness for the paper-reproduction benchmarks.
  *
- * Every figure/table binary prints machine-readable rows:
+ * Every figure/table binary prints machine-readable rows in the
+ * core/sweep.h CSV schema:
  *
  *   experiment,benchmark,device,gateset,compiler,nqubits,instance,
  *   swaps,dressed,native2q,depth2q,depthall,
@@ -10,23 +11,24 @@
  *
  * and registers google-benchmark timings of the compile passes (the
  * paper's Sec. V-D runtime evaluation rides on the same sweeps).
- * Randomness is seeded per (benchmark, size, instance) so runs are
- * reproducible.
+ * The figure sweeps are thin sweep specs executed by the
+ * BatchCompiler engine, so they are also reproducible with
+ * `tqan-sweep` and share its seeding convention.
  */
 
 #ifndef TQAN_BENCH_COMMON_H
 #define TQAN_BENCH_COMMON_H
 
+#include <algorithm>
 #include <cstdio>
-#include <functional>
 #include <random>
 #include <string>
-#include <utility>
 
 #include "core/backend.h"
 #include "core/compiler.h"
 #include "core/metrics.h"
 #include "core/qaoa_layers.h"
+#include "core/sweep.h"
 #include "decomp/pass.h"
 #include "device/devices.h"
 #include "graph/random_graph.h"
@@ -37,43 +39,22 @@
 namespace tqan {
 namespace bench {
 
-inline void
-printHeader()
-{
-    std::printf(
-        "experiment,benchmark,device,gateset,compiler,nqubits,"
-        "instance,swaps,dressed,native2q,depth2q,depthall,"
-        "native2q_nomap,depth2q_nomap,depthall_nomap\n");
-}
-
-inline void
-printRow(const std::string &experiment, const std::string &benchmark,
-         const std::string &dev, device::GateSet gs,
-         const std::string &compiler, int n, int instance,
-         const core::CompilationMetrics &m)
-{
-    std::printf("%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-                experiment.c_str(), benchmark.c_str(), dev.c_str(),
-                device::gateSetName(gs).c_str(), compiler.c_str(), n,
-                instance, m.swaps, m.dressed, m.native2q, m.depth2q,
-                m.depthAll, m.native2qNoMap, m.depth2qNoMap,
-                m.depthAllNoMap);
-    std::fflush(stdout);
-}
-
 /** Benchmark family identifiers (paper Sec. IV). */
-enum class Family { NnnHeisenberg, NnnXY, NnnIsing, QaoaReg3 };
+using Family = core::Benchmark;
 
-inline const char *
+inline std::string
 familyName(Family f)
 {
-    switch (f) {
-      case Family::NnnHeisenberg: return "NNN_Heisenberg";
-      case Family::NnnXY: return "NNN_XY";
-      case Family::NnnIsing: return "NNN_Ising";
-      case Family::QaoaReg3: return "QAOA_REG3";
-    }
-    return "?";
+    return core::benchmarkName(f);
+}
+
+using core::chainSizes;
+using core::qaoaSizes;
+
+inline std::uint64_t
+instanceSeed(Family f, int n, int instance)
+{
+    return core::sweepInstanceSeed(f, n, instance);
 }
 
 /** One Trotter-step / one-layer circuit for a family instance. */
@@ -98,11 +79,29 @@ familyStep(Family f, int n, int instance, std::mt19937_64 &rng)
     return qcir::Circuit(n);
 }
 
-inline std::uint64_t
-instanceSeed(Family f, int n, int instance)
+inline void
+printHeader()
 {
-    return 0x5eed0000ull + static_cast<int>(f) * 104729ull +
-           n * 1299709ull + instance * 15485863ull;
+    std::printf("%s\n", core::sweepCsvHeader().c_str());
+}
+
+inline void
+printRow(const std::string &experiment, const std::string &benchmark,
+         const std::string &dev, device::GateSet gs,
+         const std::string &compiler, int n, int instance,
+         const core::CompilationMetrics &m)
+{
+    core::SweepRow row;
+    row.experiment = experiment;
+    row.benchmark = benchmark;
+    row.device = dev;
+    row.gateset = device::gateSetName(gs);
+    row.backend = compiler;
+    row.nqubits = n;
+    row.instance = instance;
+    row.metrics = m;
+    std::printf("%s\n", core::toCsv(row).c_str());
+    std::fflush(stdout);
 }
 
 /**
@@ -128,97 +127,76 @@ runCompiler(const std::string &backend, const qcir::Circuit &step,
     return m;
 }
 
-/** The chain-model sizes of Fig. 7/8/9, capped per device. */
-inline std::vector<int>
-chainSizes(int cap)
+/**
+ * The spec behind a Fig. 7/8/9/11/12 sweep for one device: the
+ * three chain models plus QAOA-REG-3, each compiled by 2QAN, the
+ * t|ket>-like and the SABRE baselines (+ IC-QAOA on QAOA rows when
+ * `withIcQaoa`).  `gateset` empty = the device's paper gate set.
+ */
+inline core::SweepSpec
+figureSweepSpec(const std::string &experiment,
+                const std::string &deviceName,
+                const std::string &gateset, int chainCap,
+                int qaoaCap, bool withIcQaoa, int qaoaInstances = 10)
 {
-    std::vector<int> s;
-    for (int n = 6; n <= 26; n += 2)
-        if (n <= cap)
-            s.push_back(n);
-    for (int n : {32, 40, 50})
-        if (n <= cap)
-            s.push_back(n);
-    return s;
-}
-
-/** The QAOA sizes, capped per device. */
-inline std::vector<int>
-qaoaSizes(int cap)
-{
-    std::vector<int> s;
-    for (int n = 4; n <= 22; n += 2)
-        if (n <= cap)
-            s.push_back(n);
+    core::SweepSpec s;
+    s.experiment = experiment;
+    s.devices = {{deviceName, gateset}};
+    s.backends = {"2qan", "qiskit_sabre", "tket_like"};
+    if (withIcQaoa)
+        s.backendsFor[Family::QaoaReg3] = {
+            "2qan", "qiskit_sabre", "tket_like", "ic_qaoa"};
+    s.sizes = chainSizes(chainCap);
+    // The paper stops the Ising sweep at 40.
+    s.sizesFor[Family::NnnIsing] =
+        chainSizes(std::min(chainCap, 40));
+    s.sizesFor[Family::QaoaReg3] = qaoaSizes(qaoaCap);
+    s.instancesFor[Family::QaoaReg3] = qaoaInstances;
     return s;
 }
 
 /**
- * Run the full figure sweep for one device: the three chain models
- * plus QAOA-REG-3 (10 instances per size), each compiled by 2QAN,
- * the t|ket>-like and the SABRE baselines (+ IC-QAOA on QAOA rows
- * when `withIcQaoa`).
+ * Run one figure sweep through the batch engine and print its rows;
+ * compile failures go to stderr.  The batch runs in per-instance
+ * chunks so rows stream out as each (benchmark, size, instance) is
+ * compiled — long sweeps stay watchable and `| head` keeps working.
  */
 inline void
 runFigureSweep(const std::string &experiment,
-               const device::Topology &topo, device::GateSet gs,
-               int chainCap, int qaoaCap, bool withIcQaoa,
-               int qaoaInstances = 10)
+               const std::string &deviceName,
+               const std::string &gateset, int chainCap, int qaoaCap,
+               bool withIcQaoa, int qaoaInstances = 10, int jobs = 1)
 {
-    const Family chains[] = {Family::NnnHeisenberg, Family::NnnXY,
-                             Family::NnnIsing};
-    for (Family f : chains) {
-        int cap = chainCap;
-        if (f == Family::NnnIsing && cap > 40)
-            cap = 40;  // the paper stops the Ising sweep at 40
-        for (int n : chainSizes(cap)) {
-            std::mt19937_64 rng(instanceSeed(f, n, 0));
-            qcir::Circuit step = familyStep(f, n, 0, rng);
-            auto mt =
-                runCompiler("2qan", step, topo, gs,
-                            instanceSeed(f, n, 1));
-            printRow(experiment, familyName(f), topo.name(), gs,
-                     "2QAN", n, 0, mt);
-            auto ms = runCompiler("qiskit_sabre", step, topo, gs,
-                                  instanceSeed(f, n, 2));
-            printRow(experiment, familyName(f), topo.name(), gs,
-                     "qiskit_sabre", n, 0, ms);
-            auto mk = runCompiler("tket_like", step, topo, gs,
-                                  instanceSeed(f, n, 3));
-            printRow(experiment, familyName(f), topo.name(), gs,
-                     "tket_like", n, 0, mk);
+    core::BatchCompiler bc({jobs});
+    core::ExpandedSweep ex = core::expandSweep(
+        figureSweepSpec(experiment, deviceName, gateset, chainCap,
+                        qaoaCap, withIcQaoa, qaoaInstances));
+    auto sameInstance = [&ex](size_t a, size_t b) {
+        return ex.rows[a].benchmark == ex.rows[b].benchmark &&
+               ex.rows[a].nqubits == ex.rows[b].nqubits &&
+               ex.rows[a].instance == ex.rows[b].instance;
+    };
+    for (size_t lo = 0; lo < ex.jobs.size();) {
+        size_t hi = lo + 1;
+        while (hi < ex.jobs.size() && sameInstance(lo, hi))
+            ++hi;
+        std::vector<core::BatchJob> chunk(ex.jobs.begin() + lo,
+                                          ex.jobs.begin() + hi);
+        auto results = bc.run(chunk);
+        for (size_t i = 0; i < results.size(); ++i) {
+            core::SweepRow &row = ex.rows[lo + i];
+            row.metrics = results[i].metrics;
+            row.seconds = results[i].seconds;
+            row.error = results[i].error;
+            std::printf("%s\n", core::toCsv(row).c_str());
+            std::fflush(stdout);
+            if (!row.ok())
+                std::fprintf(stderr, "%s: %s failed: %s\n",
+                             experiment.c_str(),
+                             row.backend.c_str(),
+                             row.error.c_str());
         }
-    }
-
-    for (int n : qaoaSizes(qaoaCap)) {
-        for (int inst = 0; inst < qaoaInstances; ++inst) {
-            std::mt19937_64 rng(
-                instanceSeed(Family::QaoaReg3, n, inst));
-            qcir::Circuit step =
-                familyStep(Family::QaoaReg3, n, inst, rng);
-            auto mt = runCompiler("2qan", step, topo, gs,
-                                  instanceSeed(Family::QaoaReg3, n,
-                                               100 + inst));
-            printRow(experiment, "QAOA_REG3", topo.name(), gs, "2QAN",
-                     n, inst, mt);
-            auto ms = runCompiler("qiskit_sabre", step, topo, gs,
-                                  instanceSeed(Family::QaoaReg3, n,
-                                               200 + inst));
-            printRow(experiment, "QAOA_REG3", topo.name(), gs,
-                     "qiskit_sabre", n, inst, ms);
-            auto mk = runCompiler("tket_like", step, topo, gs,
-                                  instanceSeed(Family::QaoaReg3, n,
-                                               300 + inst));
-            printRow(experiment, "QAOA_REG3", topo.name(), gs,
-                     "tket_like", n, inst, mk);
-            if (withIcQaoa) {
-                auto mi = runCompiler("ic_qaoa", step, topo, gs,
-                                      instanceSeed(Family::QaoaReg3,
-                                                   n, 400 + inst));
-                printRow(experiment, "QAOA_REG3", topo.name(), gs,
-                         "ic_qaoa", n, inst, mi);
-            }
-        }
+        lo = hi;
     }
 }
 

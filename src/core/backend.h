@@ -41,9 +41,15 @@ struct CompileJob
     const ham::TwoLocalHamiltonian *hamiltonian = nullptr;
     /** Trotter-step time (Hamiltonian-consuming backends). */
     double time = 1.0;
-    /** options.seed is honored by every backend; every other field
-     * (mapper, trials, jobs, noise map, ablation toggles) steers the
-     * 2QAN pipeline only and is ignored by the baselines. */
+    /** options.seed fully determines each backend's randomness:
+     * same seed, same result, for every backend.  Only the
+     * randomized backends (2qan's mapper trials, qiskit_sabre's
+     * random initial placement, and paulihedral_like, which routes
+     * through SABRE) actually draw from it; tket_like and ic_qaoa
+     * are deterministic and ignore the seed entirely (verified by
+     * tests/core/test_backend_seed.cpp).  Every other field (mapper,
+     * trials, jobs, noise map, ablation toggles) steers the 2QAN
+     * pipeline only and is ignored by the baselines. */
     CompilerOptions options;
 };
 

@@ -1,0 +1,183 @@
+#include "core/batch.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "qap/qap.h"
+
+namespace tqan {
+namespace core {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 0)
+        threads = 0;
+    workers_.reserve(threads > 1 ? threads : 0);
+    for (int i = 0; i < threads && threads > 1; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock, [this]() {
+        return nextTask_ == queue_.size() && running_ == 0;
+    });
+    // All handed-out tasks are done; recycle the queue storage.
+    queue_.clear();
+    nextTask_ = 0;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        taskReady_.wait(lock, [this]() {
+            return stop_ || nextTask_ < queue_.size();
+        });
+        if (stop_)
+            return;
+        std::function<void()> task =
+            std::move(queue_[nextTask_++]);
+        ++running_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --running_;
+        if (nextTask_ == queue_.size() && running_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+BatchCompiler::BatchCompiler(BatchOptions opt)
+    : opt_(opt), pool_(new ThreadPool(opt.jobs))
+{
+}
+
+namespace {
+
+/** Structural fingerprint of a topology: name, size, couplings.
+ * Keys the distance cache by value, so it stays correct when
+ * callers destroy and rebuild topologies between batches. */
+std::uint64_t
+topologyFingerprint(const device::Topology &topo)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    for (unsigned char c : topo.name())
+        mix(c);
+    mix(0xFFull);
+    mix(static_cast<std::uint64_t>(topo.numQubits()));
+    for (const auto &[u, v] : topo.edges()) {
+        mix(static_cast<std::uint64_t>(u));
+        mix(static_cast<std::uint64_t>(v));
+    }
+    return h;
+}
+
+} // namespace
+
+std::shared_ptr<const std::vector<std::vector<double>>>
+BatchCompiler::distancesFor(const device::Topology &topo) const
+{
+    std::lock_guard<std::mutex> lock(distMu_);
+    auto &slot = distCache_[topologyFingerprint(topo)];
+    if (!slot)
+        slot = std::make_shared<
+            const std::vector<std::vector<double>>>(
+            qap::hopDistanceMatrix(topo));
+    return slot;
+}
+
+std::vector<BatchJobResult>
+BatchCompiler::run(const std::vector<BatchJob> &jobs) const
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<BatchJobResult> results(jobs.size());
+
+    // Resolve shared inputs up front, on the calling thread: the
+    // distance cache and the backend registry are locked here once
+    // instead of contended from every worker, and workers then touch
+    // only their own job slot (all cross-job data is immutable).
+    struct Prepared
+    {
+        const CompilerBackend *backend = nullptr;
+        std::shared_ptr<const std::vector<std::vector<double>>> dist;
+    };
+    std::vector<Prepared> prep(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        results[i].backend = jobs[i].backend;
+        results[i].tag = jobs[i].tag;
+        try {
+            if (!jobs[i].topo)
+                throw std::invalid_argument(
+                    "BatchCompiler: job.topo is null");
+            prep[i].backend = &backendByName(jobs[i].backend);
+            prep[i].dist = distancesFor(*jobs[i].topo);
+        } catch (const std::exception &e) {
+            results[i].error = e.what();
+        }
+    }
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (!results[i].ok())
+            continue;
+        pool_->submit([&jobs, &results, &prep, i]() {
+            const BatchJob &bj = jobs[i];
+            BatchJobResult &out = results[i];
+            try {
+                CompileJob job = bj.job;
+                job.options.sharedDistances = prep[i].dist;
+                auto t0 = Clock::now();
+                out.result = prep[i].backend->compile(job, *bj.topo);
+                out.seconds =
+                    std::chrono::duration<double>(Clock::now() - t0)
+                        .count();
+                if (bj.job.step)
+                    out.metrics = prep[i].backend->metrics(
+                        out.result, *bj.job.step, bj.gateset);
+            } catch (const std::exception &e) {
+                out.error = e.what();
+            }
+        });
+    }
+    pool_->wait();
+    return results;
+}
+
+} // namespace core
+} // namespace tqan

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Batch compilation engine.
+ *
+ * The paper's results are sweeps: every figure and table compiles
+ * many (benchmark x device x backend x option) combinations.  A
+ * BatchCompiler executes such a batch on a persistent thread pool and
+ * returns one scored result per job, in job order.
+ *
+ * Determinism contract (the `--jobs` convention of the mapper
+ * trials, lifted to whole compilations): every job carries its own
+ * seed in `job.options.seed` and compiles on a private RNG, so the
+ * results are bit-identical for any pool size and any submission
+ * order.  Shared state is read-only: the per-topology hop-distance
+ * matrix is computed once per batch and handed to every 2QAN job
+ * through CompilerOptions::sharedDistances (the c-blosc2 rule — one
+ * context per thread, shared data immutable — applied to
+ * compilation jobs).
+ */
+
+#ifndef TQAN_CORE_BATCH_H
+#define TQAN_CORE_BATCH_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/compiler.h"
+#include "core/metrics.h"
+#include "device/topology.h"
+
+namespace tqan {
+namespace core {
+
+/**
+ * A persistent fixed-size worker pool.  Tasks submitted with
+ * submit() run in FIFO order across the workers; wait() blocks until
+ * every submitted task has finished.  With `threads <= 1` the pool
+ * spawns no workers and submit() runs the task inline, so
+ * single-threaded batches stay exactly sequential.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 = inline execution). */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue one task; never blocks on task completion. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have run to completion. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::vector<std::function<void()>> queue_;
+    size_t nextTask_ = 0;  ///< queue_ index of the next task to run
+    int running_ = 0;      ///< tasks currently executing
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/** One entry of a batch: which backend compiles what for which
+ * device, and how the result is scored. */
+struct BatchJob
+{
+    /** Registered backend name ("2qan", "qiskit_sabre", ...). */
+    std::string backend;
+    /** Target device; non-owned, must outlive the batch run. */
+    const device::Topology *topo = nullptr;
+    /** Native gate set the metrics are counted in. */
+    device::GateSet gateset = device::GateSet::Cnot;
+    /** The compilation request (step/hamiltonian pointers non-owned;
+     * options.seed is the job's whole source of randomness). */
+    CompileJob job;
+    /** Caller-defined label, carried into the result untouched (used
+     * by sweeps to keep rows addressable after reordering). */
+    std::string tag;
+};
+
+/** Outcome of one BatchJob.  Either `error` is empty and the result
+ * and metrics slots are valid, or `error` holds the exception text. */
+struct BatchJobResult
+{
+    std::string backend;
+    std::string tag;
+    CompileResult result;
+    CompilationMetrics metrics;
+    /** Wall time of this job's compile() call, in seconds. */
+    double seconds = 0.0;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+struct BatchOptions
+{
+    /** Worker threads compiling jobs concurrently.  Results are
+     * bit-identical for every value (each job owns its seed). */
+    int jobs = 1;
+};
+
+/**
+ * Executes batches of compilation jobs.
+ *
+ * The pool and the per-topology distance cache persist across run()
+ * calls, so a long-lived BatchCompiler amortizes thread start-up and
+ * distance-matrix construction over many sweeps.
+ *
+ * @code
+ *   BatchCompiler bc({8});
+ *   std::vector<BatchJob> jobs = ...;
+ *   auto results = bc.run(jobs);   // results[i] belongs to jobs[i]
+ * @endcode
+ */
+class BatchCompiler
+{
+  public:
+    explicit BatchCompiler(BatchOptions opt = BatchOptions());
+
+    const BatchOptions &options() const { return opt_; }
+
+    /**
+     * Compile every job; results come back in job order.  A job that
+     * throws (unknown backend, missing inputs) yields a result with
+     * a non-empty `error` instead of aborting the batch.
+     */
+    std::vector<BatchJobResult> run(
+        const std::vector<BatchJob> &jobs) const;
+
+    /**
+     * The memoized hop-distance matrix of a topology, shared by all
+     * jobs of all batches targeting it.  Keyed by a structural
+     * fingerprint (name, qubit count, coupling list), not by object
+     * identity, so equal topologies hit the same entry across run()
+     * calls even when callers rebuild them per sweep.
+     */
+    std::shared_ptr<const std::vector<std::vector<double>>>
+    distancesFor(const device::Topology &topo) const;
+
+  private:
+    BatchOptions opt_;
+    std::unique_ptr<ThreadPool> pool_;
+    mutable std::mutex distMu_;
+    mutable std::map<
+        std::uint64_t,
+        std::shared_ptr<const std::vector<std::vector<double>>>>
+        distCache_;
+};
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_BATCH_H

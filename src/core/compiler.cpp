@@ -48,6 +48,7 @@ TqanCompiler::compile(const qcir::Circuit &step) const
     ctx.jobs = opt_.jobs;
     ctx.noiseMap = opt_.noiseMap;
     ctx.noiseLambda = opt_.noiseLambda;
+    ctx.adoptDistances(opt_.sharedDistances);
 
     CompileResult res;
     res.passTimes = buildPipeline().run(ctx);

@@ -70,6 +70,16 @@ struct CompilerOptions
     std::shared_ptr<const device::NoiseMap> noiseMap;
     /** Weight of the noise term in the noise-aware distances. */
     double noiseLambda = 1.0;
+    /**
+     * Optional precomputed hop-distance matrix of the target
+     * topology, shared across compilations (BatchCompiler memoizes
+     * one per topology).  Ignored when a noiseMap is attached or
+     * the matrix's dimension differs from the device's qubit
+     * count; beyond the dimension the content is trusted, so it
+     * must really be this device's hop matrix.
+     */
+    std::shared_ptr<const std::vector<std::vector<double>>>
+        sharedDistances;
     std::uint64_t seed = 7;
 };
 

@@ -10,12 +10,23 @@ namespace core {
 const std::vector<std::vector<double>> &
 CompileContext::distances() const
 {
-    if (!distReady_) {
-        dist_ = noiseMap ? noiseMap->noiseAwareDistances(noiseLambda)
-                         : qap::hopDistanceMatrix(*topo);
-        distReady_ = true;
+    if (!dist_) {
+        dist_ = std::make_shared<
+            const std::vector<std::vector<double>>>(
+            noiseMap ? noiseMap->noiseAwareDistances(noiseLambda)
+                     : qap::hopDistanceMatrix(*topo));
     }
-    return dist_;
+    return *dist_;
+}
+
+void
+CompileContext::adoptDistances(
+    std::shared_ptr<const std::vector<std::vector<double>>> d)
+{
+    if (noiseMap || !d ||
+        static_cast<int>(d->size()) != topo->numQubits())
+        return;
+    dist_ = std::move(d);
 }
 
 double

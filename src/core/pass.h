@@ -63,9 +63,22 @@ struct CompileContext
      */
     const std::vector<std::vector<double>> &distances() const;
 
+    /**
+     * Seed the memo with a matrix computed elsewhere (BatchCompiler
+     * shares one hop matrix per topology across a whole batch).
+     * Ignored when a NoiseMap is attached — noise-aware distances
+     * are job-specific — or when the matrix's dimension differs
+     * from the topology's qubit count.  Only the dimension is
+     * checked: the caller must supply the hop matrix of *this*
+     * topology (BatchCompiler keys its cache on a structural
+     * fingerprint to guarantee that).
+     */
+    void adoptDistances(
+        std::shared_ptr<const std::vector<std::vector<double>>> d);
+
   private:
-    mutable std::vector<std::vector<double>> dist_;
-    mutable bool distReady_ = false;
+    mutable std::shared_ptr<const std::vector<std::vector<double>>>
+        dist_;
 };
 
 /** One compilation stage. */

@@ -1,0 +1,685 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "device/devices.h"
+#include "graph/random_graph.h"
+#include "ham/models.h"
+#include "ham/qaoa.h"
+#include "ham/trotter.h"
+
+namespace tqan {
+namespace core {
+
+namespace {
+
+constexpr std::uint64_t kSeedStride = 0x9E3779B97F4A7C15ull;
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+benchmarkName(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::NnnHeisenberg: return "NNN_Heisenberg";
+      case Benchmark::NnnXY: return "NNN_XY";
+      case Benchmark::NnnIsing: return "NNN_Ising";
+      case Benchmark::QaoaReg3: return "QAOA_REG3";
+    }
+    throw std::invalid_argument("benchmarkName: bad enum value");
+}
+
+Benchmark
+benchmarkByName(const std::string &name)
+{
+    for (Benchmark b : allBenchmarks())
+        if (benchmarkName(b) == name)
+            return b;
+    throw std::invalid_argument(
+        "unknown benchmark '" + name +
+        "' (expected NNN_Heisenberg | NNN_XY | NNN_Ising | "
+        "QAOA_REG3)");
+}
+
+std::vector<Benchmark>
+allBenchmarks()
+{
+    return {Benchmark::NnnHeisenberg, Benchmark::NnnXY,
+            Benchmark::NnnIsing, Benchmark::QaoaReg3};
+}
+
+std::vector<int>
+chainSizes(int cap)
+{
+    std::vector<int> s;
+    for (int n = 6; n <= 26; n += 2)
+        if (n <= cap)
+            s.push_back(n);
+    for (int n : {32, 40, 50})
+        if (n <= cap)
+            s.push_back(n);
+    return s;
+}
+
+std::vector<int>
+qaoaSizes(int cap)
+{
+    std::vector<int> s;
+    for (int n = 4; n <= 22; n += 2)
+        if (n <= cap)
+            s.push_back(n);
+    return s;
+}
+
+std::uint64_t
+sweepInstanceSeed(Benchmark b, int n, int instance)
+{
+    return 0x5eed0000ull + static_cast<int>(b) * 104729ull +
+           n * 1299709ull + instance * 15485863ull;
+}
+
+std::uint64_t
+sweepCompileSeed(Benchmark b, int n, int instance,
+                 const std::string &backend, std::uint64_t base)
+{
+    return (sweepInstanceSeed(b, n, instance) ^ fnv1a64(backend)) +
+           base * kSeedStride;
+}
+
+SweepUnit
+buildSweepUnit(Benchmark b, int n, int instance,
+               std::uint64_t baseSeed)
+{
+    std::mt19937_64 rng(sweepInstanceSeed(b, n, instance) +
+                        baseSeed * kSeedStride);
+    ham::TwoLocalHamiltonian h = [&]() {
+        switch (b) {
+          case Benchmark::NnnHeisenberg:
+            return ham::nnnHeisenberg(n, rng);
+          case Benchmark::NnnXY:
+            return ham::nnnXY(n, rng);
+          case Benchmark::NnnIsing:
+            return ham::nnnIsing(n, rng);
+          case Benchmark::QaoaReg3: {
+            auto g = graph::randomRegularGraph(n, 3, rng);
+            return ham::qaoaLayerHamiltonian(
+                g, ham::qaoaFixedAngles(1)[0]);
+          }
+        }
+        throw std::invalid_argument("buildSweepUnit: bad benchmark");
+    }();
+
+    SweepUnit unit;
+    unit.benchmark = b;
+    unit.n = n;
+    unit.instance = instance;
+    unit.step = std::make_shared<const qcir::Circuit>(
+        ham::trotterStep(h, 1.0));
+    unit.hamiltonian =
+        std::make_shared<const ham::TwoLocalHamiltonian>(
+            std::move(h));
+    return unit;
+}
+
+namespace {
+
+std::vector<std::string>
+tokens(const std::string &s)
+{
+    std::istringstream is(s);
+    std::vector<std::string> out;
+    std::string t;
+    while (is >> t)
+        out.push_back(t);
+    return out;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+int
+specInt(const std::string &key, const std::string &value)
+{
+    try {
+        size_t used = 0;
+        int v = std::stoi(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("sweep spec: bad integer '" +
+                                    value + "' for key '" + key +
+                                    "'");
+    }
+}
+
+std::uint64_t
+specU64(const std::string &key, const std::string &value)
+{
+    try {
+        if (!value.empty() && value[0] != '-') {
+            size_t used = 0;
+            std::uint64_t v = std::stoull(value, &used);
+            if (used == value.size())
+                return v;
+        }
+    } catch (const std::exception &) {
+    }
+    throw std::invalid_argument("sweep spec: bad integer '" + value +
+                                "' for key '" + key + "'");
+}
+
+std::vector<int>
+specInts(const std::string &key, const std::vector<std::string> &vals)
+{
+    std::vector<int> out;
+    for (const auto &v : vals)
+        out.push_back(specInt(key, v));
+    return out;
+}
+
+SweepDeviceSpec
+parsedDevice(const std::string &token)
+{
+    SweepDeviceSpec d;
+    size_t at = token.find('@');
+    d.name = token.substr(0, at);
+    if (at != std::string::npos)
+        d.gateset = token.substr(at + 1);
+    if (d.name.empty())
+        throw std::invalid_argument(
+            "sweep spec: empty device name in '" + token + "'");
+    return d;
+}
+
+} // namespace
+
+SweepSpec
+parseSweepSpec(std::istream &in)
+{
+    SweepSpec spec;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "sweep spec line " + std::to_string(lineno) +
+                ": expected 'key = value', got '" + line + "'");
+        std::string key = trimmed(line.substr(0, eq));
+        std::vector<std::string> vals =
+            tokens(line.substr(eq + 1));
+
+        std::string family;
+        size_t dot = key.find('.');
+        if (dot != std::string::npos) {
+            family = key.substr(dot + 1);
+            key = key.substr(0, dot);
+        }
+
+        auto one = [&]() -> const std::string & {
+            if (vals.size() != 1)
+                throw std::invalid_argument(
+                    "sweep spec: key '" + key +
+                    "' takes exactly one value");
+            return vals.front();
+        };
+
+        if (key == "experiment" && family.empty()) {
+            spec.experiment = one();
+        } else if (key == "benchmarks" && family.empty()) {
+            spec.benchmarks.clear();
+            for (const auto &v : vals)
+                spec.benchmarks.push_back(benchmarkByName(v));
+        } else if (key == "devices" && family.empty()) {
+            spec.devices.clear();
+            for (const auto &v : vals)
+                spec.devices.push_back(parsedDevice(v));
+        } else if (key == "backends") {
+            if (family.empty())
+                spec.backends = vals;
+            else
+                spec.backendsFor[benchmarkByName(family)] = vals;
+        } else if (key == "sizes") {
+            if (family.empty())
+                spec.sizes = specInts(key, vals);
+            else
+                spec.sizesFor[benchmarkByName(family)] =
+                    specInts(key, vals);
+        } else if (key == "instances") {
+            if (family.empty())
+                spec.instances = specInt(key, one());
+            else
+                spec.instancesFor[benchmarkByName(family)] =
+                    specInt(key, one());
+        } else if (key == "seed" && family.empty()) {
+            spec.seed = specU64(key, one());
+        } else if (key == "trials" && family.empty()) {
+            spec.trials = specInt(key, one());
+        } else if (key == "mapper_jobs" && family.empty()) {
+            spec.mapperJobs = specInt(key, one());
+        } else {
+            throw std::invalid_argument(
+                "sweep spec line " + std::to_string(lineno) +
+                ": unknown key '" + key +
+                (family.empty() ? "" : "." + family) + "'");
+        }
+    }
+    return spec;
+}
+
+std::string
+sweepSpecHelp()
+{
+    return
+        "Sweep spec: 'key = value ...' lines, '#' comments.\n"
+        "\n"
+        "  experiment = NAME          row label (default 'sweep')\n"
+        "  benchmarks = FAM ...       NNN_Heisenberg | NNN_XY |\n"
+        "                             NNN_Ising | QAOA_REG3\n"
+        "                             (default: all four)\n"
+        "  devices = DEV[@GS] ...     montreal | sycamore | aspen |\n"
+        "                             manhattan | line:N | ring:N |\n"
+        "                             grid:RxC, optional gate set\n"
+        "                             cnot | cz | iswap | syc\n"
+        "                             (default: the paper's choice)\n"
+        "  backends = B ...           registered compiler backends\n"
+        "  sizes = N ...              qubit counts; sizes larger\n"
+        "                             than a device are skipped\n"
+        "  instances = K              instances per size (default 1)\n"
+        "  seed = S                   base seed; 0 = canonical grid\n"
+        "  trials = K                 2QAN mapper trials (default 5)\n"
+        "  mapper_jobs = N            threads inside each 2QAN job\n"
+        "\n"
+        "  sizes.FAM / instances.FAM / backends.FAM override the\n"
+        "  global value for one family, e.g.\n"
+        "    sizes.QAOA_REG3 = 4 6 8\n"
+        "    backends.QAOA_REG3 = 2qan qiskit_sabre ic_qaoa\n";
+}
+
+SweepSpec
+sweepPreset(const std::string &name)
+{
+    SweepSpec s;
+    s.experiment = name;
+    if (name == "golden") {
+        // All five backends; IC-QAOA only accepts ZZ-only circuits,
+        // so it joins on the QAOA rows (as in the paper).
+        s.devices = {{"grid:4x4", ""}, {"sycamore", ""}};
+        s.backends = {"2qan", "qiskit_sabre", "tket_like",
+                      "paulihedral_like"};
+        s.backendsFor[Benchmark::QaoaReg3] = {
+            "2qan", "qiskit_sabre", "tket_like", "ic_qaoa",
+            "paulihedral_like"};
+        s.sizes = {6, 8};
+        s.instances = 1;
+        s.seed = 0;
+        s.trials = 3;
+        return s;
+    }
+    if (name == "smoke") {
+        s.benchmarks = {Benchmark::NnnHeisenberg,
+                        Benchmark::QaoaReg3};
+        s.devices = {{"grid:3x3", ""}};
+        s.backends = {"2qan", "qiskit_sabre", "tket_like"};
+        s.sizes = {6};
+        s.trials = 3;
+        return s;
+    }
+    if (name == "table1_table2") {
+        // The Table I/II grid: chains on all three devices (the
+        // paper stops the Ising sweep at 40), QAOA with 5 instances
+        // per size; sizes auto-cap at each device's qubit count.
+        s.devices = {{"sycamore", ""}, {"aspen", ""},
+                     {"montreal", ""}};
+        s.backends = {"2qan", "qiskit_sabre", "tket_like"};
+        s.sizes = chainSizes(50);
+        s.sizesFor[Benchmark::NnnIsing] = chainSizes(40);
+        s.sizesFor[Benchmark::QaoaReg3] = qaoaSizes(22);
+        s.instancesFor[Benchmark::QaoaReg3] = 5;
+        return s;
+    }
+    if (name == "figures") {
+        // Fig. 7/8/9 in one grid: per-device figure sweeps with 10
+        // QAOA instances and IC-QAOA on the QAOA rows.
+        s.devices = {{"sycamore", ""}, {"aspen", ""},
+                     {"montreal", ""}};
+        s.backends = {"2qan", "qiskit_sabre", "tket_like"};
+        s.backendsFor[Benchmark::QaoaReg3] = {
+            "2qan", "qiskit_sabre", "tket_like", "ic_qaoa"};
+        s.sizes = chainSizes(50);
+        s.sizesFor[Benchmark::NnnIsing] = chainSizes(40);
+        s.sizesFor[Benchmark::QaoaReg3] = qaoaSizes(22);
+        s.instancesFor[Benchmark::QaoaReg3] = 10;
+        return s;
+    }
+    throw std::invalid_argument(
+        "unknown sweep preset '" + name + "' (available: golden | "
+        "smoke | table1_table2 | figures)");
+}
+
+std::vector<std::string>
+sweepPresetNames()
+{
+    return {"golden", "smoke", "table1_table2", "figures"};
+}
+
+ExpandedSweep
+expandSweep(const SweepSpec &spec)
+{
+    if (spec.devices.empty())
+        throw std::invalid_argument("expandSweep: no devices");
+    if (spec.benchmarks.empty())
+        throw std::invalid_argument("expandSweep: no benchmarks");
+
+    ExpandedSweep ex;
+    ex.topologies.reserve(spec.devices.size());
+    ex.gatesets.reserve(spec.devices.size());
+    for (const auto &d : spec.devices) {
+        ex.topologies.push_back(device::deviceByName(d.name));
+        ex.gatesets.push_back(
+            d.gateset.empty()
+                ? device::defaultGateSet(d.name)
+                : device::gateSetByName(d.gateset));
+    }
+
+    auto sizesOf = [&](Benchmark b) -> const std::vector<int> & {
+        auto it = spec.sizesFor.find(b);
+        return it != spec.sizesFor.end() ? it->second : spec.sizes;
+    };
+    auto instancesOf = [&](Benchmark b) {
+        auto it = spec.instancesFor.find(b);
+        return it != spec.instancesFor.end() ? it->second
+                                             : spec.instances;
+    };
+    auto backendsOf =
+        [&](Benchmark b) -> const std::vector<std::string> & {
+        auto it = spec.backendsFor.find(b);
+        return it != spec.backendsFor.end() ? it->second
+                                            : spec.backends;
+    };
+
+    for (Benchmark b : spec.benchmarks) {
+        if (sizesOf(b).empty())
+            throw std::invalid_argument(
+                "expandSweep: no sizes for " + benchmarkName(b));
+        if (backendsOf(b).empty())
+            throw std::invalid_argument(
+                "expandSweep: no backends for " + benchmarkName(b));
+        if (instancesOf(b) < 1)
+            throw std::invalid_argument(
+                "expandSweep: instances < 1 for " +
+                benchmarkName(b));
+        for (int n : sizesOf(b))
+            for (int inst = 0; inst < instancesOf(b); ++inst)
+                ex.units.push_back(
+                    buildSweepUnit(b, n, inst, spec.seed));
+    }
+
+    // Topologies and units are final; jobs may now point into them.
+    for (const SweepUnit &u : ex.units) {
+        for (size_t d = 0; d < ex.topologies.size(); ++d) {
+            if (u.n > ex.topologies[d].numQubits())
+                continue;
+            for (const std::string &be : backendsOf(u.benchmark)) {
+                BatchJob bj;
+                bj.backend = be;
+                bj.topo = &ex.topologies[d];
+                bj.gateset = ex.gatesets[d];
+                bj.job.step = u.step.get();
+                bj.job.hamiltonian = u.hamiltonian.get();
+                bj.job.time = 1.0;
+                bj.job.options.seed = sweepCompileSeed(
+                    u.benchmark, u.n, u.instance, be, spec.seed);
+                bj.job.options.mapperTrials = spec.trials;
+                bj.job.options.jobs = spec.mapperJobs;
+
+                SweepRow row;
+                row.experiment = spec.experiment;
+                row.benchmark = benchmarkName(u.benchmark);
+                row.device = ex.topologies[d].name();
+                row.gateset = device::gateSetName(ex.gatesets[d]);
+                row.backend = be;
+                row.nqubits = u.n;
+                row.instance = u.instance;
+                bj.tag = row.benchmark + "/" + row.device + "/" +
+                         be + "/n" + std::to_string(u.n) + "/i" +
+                         std::to_string(u.instance);
+                ex.jobs.push_back(std::move(bj));
+                ex.rows.push_back(std::move(row));
+            }
+        }
+    }
+    if (ex.jobs.empty())
+        throw std::invalid_argument(
+            "expandSweep: empty grid (every size exceeds every "
+            "device?)");
+    return ex;
+}
+
+std::vector<SweepRow>
+runSweep(const SweepSpec &spec, const BatchCompiler &bc)
+{
+    ExpandedSweep ex = expandSweep(spec);
+    std::vector<BatchJobResult> results = bc.run(ex.jobs);
+    for (size_t i = 0; i < ex.rows.size(); ++i) {
+        ex.rows[i].metrics = results[i].metrics;
+        ex.rows[i].seconds = results[i].seconds;
+        ex.rows[i].error = results[i].error;
+    }
+    return std::move(ex.rows);
+}
+
+std::string
+sweepCsvHeader()
+{
+    return "experiment,benchmark,device,gateset,compiler,nqubits,"
+           "instance,swaps,dressed,native2q,depth2q,depthall,"
+           "native2q_nomap,depth2q_nomap,depthall_nomap";
+}
+
+std::string
+toCsv(const SweepRow &row)
+{
+    const CompilationMetrics &m = row.metrics;
+    char buf[256];
+    if (row.ok())
+        std::snprintf(buf, sizeof(buf),
+                      ",%d,%d,%d,%d,%d,%d,%d,%d", m.swaps,
+                      m.dressed, m.native2q, m.depth2q, m.depthAll,
+                      m.native2qNoMap, m.depth2qNoMap,
+                      m.depthAllNoMap);
+    else
+        std::snprintf(buf, sizeof(buf),
+                      ",-1,-1,-1,-1,-1,-1,-1,-1");
+    return row.experiment + "," + row.benchmark + "," + row.device +
+           "," + row.gateset + "," + row.backend + "," +
+           std::to_string(row.nqubits) + "," +
+           std::to_string(row.instance) + buf;
+}
+
+namespace {
+
+std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const SweepRow &row)
+{
+    const CompilationMetrics &m = row.metrics;
+    std::ostringstream os;
+    os << "{\"experiment\":\"" << jsonEscaped(row.experiment)
+       << "\",\"benchmark\":\"" << row.benchmark
+       << "\",\"device\":\"" << row.device << "\",\"gateset\":\""
+       << row.gateset << "\",\"compiler\":\""
+       << jsonEscaped(row.backend) << "\",\"nqubits\":" << row.nqubits
+       << ",\"instance\":" << row.instance
+       << ",\"swaps\":" << m.swaps << ",\"dressed\":" << m.dressed
+       << ",\"native2q\":" << m.native2q
+       << ",\"depth2q\":" << m.depth2q
+       << ",\"depthall\":" << m.depthAll
+       << ",\"native2q_nomap\":" << m.native2qNoMap
+       << ",\"depth2q_nomap\":" << m.depth2qNoMap
+       << ",\"depthall_nomap\":" << m.depthAllNoMap
+       << ",\"seconds\":" << row.seconds << ",\"error\":\""
+       << jsonEscaped(row.error) << "\"}";
+    return os.str();
+}
+
+std::vector<SweepTableRow>
+aggregateTables(const std::vector<SweepRow> &rows,
+                const std::string &reference,
+                const std::vector<std::string> &baselines)
+{
+    // (benchmark, device, gateset) -> backend -> config -> metrics,
+    // keeping first-appearance order of the groups for the output.
+    struct Group
+    {
+        std::string benchmark, device, gateset;
+        std::map<std::string,
+                 std::map<std::string, const SweepRow *>>
+            byBackend;  // backend -> config key -> row
+    };
+    std::vector<Group> groups;
+    std::map<std::string, size_t> index;
+    for (const SweepRow &r : rows) {
+        if (!r.ok())
+            continue;
+        std::string key =
+            r.benchmark + "\x1f" + r.device + "\x1f" + r.gateset;
+        auto it = index.find(key);
+        if (it == index.end()) {
+            it = index.emplace(key, groups.size()).first;
+            groups.push_back(
+                {r.benchmark, r.device, r.gateset, {}});
+        }
+        std::string cfg = std::to_string(r.nqubits) + "/" +
+                          std::to_string(r.instance);
+        groups[it->second].byBackend[r.backend][cfg] = &r;
+    }
+
+    auto ratio = [](double num, double den) {
+        if (den <= 0.0)
+            return num > 0.0
+                       ? std::numeric_limits<double>::infinity()
+                       : 1.0;
+        return num / den;
+    };
+    auto avgMax = [](const std::vector<double> &v) {
+        double sum = 0.0, mx = 0.0;
+        int finite = 0;
+        for (double x : v)
+            if (std::isfinite(x)) {
+                sum += x;
+                mx = std::max(mx, x);
+                ++finite;
+            }
+        if (finite == 0)
+            return std::make_pair(
+                std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::infinity());
+        return std::make_pair(sum / finite, mx);
+    };
+
+    std::vector<SweepTableRow> out;
+    for (const std::string &baseline : baselines) {
+        for (const Group &g : groups) {
+            auto refIt = g.byBackend.find(reference);
+            auto baseIt = g.byBackend.find(baseline);
+            if (refIt == g.byBackend.end() ||
+                baseIt == g.byBackend.end())
+                continue;
+            std::vector<double> swaps, gates, depth;
+            for (const auto &[cfg, ref] : refIt->second) {
+                auto b = baseIt->second.find(cfg);
+                if (b == baseIt->second.end())
+                    continue;
+                const CompilationMetrics &mb = b->second->metrics;
+                const CompilationMetrics &mr = ref->metrics;
+                swaps.push_back(ratio(mb.swaps, mr.swaps));
+                gates.push_back(
+                    ratio(mb.gateOverhead(), mr.gateOverhead()));
+                depth.push_back(ratio(mb.depth2qOverhead(),
+                                      mr.depth2qOverhead()));
+            }
+            if (swaps.empty())
+                continue;
+            const char *metrics[] = {"swaps", "gates", "depth2q"};
+            const std::vector<double> *vals[] = {&swaps, &gates,
+                                                 &depth};
+            for (int k = 0; k < 3; ++k) {
+                auto [avg, mx] = avgMax(*vals[k]);
+                out.push_back({"vs_" + baseline, baseline,
+                               g.benchmark, g.device, g.gateset,
+                               metrics[k], avg, mx});
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+sweepTableCsvHeader()
+{
+    return "table,baseline,benchmark,device,gateset,metric,"
+           "avg_reduction,max_reduction";
+}
+
+std::string
+toCsv(const SweepTableRow &row)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",%.2f,%.2f", row.avg, row.max);
+    return row.table + "," + row.baseline + "," + row.benchmark +
+           "," + row.device + "," + row.gateset + "," + row.metric +
+           buf;
+}
+
+} // namespace core
+} // namespace tqan

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Declarative benchmark sweeps over the batch compilation engine.
+ *
+ * Every figure and table of the paper is a sweep: a cross product of
+ * (benchmark family x size x instance x device x backend).  A
+ * SweepSpec describes that grid declaratively; expandSweep() builds
+ * the circuits/Hamiltonians and turns the grid into BatchJobs, and
+ * runSweep() executes them on a BatchCompiler and returns one scored
+ * row per job.  `tqan-sweep`, the bench binaries and the golden-file
+ * regression tests all consume this one engine, so the whole result
+ * grid of the paper reproduces with one command and is guarded by
+ * one set of golden files.
+ *
+ * Seeding convention: circuits are generated from
+ * sweepInstanceSeed(benchmark, n, instance) and each (job, backend)
+ * pair compiles with sweepCompileSeed(...), which folds in the
+ * backend *name* (not its position in the spec), so reordering the
+ * spec's lists never changes any result.  `spec.seed` perturbs every
+ * seed; 0 is the canonical grid the golden files pin.
+ */
+
+#ifndef TQAN_CORE_SWEEP_H
+#define TQAN_CORE_SWEEP_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "ham/hamiltonian.h"
+
+namespace tqan {
+namespace core {
+
+/** Benchmark family identifiers (paper Sec. IV). */
+enum class Benchmark { NnnHeisenberg, NnnXY, NnnIsing, QaoaReg3 };
+
+/** CSV name of a family ("NNN_Heisenberg", ..., "QAOA_REG3"). */
+std::string benchmarkName(Benchmark b);
+
+/** Inverse of benchmarkName().
+ * @throws std::invalid_argument on an unknown name. */
+Benchmark benchmarkByName(const std::string &name);
+
+/** All four families, in paper order. */
+std::vector<Benchmark> allBenchmarks();
+
+/** The chain-model sizes of Fig. 7/8/9, capped at `cap` qubits. */
+std::vector<int> chainSizes(int cap);
+
+/** The QAOA sizes, capped at `cap` qubits. */
+std::vector<int> qaoaSizes(int cap);
+
+/** Circuit-generation seed of one (family, size, instance). */
+std::uint64_t sweepInstanceSeed(Benchmark b, int n, int instance);
+
+/** Compile seed of one job: the instance seed xor a hash of the
+ * backend name, perturbed by the sweep's base seed. */
+std::uint64_t sweepCompileSeed(Benchmark b, int n, int instance,
+                               const std::string &backend,
+                               std::uint64_t base);
+
+/** One device of a sweep: lookup name plus an optional gate-set
+ * override (empty = device::defaultGateSet). */
+struct SweepDeviceSpec
+{
+    std::string name;
+    std::string gateset;
+};
+
+/**
+ * A declarative sweep: the grid plus the 2QAN pipeline knobs.  The
+ * per-benchmark maps override the global lists for one family (the
+ * figure sweeps use different sizes for chains and QAOA, and run
+ * IC-QAOA on QAOA rows only).  Sizes exceeding a device's qubit
+ * count are skipped for that device.
+ */
+struct SweepSpec
+{
+    std::string experiment = "sweep";
+    std::vector<Benchmark> benchmarks = allBenchmarks();
+    std::vector<SweepDeviceSpec> devices;
+    std::vector<std::string> backends;
+    std::vector<int> sizes;
+    int instances = 1;
+    std::map<Benchmark, std::vector<int>> sizesFor;
+    std::map<Benchmark, int> instancesFor;
+    std::map<Benchmark, std::vector<std::string>> backendsFor;
+    /** Base seed; 0 is the canonical grid pinned by the golden
+     * files. */
+    std::uint64_t seed = 0;
+    /** Randomized mapping trials of the 2QAN pipeline (paper: 5). */
+    int trials = 5;
+    /** Worker threads *inside* each 2QAN job's mapper stage.  Batch
+     * parallelism across jobs is the BatchCompiler's `jobs`. */
+    int mapperJobs = 1;
+};
+
+/**
+ * Parse a sweep spec from `key = value` lines ('#' starts a
+ * comment).  Keys: experiment, benchmarks, devices (name or
+ * name@gateset), backends, sizes, instances, seed, trials,
+ * mapper_jobs; `sizes.FAMILY`, `instances.FAMILY` and
+ * `backends.FAMILY` override per family.
+ * @throws std::invalid_argument on unknown keys or bad values.
+ */
+SweepSpec parseSweepSpec(std::istream &in);
+
+/** Human-readable description of the spec format (CLI --help). */
+std::string sweepSpecHelp();
+
+/** Built-in spec by name; sweepPresetNames() lists them.
+ * @throws std::invalid_argument on an unknown name. */
+SweepSpec sweepPreset(const std::string &name);
+std::vector<std::string> sweepPresetNames();
+
+/** One generated problem instance; owns its inputs so BatchJobs can
+ * reference them for the lifetime of the expansion. */
+struct SweepUnit
+{
+    Benchmark benchmark = Benchmark::NnnHeisenberg;
+    int n = 0;
+    int instance = 0;
+    std::shared_ptr<const ham::TwoLocalHamiltonian> hamiltonian;
+    std::shared_ptr<const qcir::Circuit> step;
+};
+
+/** Generate one problem instance under the sweep seeding
+ * convention. */
+SweepUnit buildSweepUnit(Benchmark b, int n, int instance,
+                         std::uint64_t baseSeed);
+
+/** One result row (the bench CSV schema; `seconds` rides along for
+ * the JSON output and the runtime evaluation). */
+struct SweepRow
+{
+    std::string experiment;
+    std::string benchmark;
+    std::string device;
+    std::string gateset;
+    std::string backend;
+    int nqubits = 0;
+    int instance = 0;
+    CompilationMetrics metrics;
+    double seconds = 0.0;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** A fully materialized sweep: jobs[i] produces rows[i]. */
+struct ExpandedSweep
+{
+    std::vector<SweepUnit> units;
+    std::vector<device::Topology> topologies;
+    std::vector<device::GateSet> gatesets;
+    std::vector<BatchJob> jobs;
+    /** Row metadata, metrics left blank until the batch runs. */
+    std::vector<SweepRow> rows;
+};
+
+/** Materialize the grid: generate every problem instance once and
+ * fan it out over devices and backends.
+ * @throws std::invalid_argument on unknown devices/benchmarks or an
+ *         empty grid. */
+ExpandedSweep expandSweep(const SweepSpec &spec);
+
+/** Expand, run on `bc`, and score: one row per job, in grid order. */
+std::vector<SweepRow> runSweep(const SweepSpec &spec,
+                               const BatchCompiler &bc);
+
+/** @name Row formatting. @{ */
+/** The bench CSV header (no trailing newline). */
+std::string sweepCsvHeader();
+/** One CSV row matching sweepCsvHeader(); failed rows print -1
+ * metrics. */
+std::string toCsv(const SweepRow &row);
+/** One JSON object (JSONL style), including `seconds` and `error`. */
+std::string toJson(const SweepRow &row);
+/** @} */
+
+/** @name Table I/II style aggregation. @{ */
+/** One aggregate line: avg/max ratio of a baseline's overhead to the
+ * reference compiler's, per (family, device, gate set, metric). */
+struct SweepTableRow
+{
+    std::string table;
+    std::string baseline;
+    std::string benchmark;
+    std::string device;
+    std::string gateset;
+    std::string metric;  ///< "swaps" | "gates" | "depth2q"
+    double avg = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * Aggregate raw rows into the paper's Table I/II reduction grid:
+ * for every baseline in `baselines`, match its rows to the
+ * `reference` compiler's rows on (benchmark, device, gate set,
+ * size, instance) and average the overhead ratios.  A device
+ * compiled to two gate sets yields two groups.  Rows with errors
+ * are skipped.
+ */
+std::vector<SweepTableRow>
+aggregateTables(const std::vector<SweepRow> &rows,
+                const std::string &reference,
+                const std::vector<std::string> &baselines);
+
+std::string sweepTableCsvHeader();
+std::string toCsv(const SweepTableRow &row);
+/** @} */
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_SWEEP_H

@@ -185,5 +185,80 @@ manhattan65()
     return Topology("manhattan65", t.coupling());
 }
 
+namespace {
+
+int
+parsedInt(const std::string &spec, const std::string &body)
+{
+    try {
+        size_t used = 0;
+        int v = std::stoi(body, &used);
+        if (used != body.size() || v <= 0)
+            throw std::invalid_argument("not a positive integer");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("deviceByName: bad parameter in '" +
+                                    spec + "'");
+    }
+}
+
+} // namespace
+
+Topology
+deviceByName(const std::string &name)
+{
+    if (name == "montreal")
+        return montreal27();
+    if (name == "sycamore")
+        return sycamore54();
+    if (name == "aspen")
+        return aspen16();
+    if (name == "manhattan")
+        return manhattan65();
+    if (name.rfind("line:", 0) == 0)
+        return line(parsedInt(name, name.substr(5)));
+    if (name.rfind("ring:", 0) == 0)
+        return ring(parsedInt(name, name.substr(5)));
+    if (name.rfind("grid:", 0) == 0) {
+        std::string body = name.substr(5);
+        size_t x = body.find('x');
+        if (x == std::string::npos)
+            throw std::invalid_argument(
+                "deviceByName: expected grid:RxC, got '" + name + "'");
+        return grid(parsedInt(name, body.substr(0, x)),
+                    parsedInt(name, body.substr(x + 1)));
+    }
+    throw std::invalid_argument(
+        "deviceByName: unknown device '" + name +
+        "' (expected montreal | sycamore | aspen | manhattan | "
+        "line:N | ring:N | grid:RxC)");
+}
+
+GateSet
+gateSetByName(const std::string &name)
+{
+    if (name == "cnot")
+        return GateSet::Cnot;
+    if (name == "cz")
+        return GateSet::Cz;
+    if (name == "iswap")
+        return GateSet::ISwap;
+    if (name == "syc")
+        return GateSet::Syc;
+    throw std::invalid_argument(
+        "gateSetByName: unknown gate set '" + name +
+        "' (expected cnot | cz | iswap | syc)");
+}
+
+GateSet
+defaultGateSet(const std::string &deviceName)
+{
+    if (deviceName == "sycamore")
+        return GateSet::Syc;
+    if (deviceName == "aspen")
+        return GateSet::ISwap;
+    return GateSet::Cnot;
+}
+
 } // namespace device
 } // namespace tqan

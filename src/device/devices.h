@@ -53,6 +53,24 @@ Topology aspen16();
 Topology manhattan65();
 /** @} */
 
+/** @name Name-based lookup (CLI / sweep-spec surface). @{ */
+/**
+ * Device by spec string: "montreal" | "sycamore" | "aspen" |
+ * "manhattan" | "line:N" | "ring:N" | "grid:RxC".
+ * @throws std::invalid_argument on an unknown name or malformed
+ *         parameters.
+ */
+Topology deviceByName(const std::string &name);
+
+/** Gate set by name: "cnot" | "cz" | "iswap" | "syc".
+ * @throws std::invalid_argument on an unknown name. */
+GateSet gateSetByName(const std::string &name);
+
+/** The native gate set the paper compiles a device to (sycamore ->
+ * Syc, aspen -> ISwap, everything else -> Cnot). */
+GateSet defaultGateSet(const std::string &deviceName);
+/** @} */
+
 } // namespace device
 } // namespace tqan
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * OpenQASM 2.0 export of hardware-level circuits.
+ * OpenQASM 2.0 export and import of hardware-level circuits.
  *
  * Lets compiled circuits flow into the wider toolchain (Qiskit,
  * simulators, hardware providers).  Supported ops: Rx/Ry/Rz, U1q
@@ -9,6 +9,13 @@
  * Application-level ops (Interact / Swap / DressedSwap / U2q) must be
  * decomposed first (decomp::decomposeToCnot / decomposeToCz); the
  * exporter rejects them with a clear error.
+ *
+ * parseQasm() reads the same dialect back (the toQasm surface: one
+ * `q` register, the gates above, custom-gate definition headers
+ * skipped), so exported circuits round-trip.  Malformed input —
+ * truncated header, unknown gates, out-of-range qubit indices —
+ * raises std::invalid_argument with a line-numbered message, never a
+ * crash.
  */
 
 #ifndef TQAN_QCIR_QASM_H
@@ -28,6 +35,18 @@ namespace qcir {
  *         application-level two-qubit ops.
  */
 std::string toQasm(const Circuit &c);
+
+/**
+ * Parse an OpenQASM 2.0 program of the toQasm() dialect back into a
+ * circuit: `OPENQASM 2.0;` header, optional includes and custom-gate
+ * definitions (bodies skipped), one `qreg q[N];`, then
+ * rx/ry/rz/u3/cx/cz/iswap/syc applications (u3 becomes a U1q op).
+ *
+ * @throws std::invalid_argument on malformed input: missing or
+ *         truncated header, missing qreg, unknown gate, bad qubit
+ *         index, wrong arity or unparsable parameters.
+ */
+Circuit parseQasm(const std::string &src);
 
 } // namespace qcir
 } // namespace tqan

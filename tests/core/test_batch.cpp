@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property tests for the batch compilation engine: results are
+ * bit-identical for any thread count and any job submission order,
+ * per-job failures stay contained, and the per-topology distance
+ * memo hands every job the same matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+
+#include "core/batch.h"
+#include "core/sweep.h"
+#include "device/devices.h"
+
+using namespace tqan;
+using core::BatchCompiler;
+using core::BatchJob;
+using core::BatchJobResult;
+
+namespace {
+
+core::SweepSpec
+smallSpec()
+{
+    core::SweepSpec s;
+    s.experiment = "batchtest";
+    s.benchmarks = {core::Benchmark::NnnHeisenberg,
+                    core::Benchmark::NnnXY,
+                    core::Benchmark::QaoaReg3};
+    s.devices = {{"grid:3x3", ""}, {"line:9", ""}};
+    s.backends = {"2qan", "qiskit_sabre", "tket_like"};
+    s.sizes = {6, 8};
+    s.trials = 2;
+    return s;
+}
+
+std::vector<std::string>
+csvRows(const std::vector<core::SweepRow> &rows)
+{
+    std::vector<std::string> out;
+    for (const auto &r : rows)
+        out.push_back(core::toCsv(r));
+    return out;
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEveryTaskAcrossWaitCycles)
+{
+    core::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count]() { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 50 * (round + 1));
+    }
+}
+
+TEST(ThreadPool, SingleThreadedRunsInline)
+{
+    core::ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 0);  // no workers: submit() runs inline
+    int count = 0;
+    pool.submit([&count]() { ++count; });
+    EXPECT_EQ(count, 1);
+    pool.wait();
+}
+
+TEST(BatchCompiler, SameSweepIdenticalForJobs1And8)
+{
+    BatchCompiler seq({1});
+    BatchCompiler par({8});
+    auto rows1 = core::runSweep(smallSpec(), seq);
+    auto rows8 = core::runSweep(smallSpec(), par);
+    ASSERT_FALSE(rows1.empty());
+    for (const auto &r : rows1)
+        EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(csvRows(rows1), csvRows(rows8));
+}
+
+TEST(BatchCompiler, ShuffledJobOrderGivesIdenticalPerJobResults)
+{
+    core::ExpandedSweep ex = core::expandSweep(smallSpec());
+    // Tags are unique per job in a sweep expansion.
+    {
+        std::vector<std::string> tags;
+        for (const auto &j : ex.jobs)
+            tags.push_back(j.tag);
+        std::sort(tags.begin(), tags.end());
+        ASSERT_EQ(std::unique(tags.begin(), tags.end()),
+                  tags.end());
+    }
+
+    BatchCompiler bc({4});
+    std::vector<BatchJobResult> ordered = bc.run(ex.jobs);
+
+    std::vector<BatchJob> shuffled = ex.jobs;
+    std::mt19937_64 rng(99);
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    std::vector<BatchJobResult> permuted = bc.run(shuffled);
+
+    auto byTag = [](const std::vector<BatchJobResult> &rs) {
+        std::map<std::string, const BatchJobResult *> m;
+        for (const auto &r : rs)
+            m[r.tag] = &r;
+        return m;
+    };
+    auto a = byTag(ordered), b = byTag(permuted);
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto &[tag, ra] : a) {
+        SCOPED_TRACE(tag);
+        const BatchJobResult *rb = b.at(tag);
+        ASSERT_TRUE(ra->ok());
+        ASSERT_TRUE(rb->ok());
+        EXPECT_EQ(ra->result.sched.deviceCircuit.str(),
+                  rb->result.sched.deviceCircuit.str());
+        EXPECT_EQ(ra->result.sched.initialMap,
+                  rb->result.sched.initialMap);
+        EXPECT_EQ(ra->metrics.swaps, rb->metrics.swaps);
+        EXPECT_EQ(ra->metrics.native2q, rb->metrics.native2q);
+        EXPECT_EQ(ra->metrics.depth2q, rb->metrics.depth2q);
+    }
+}
+
+TEST(BatchCompiler, PerJobFailuresStayContained)
+{
+    core::ExpandedSweep ex = core::expandSweep(smallSpec());
+    ASSERT_GE(ex.jobs.size(), 3u);
+    std::vector<BatchJob> jobs(ex.jobs.begin(),
+                               ex.jobs.begin() + 3);
+    jobs[0].backend = "no_such_backend";
+    jobs[1].job.step = nullptr;  // 2qan requires a step circuit
+    jobs[1].backend = "2qan";
+
+    BatchCompiler bc({2});
+    auto results = bc.run(jobs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_NE(results[0].error.find("no_such_backend"),
+              std::string::npos);
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_TRUE(results[2].ok()) << results[2].error;
+}
+
+TEST(BatchCompiler, DistanceMatrixIsMemoizedPerTopology)
+{
+    BatchCompiler bc({1});
+    auto d1 = [&bc]() {
+        // Scoped on purpose: the cache must not dangle on the
+        // address of a dead Topology (it is keyed structurally).
+        device::Topology g1 = device::grid(3, 3);
+        auto d = bc.distancesFor(g1);
+        EXPECT_EQ(d.get(), bc.distancesFor(g1).get());
+        return d;
+    }();
+    ASSERT_EQ(d1->size(), 9u);
+    EXPECT_DOUBLE_EQ((*d1)[0][8], 4.0);
+
+    // A freshly built equal topology shares the cached matrix; a
+    // structurally different one gets its own.
+    device::Topology g2 = device::grid(3, 3);
+    EXPECT_EQ(bc.distancesFor(g2).get(), d1.get());
+    device::Topology other = device::line(9);
+    EXPECT_NE(bc.distancesFor(other).get(), d1.get());
+    // Same shape but different couplings: grid(3,3) vs ring(9).
+    device::Topology ring9 = device::ring(9);
+    EXPECT_NE(bc.distancesFor(ring9).get(), d1.get());
+}

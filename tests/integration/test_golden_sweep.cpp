@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Golden-file regression test: the "golden" sweep preset (seed 0,
+ * grid:4x4 + sycamore devices, all five backends) must reproduce
+ * the metrics checked in under tests/golden/ exactly — gate counts,
+ * SWAPs and depths are all deterministic, so any drift is a real
+ * behavior change.
+ *
+ * When a change is intentional, refresh the file and review the
+ * diff like source:
+ *
+ *   TQAN_UPDATE_GOLDEN=1 ctest -L golden
+ *   git diff tests/golden/
+ *
+ * TQAN_GOLDEN_DIR is injected by tests/CMakeLists.txt and points at
+ * the *source* tree, so an update edits the checked-in file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+
+using namespace tqan;
+
+namespace {
+
+std::string
+goldenPath()
+{
+#ifndef TQAN_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define TQAN_GOLDEN_DIR"
+#endif
+    return std::string(TQAN_GOLDEN_DIR) + "/golden_sweep.csv";
+}
+
+std::vector<std::string>
+goldenSweepLines()
+{
+    // jobs=2 on purpose: the golden run itself exercises the
+    // determinism contract (the checked-in file was written with a
+    // different thread count than CI uses).
+    core::BatchCompiler bc({2});
+    std::vector<core::SweepRow> rows =
+        core::runSweep(core::sweepPreset("golden"), bc);
+    std::vector<std::string> lines = {core::sweepCsvHeader()};
+    for (const auto &row : rows) {
+        EXPECT_TRUE(row.ok())
+            << core::toCsv(row) << ": " << row.error;
+        lines.push_back(core::toCsv(row));
+    }
+    return lines;
+}
+
+} // namespace
+
+TEST(GoldenSweep, MatchesCheckedInMetrics)
+{
+    std::vector<std::string> actual = goldenSweepLines();
+
+    if (std::getenv("TQAN_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        for (const auto &line : actual)
+            out << line << "\n";
+        GTEST_SKIP() << "updated " << goldenPath()
+                     << "; review with git diff";
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "cannot read " << goldenPath()
+                    << " — run TQAN_UPDATE_GOLDEN=1 ctest -L golden "
+                       "to (re)create it";
+    std::vector<std::string> expected;
+    std::string line;
+    while (std::getline(in, line))
+        expected.push_back(line);
+
+    ASSERT_EQ(actual.size(), expected.size())
+        << "row count drifted; if intentional, refresh with "
+           "TQAN_UPDATE_GOLDEN=1 ctest -L golden";
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(actual[i], expected[i])
+            << "golden_sweep.csv line " << i + 1
+            << " drifted; if intentional, refresh with "
+               "TQAN_UPDATE_GOLDEN=1 ctest -L golden";
+}

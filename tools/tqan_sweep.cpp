@@ -1,0 +1,191 @@
+/**
+ * @file
+ * tqan-sweep -- batch sweep runner.
+ *
+ * Expands a declarative sweep spec (or a built-in preset) into a
+ * batch of compilation jobs, runs them on the BatchCompiler thread
+ * pool and prints one CSV/JSON row per job.  The paper's whole
+ * result grid reproduces with one command:
+ *
+ *   tqan-sweep --preset table1_table2 --jobs 8 --tables
+ *
+ * prints the Table I/II reduction grid; `--preset figures` prints
+ * the Fig. 7/8/9 rows.  Results are bit-identical for every --jobs
+ * value (each job derives its own seed).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/sweep.h"
+
+using namespace tqan;
+
+namespace {
+
+std::string
+joined(const std::vector<std::string> &names, const char *sep)
+{
+    std::string s;
+    for (const auto &n : names)
+        s += (s.empty() ? "" : sep) + n;
+    return s;
+}
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: tqan-sweep <spec-file|-> [options]\n"
+        "       tqan-sweep --preset NAME [options]\n"
+        "\n"
+        "Expand a sweep spec into (benchmark x size x instance x\n"
+        "device x backend) compilation jobs, run them on a thread\n"
+        "pool and print one row per job.  Rows are bit-identical\n"
+        "for every --jobs value.\n"
+        "\n"
+        "options:\n"
+        "  --preset NAME     built-in sweep: %s\n"
+        "  --jobs N          batch worker threads (default 1)\n"
+        "  --format F        csv | json (default csv)\n"
+        "  --tables          also print the Table I/II aggregate\n"
+        "                    grid (each baseline vs 2qan)\n"
+        "  --tables-only     print only the aggregate grid\n"
+        "  --spec-help       describe the sweep-spec format\n"
+        "  --help            show this help and exit\n",
+        joined(core::sweepPresetNames(), " | ").c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string specFile, preset, format = "csv";
+    int jobs = 1;
+    bool tables = false, tablesOnly = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "tqan-sweep: missing value for %s\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            printHelp(stdout);
+            return 0;
+        } else if (a == "--spec-help") {
+            std::fputs(core::sweepSpecHelp().c_str(), stdout);
+            return 0;
+        } else if (a == "--preset") {
+            preset = next();
+        } else if (a == "--jobs") {
+            jobs = std::atoi(next().c_str());
+        } else if (a == "--format") {
+            format = next();
+        } else if (a == "--tables") {
+            tables = true;
+        } else if (a == "--tables-only") {
+            tables = tablesOnly = true;
+        } else if (!a.empty() && a[0] == '-' && a != "-") {
+            std::fprintf(stderr,
+                         "tqan-sweep: unknown option '%s' (run "
+                         "'tqan-sweep --help')\n",
+                         a.c_str());
+            return 2;
+        } else if (specFile.empty()) {
+            specFile = a;
+        } else {
+            std::fprintf(stderr,
+                         "tqan-sweep: more than one spec file\n");
+            return 2;
+        }
+    }
+    if (format != "csv" && format != "json") {
+        std::fprintf(stderr,
+                     "tqan-sweep: bad --format '%s' (csv | json)\n",
+                     format.c_str());
+        return 2;
+    }
+    if (preset.empty() == specFile.empty()) {
+        std::fprintf(stderr, "tqan-sweep: need a spec file or "
+                             "--preset, not both or neither\n");
+        printHelp(stderr);
+        return 2;
+    }
+    if (jobs < 1) {
+        std::fprintf(stderr, "tqan-sweep: --jobs must be >= 1\n");
+        return 2;
+    }
+
+    try {
+        core::SweepSpec spec;
+        if (!preset.empty()) {
+            spec = core::sweepPreset(preset);
+        } else if (specFile == "-") {
+            spec = core::parseSweepSpec(std::cin);
+        } else {
+            std::ifstream f(specFile);
+            if (!f)
+                throw std::runtime_error("cannot open " + specFile);
+            spec = core::parseSweepSpec(f);
+        }
+
+        core::BatchCompiler bc({jobs});
+        std::vector<core::SweepRow> rows = core::runSweep(spec, bc);
+
+        if (!tablesOnly) {
+            if (format == "csv")
+                std::printf("%s\n", core::sweepCsvHeader().c_str());
+            for (const auto &row : rows)
+                std::printf("%s\n",
+                            (format == "csv" ? core::toCsv(row)
+                                             : core::toJson(row))
+                                .c_str());
+        }
+
+        int failed = 0;
+        for (const auto &row : rows)
+            if (!row.ok()) {
+                ++failed;
+                std::fprintf(stderr,
+                             "tqan-sweep: %s/%s/%s n=%d i=%d "
+                             "failed: %s\n",
+                             row.benchmark.c_str(),
+                             row.device.c_str(),
+                             row.backend.c_str(), row.nqubits,
+                             row.instance, row.error.c_str());
+            }
+
+        if (tables) {
+            // Every non-reference backend in the sweep is a
+            // baseline; vs_tket_like is the paper's Table I,
+            // vs_qiskit_sabre its Table II.
+            std::vector<std::string> baselines;
+            for (const auto &row : rows)
+                if (row.backend != "2qan" &&
+                    std::find(baselines.begin(), baselines.end(),
+                              row.backend) == baselines.end())
+                    baselines.push_back(row.backend);
+            std::printf("%s\n",
+                        core::sweepTableCsvHeader().c_str());
+            for (const auto &t :
+                 core::aggregateTables(rows, "2qan", baselines))
+                std::printf("%s\n", core::toCsv(t).c_str());
+        }
+        return failed ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tqan-sweep: error: %s\n", e.what());
+        return 1;
+    }
+}

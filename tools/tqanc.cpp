@@ -35,44 +35,6 @@ using namespace tqan;
 
 namespace {
 
-device::Topology
-deviceByName(const std::string &name)
-{
-    if (name == "montreal")
-        return device::montreal27();
-    if (name == "sycamore")
-        return device::sycamore54();
-    if (name == "aspen")
-        return device::aspen16();
-    if (name == "manhattan")
-        return device::manhattan65();
-    if (name.rfind("line:", 0) == 0)
-        return device::line(std::stoi(name.substr(5)));
-    if (name.rfind("grid:", 0) == 0) {
-        auto body = name.substr(5);
-        auto x = body.find('x');
-        if (x == std::string::npos)
-            throw std::runtime_error("grid:RxC expected");
-        return device::grid(std::stoi(body.substr(0, x)),
-                            std::stoi(body.substr(x + 1)));
-    }
-    throw std::runtime_error("unknown device '" + name + "'");
-}
-
-device::GateSet
-gateSetByName(const std::string &name)
-{
-    if (name == "cnot")
-        return device::GateSet::Cnot;
-    if (name == "cz")
-        return device::GateSet::Cz;
-    if (name == "iswap")
-        return device::GateSet::ISwap;
-    if (name == "syc")
-        return device::GateSet::Syc;
-    throw std::runtime_error("unknown gate set '" + name + "'");
-}
-
 std::string
 joined(const std::vector<std::string> &names)
 {
@@ -95,7 +57,8 @@ printHelp(std::FILE *out)
         "\n"
         "options:\n"
         "  --device NAME     montreal | sycamore | aspen | manhattan\n"
-        "                    | line:N | grid:RxC  (default montreal)\n"
+        "                    | line:N | ring:N | grid:RxC\n"
+        "                    (default montreal)\n"
         "  --gateset G       cnot | cz | iswap | syc (default cnot)\n"
         "  --pipeline B      compiler backend: %s\n"
         "                    (default 2qan)\n"
@@ -231,8 +194,8 @@ main(int argc, char **argv)
             return ham::parseHamiltonian(f);
         }();
 
-        device::Topology topo = deviceByName(dev);
-        device::GateSet gs = gateSetByName(gs_name);
+        device::Topology topo = device::deviceByName(dev);
+        device::GateSet gs = device::gateSetByName(gs_name);
 
         core::CompileJob job;
         job.hamiltonian = &h;
