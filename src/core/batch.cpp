@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "core/profile.h"
 #include "qap/qap.h"
 
 namespace tqan {
@@ -110,14 +111,13 @@ topologyFingerprint(const device::Topology &topo)
 
 } // namespace
 
-std::shared_ptr<const std::vector<std::vector<double>>>
+std::shared_ptr<const linalg::FlatMatrix>
 BatchCompiler::distancesFor(const device::Topology &topo) const
 {
     std::lock_guard<std::mutex> lock(distMu_);
     auto &slot = distCache_[topologyFingerprint(topo)];
     if (!slot)
-        slot = std::make_shared<
-            const std::vector<std::vector<double>>>(
+        slot = std::make_shared<const linalg::FlatMatrix>(
             qap::hopDistanceMatrix(topo));
     return slot;
 }
@@ -136,7 +136,7 @@ BatchCompiler::run(const std::vector<BatchJob> &jobs) const
     struct Prepared
     {
         const CompilerBackend *backend = nullptr;
-        std::shared_ptr<const std::vector<std::vector<double>>> dist;
+        std::shared_ptr<const linalg::FlatMatrix> dist;
     };
     std::vector<Prepared> prep(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
@@ -167,6 +167,9 @@ BatchCompiler::run(const std::vector<BatchJob> &jobs) const
                 out.seconds =
                     std::chrono::duration<double>(Clock::now() - t0)
                         .count();
+                if (profile::enabled())
+                    profile::record("backend." + bj.backend,
+                                    out.seconds);
                 if (bj.job.step)
                     out.metrics = prep[i].backend->metrics(
                         out.result, *bj.job.step, bj.gateset);

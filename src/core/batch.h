@@ -146,22 +146,22 @@ class BatchCompiler
         const std::vector<BatchJob> &jobs) const;
 
     /**
-     * The memoized hop-distance matrix of a topology, shared by all
-     * jobs of all batches targeting it.  Keyed by a structural
-     * fingerprint (name, qubit count, coupling list), not by object
-     * identity, so equal topologies hit the same entry across run()
-     * calls even when callers rebuild them per sweep.
+     * The memoized hop-distance matrix of a topology (flat,
+     * row-major), shared read-only by all jobs of all batches
+     * targeting it.  Keyed by a structural fingerprint (name, qubit
+     * count, coupling list), not by object identity, so equal
+     * topologies hit the same entry across run() calls even when
+     * callers rebuild them per sweep.
      */
-    std::shared_ptr<const std::vector<std::vector<double>>>
+    std::shared_ptr<const linalg::FlatMatrix>
     distancesFor(const device::Topology &topo) const;
 
   private:
     BatchOptions opt_;
     std::unique_ptr<ThreadPool> pool_;
     mutable std::mutex distMu_;
-    mutable std::map<
-        std::uint64_t,
-        std::shared_ptr<const std::vector<std::vector<double>>>>
+    mutable std::map<std::uint64_t,
+                     std::shared_ptr<const linalg::FlatMatrix>>
         distCache_;
 };
 

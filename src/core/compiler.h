@@ -78,8 +78,7 @@ struct CompilerOptions
      * count; beyond the dimension the content is trusted, so it
      * must really be this device's hop matrix.
      */
-    std::shared_ptr<const std::vector<std::vector<double>>>
-        sharedDistances;
+    std::shared_ptr<const linalg::FlatMatrix> sharedDistances;
     std::uint64_t seed = 7;
 };
 

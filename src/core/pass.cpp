@@ -4,15 +4,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/profile.h"
+
 namespace tqan {
 namespace core {
 
-const std::vector<std::vector<double>> &
+const linalg::FlatMatrix &
 CompileContext::distances() const
 {
     if (!dist_) {
-        dist_ = std::make_shared<
-            const std::vector<std::vector<double>>>(
+        dist_ = std::make_shared<const linalg::FlatMatrix>(
             noiseMap ? noiseMap->noiseAwareDistances(noiseLambda)
                      : qap::hopDistanceMatrix(*topo));
     }
@@ -21,10 +22,9 @@ CompileContext::distances() const
 
 void
 CompileContext::adoptDistances(
-    std::shared_ptr<const std::vector<std::vector<double>>> d)
+    std::shared_ptr<const linalg::FlatMatrix> d)
 {
-    if (noiseMap || !d ||
-        static_cast<int>(d->size()) != topo->numQubits())
+    if (noiseMap || !d || d->rows() != topo->numQubits())
         return;
     dist_ = std::move(d);
 }
@@ -68,10 +68,11 @@ PassManager::run(CompileContext &ctx) const
     for (const auto &p : passes_) {
         auto t0 = Clock::now();
         p->run(ctx);
-        times.push_back(
-            {p->name(),
-             std::chrono::duration<double>(Clock::now() - t0)
-                 .count()});
+        double seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        times.push_back({p->name(), seconds});
+        if (profile::enabled())
+            profile::record("pass." + p->name(), seconds);
     }
     return times;
 }

@@ -60,8 +60,10 @@ struct CompileContext
      * Memoized all-pairs location-distance matrix: computed on first
      * use (noise-aware if a NoiseMap is attached, otherwise the hop
      * matrix) and shared by every pass and mapper trial thereafter.
+     * Stored flat (row-major, one buffer) so batch jobs share one
+     * read-only allocation per topology.
      */
-    const std::vector<std::vector<double>> &distances() const;
+    const linalg::FlatMatrix &distances() const;
 
     /**
      * Seed the memo with a matrix computed elsewhere (BatchCompiler
@@ -73,12 +75,10 @@ struct CompileContext
      * topology (BatchCompiler keys its cache on a structural
      * fingerprint to guarantee that).
      */
-    void adoptDistances(
-        std::shared_ptr<const std::vector<std::vector<double>>> d);
+    void adoptDistances(std::shared_ptr<const linalg::FlatMatrix> d);
 
   private:
-    mutable std::shared_ptr<const std::vector<std::vector<double>>>
-        dist_;
+    mutable std::shared_ptr<const linalg::FlatMatrix> dist_;
 };
 
 /** One compilation stage. */

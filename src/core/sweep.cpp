@@ -496,6 +496,10 @@ runSweep(const SweepSpec &spec, const BatchCompiler &bc)
     for (size_t i = 0; i < ex.rows.size(); ++i) {
         ex.rows[i].metrics = results[i].metrics;
         ex.rows[i].seconds = results[i].seconds;
+        ex.rows[i].mappingSeconds = results[i].result.mappingSeconds;
+        ex.rows[i].routingSeconds = results[i].result.routingSeconds;
+        ex.rows[i].schedulingSeconds =
+            results[i].result.schedulingSeconds;
         ex.rows[i].error = results[i].error;
     }
     return std::move(ex.rows);
@@ -567,8 +571,11 @@ toJson(const SweepRow &row)
        << ",\"native2q_nomap\":" << m.native2qNoMap
        << ",\"depth2q_nomap\":" << m.depth2qNoMap
        << ",\"depthall_nomap\":" << m.depthAllNoMap
-       << ",\"seconds\":" << row.seconds << ",\"error\":\""
-       << jsonEscaped(row.error) << "\"}";
+       << ",\"seconds\":" << row.seconds
+       << ",\"mapping_seconds\":" << row.mappingSeconds
+       << ",\"routing_seconds\":" << row.routingSeconds
+       << ",\"scheduling_seconds\":" << row.schedulingSeconds
+       << ",\"error\":\"" << jsonEscaped(row.error) << "\"}";
     return os.str();
 }
 
@@ -679,6 +686,237 @@ toCsv(const SweepTableRow &row)
     return row.table + "," + row.baseline + "," + row.benchmark +
            "," + row.device + "," + row.gateset + "," + row.metric +
            buf;
+}
+
+std::string
+BenchRow::key() const
+{
+    return benchmark + "/" + device + "/" + gateset + "/" + backend +
+           "/n" + std::to_string(nqubits) + "/i" +
+           std::to_string(instance);
+}
+
+namespace {
+
+/** Median of an unsorted sample (average of the two middles for
+ * even sizes); 0.0 for an empty sample. */
+double
+medianOf(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    size_t mid = v.size() / 2;
+    return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+} // namespace
+
+std::vector<BenchRow>
+runBench(const SweepSpec &spec, const BatchCompiler &bc,
+         const BenchOptions &opt)
+{
+    if (opt.repeat < 1)
+        throw std::invalid_argument("runBench: repeat < 1");
+    if (opt.warmup < 0)
+        throw std::invalid_argument("runBench: warmup < 0");
+
+    ExpandedSweep ex = expandSweep(spec);
+    for (int w = 0; w < opt.warmup; ++w)
+        bc.run(ex.jobs);
+
+    size_t njobs = ex.jobs.size();
+    std::vector<std::vector<double>> seconds(njobs), mapping(njobs),
+        routing(njobs), scheduling(njobs);
+    std::vector<std::string> errors(njobs);
+    for (int r = 0; r < opt.repeat; ++r) {
+        std::vector<BatchJobResult> results = bc.run(ex.jobs);
+        for (size_t i = 0; i < njobs; ++i) {
+            if (!results[i].ok()) {
+                errors[i] = results[i].error;
+                continue;
+            }
+            seconds[i].push_back(results[i].seconds);
+            mapping[i].push_back(results[i].result.mappingSeconds);
+            routing[i].push_back(results[i].result.routingSeconds);
+            scheduling[i].push_back(
+                results[i].result.schedulingSeconds);
+        }
+    }
+
+    std::vector<BenchRow> rows(njobs);
+    for (size_t i = 0; i < njobs; ++i) {
+        BenchRow &b = rows[i];
+        const SweepRow &meta = ex.rows[i];
+        b.benchmark = meta.benchmark;
+        b.device = meta.device;
+        b.gateset = meta.gateset;
+        b.backend = meta.backend;
+        b.nqubits = meta.nqubits;
+        b.instance = meta.instance;
+        b.error = errors[i];
+        if (!b.ok() || seconds[i].empty())
+            continue;
+        b.medianSeconds = medianOf(seconds[i]);
+        b.minSeconds =
+            *std::min_element(seconds[i].begin(), seconds[i].end());
+        b.maxSeconds =
+            *std::max_element(seconds[i].begin(), seconds[i].end());
+        b.mappingSeconds = medianOf(mapping[i]);
+        b.routingSeconds = medianOf(routing[i]);
+        b.schedulingSeconds = medianOf(scheduling[i]);
+    }
+    return rows;
+}
+
+std::string
+benchJson(const std::string &experiment, const BenchOptions &opt,
+          int jobs, const std::vector<BenchRow> &rows)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"tqan-bench-v1\",\"experiment\":\""
+       << jsonEscaped(experiment) << "\",\"warmup\":" << opt.warmup
+       << ",\"repeat\":" << opt.repeat << ",\"jobs\":" << jobs
+       << ",\"rows\":[\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchRow &b = rows[i];
+        char nums[256];
+        std::snprintf(nums, sizeof(nums),
+                      "\"median_seconds\":%.9f,\"min_seconds\":%.9f,"
+                      "\"max_seconds\":%.9f,"
+                      "\"mapping_seconds\":%.9f,"
+                      "\"routing_seconds\":%.9f,"
+                      "\"scheduling_seconds\":%.9f",
+                      b.medianSeconds, b.minSeconds, b.maxSeconds,
+                      b.mappingSeconds, b.routingSeconds,
+                      b.schedulingSeconds);
+        os << "{\"benchmark\":\"" << b.benchmark
+           << "\",\"device\":\"" << b.device << "\",\"gateset\":\""
+           << b.gateset << "\",\"compiler\":\""
+           << jsonEscaped(b.backend)
+           << "\",\"nqubits\":" << b.nqubits
+           << ",\"instance\":" << b.instance << "," << nums
+           << ",\"error\":\"" << jsonEscaped(b.error) << "\"}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+namespace {
+
+/** Value of "key": in a single-line JSON object written by
+ * benchJson(); empty when absent.  Handles the two value shapes we
+ * emit (quoted strings without escapes beyond \" and \\, and plain
+ * numbers). */
+std::string
+jsonFieldOf(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return "";
+    size_t v = at + needle.size();
+    if (v >= line.size())
+        return "";
+    if (line[v] == '"') {
+        std::string out;
+        for (size_t i = v + 1; i < line.size(); ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                out += line[++i];
+                continue;
+            }
+            if (line[i] == '"')
+                return out;
+            out += line[i];
+        }
+        return "";
+    }
+    size_t end = line.find_first_of(",}", v);
+    return line.substr(v, end == std::string::npos ? std::string::npos
+                                                   : end - v);
+}
+
+} // namespace
+
+std::vector<BenchRow>
+parseBenchJson(std::istream &in)
+{
+    std::vector<BenchRow> rows;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find("\"median_seconds\"") == std::string::npos)
+            continue;  // header / footer lines
+        BenchRow b;
+        b.benchmark = jsonFieldOf(line, "benchmark");
+        b.device = jsonFieldOf(line, "device");
+        b.gateset = jsonFieldOf(line, "gateset");
+        b.backend = jsonFieldOf(line, "compiler");
+        std::string nq = jsonFieldOf(line, "nqubits");
+        std::string inst = jsonFieldOf(line, "instance");
+        std::string med = jsonFieldOf(line, "median_seconds");
+        if (b.benchmark.empty() || b.device.empty() ||
+            b.backend.empty() || nq.empty() || inst.empty() ||
+            med.empty())
+            throw std::invalid_argument(
+                "bench json line " + std::to_string(lineno) +
+                ": missing fields in '" + line + "'");
+        try {
+            b.nqubits = std::stoi(nq);
+            b.instance = std::stoi(inst);
+            b.medianSeconds = std::stod(med);
+            std::string s;
+            if (!(s = jsonFieldOf(line, "min_seconds")).empty())
+                b.minSeconds = std::stod(s);
+            if (!(s = jsonFieldOf(line, "max_seconds")).empty())
+                b.maxSeconds = std::stod(s);
+            if (!(s = jsonFieldOf(line, "mapping_seconds")).empty())
+                b.mappingSeconds = std::stod(s);
+            if (!(s = jsonFieldOf(line, "routing_seconds")).empty())
+                b.routingSeconds = std::stod(s);
+            if (!(s = jsonFieldOf(line, "scheduling_seconds"))
+                     .empty())
+                b.schedulingSeconds = std::stod(s);
+        } catch (const std::invalid_argument &) {
+            throw std::invalid_argument(
+                "bench json line " + std::to_string(lineno) +
+                ": bad number in '" + line + "'");
+        } catch (const std::out_of_range &) {
+            throw std::invalid_argument(
+                "bench json line " + std::to_string(lineno) +
+                ": number out of range in '" + line + "'");
+        }
+        b.error = jsonFieldOf(line, "error");
+        rows.push_back(std::move(b));
+    }
+    return rows;
+}
+
+std::vector<BenchRegression>
+compareBench(const std::vector<BenchRow> &baseline,
+             const std::vector<BenchRow> &current, double tolerance,
+             double minSeconds)
+{
+    std::map<std::string, double> base;
+    for (const BenchRow &b : baseline)
+        if (b.ok())
+            base[b.key()] = b.medianSeconds;
+
+    std::vector<BenchRegression> out;
+    for (const BenchRow &c : current) {
+        if (!c.ok())
+            continue;
+        auto it = base.find(c.key());
+        if (it == base.end() || it->second < minSeconds)
+            continue;
+        double ratio = c.medianSeconds / it->second;
+        if (ratio > 1.0 + tolerance)
+            out.push_back(
+                {c.key(), it->second, c.medianSeconds, ratio});
+    }
+    return out;
 }
 
 } // namespace core

@@ -134,8 +134,9 @@ struct SweepUnit
 SweepUnit buildSweepUnit(Benchmark b, int n, int instance,
                          std::uint64_t baseSeed);
 
-/** One result row (the bench CSV schema; `seconds` rides along for
- * the JSON output and the runtime evaluation). */
+/** One result row (the bench CSV schema; `seconds` and the per-pass
+ * breakdown ride along for the JSON output and the runtime
+ * evaluation — the CSV schema is pinned by the golden files). */
 struct SweepRow
 {
     std::string experiment;
@@ -147,6 +148,11 @@ struct SweepRow
     int instance = 0;
     CompilationMetrics metrics;
     double seconds = 0.0;
+    /** Wall time of the classic pipeline stages (paper Sec. V-D
+     * breakdown); 0.0 for backends without a pass pipeline. */
+    double mappingSeconds = 0.0;
+    double routingSeconds = 0.0;
+    double schedulingSeconds = 0.0;
     std::string error;
 
     bool ok() const { return error.empty(); }
@@ -213,6 +219,92 @@ aggregateTables(const std::vector<SweepRow> &rows,
 
 std::string sweepTableCsvHeader();
 std::string toCsv(const SweepTableRow &row);
+/** @} */
+
+/** @name Pinned-benchmark mode (tqan-sweep --bench). @{ */
+
+/** How a benchmark run repeats the grid. */
+struct BenchOptions
+{
+    /** Un-timed full-grid runs before measuring (cache/alloc
+     * warmup). */
+    int warmup = 1;
+    /** Timed full-grid runs; every reported duration is the median
+     * over these. */
+    int repeat = 5;
+};
+
+/** Median wall times of one job across the timed repeats. */
+struct BenchRow
+{
+    std::string benchmark;
+    std::string device;
+    std::string gateset;
+    std::string backend;
+    int nqubits = 0;
+    int instance = 0;
+    double medianSeconds = 0.0;
+    double minSeconds = 0.0;
+    double maxSeconds = 0.0;
+    /** Medians of the per-pass breakdown (0.0 for baselines). */
+    double mappingSeconds = 0.0;
+    double routingSeconds = 0.0;
+    double schedulingSeconds = 0.0;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+    /** Stable identity used to match rows against a baseline file. */
+    std::string key() const;
+};
+
+/**
+ * Expand the spec once, run the whole grid `warmup` un-timed +
+ * `repeat` timed times on `bc`, and reduce each job's wall times to
+ * a BenchRow (medians are per job, so a slow outlier run cannot
+ * shift every row).  Compilation results are bit-identical across
+ * repeats; only the clock varies.
+ */
+std::vector<BenchRow> runBench(const SweepSpec &spec,
+                               const BatchCompiler &bc,
+                               const BenchOptions &opt);
+
+/**
+ * The BENCH_*.json document: a small header plus one row object per
+ * line (line-oriented on purpose — parseBenchJson() and shell tools
+ * can both consume it).
+ */
+std::string benchJson(const std::string &experiment,
+                      const BenchOptions &opt, int jobs,
+                      const std::vector<BenchRow> &rows);
+
+/**
+ * Read the rows back out of a benchJson() document (a minimal
+ * line-oriented reader, not a general JSON parser).
+ * @throws std::invalid_argument when a row line is malformed.
+ */
+std::vector<BenchRow> parseBenchJson(std::istream &in);
+
+/** One baseline-vs-current comparison that exceeded the tolerance. */
+struct BenchRegression
+{
+    std::string key;
+    double baselineSeconds = 0.0;
+    double currentSeconds = 0.0;
+    double ratio = 0.0;
+};
+
+/**
+ * Match rows by key() and report every current row slower than
+ * baseline * (1 + tolerance).  Rows missing from either side are
+ * ignored (new grid entries are not regressions), as are rows whose
+ * baseline median is under `minSeconds` — at tens of microseconds
+ * the clock jitter exceeds any sane tolerance, so gating them only
+ * produces flakes.
+ */
+std::vector<BenchRegression>
+compareBench(const std::vector<BenchRow> &baseline,
+             const std::vector<BenchRow> &current, double tolerance,
+             double minSeconds = 1e-4);
 /** @} */
 
 } // namespace core

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/profile.h"
+
 namespace tqan {
 namespace device {
 
@@ -33,9 +35,10 @@ NoiseMap::edgeError(int p, int q) const
     throw std::invalid_argument("NoiseMap::edgeError: not coupled");
 }
 
-std::vector<std::vector<double>>
+linalg::FlatMatrix
 NoiseMap::noiseAwareDistances(double lambda) const
 {
+    core::profile::ScopedTimer prof("device.noise_distances");
     int n = topo_->numQubits();
     // Mean per-edge log-infidelity for normalization.
     double mean_li = 0.0;
@@ -46,8 +49,7 @@ NoiseMap::noiseAwareDistances(double lambda) const
         mean_li = 1.0;
 
     const double inf = 1e18;
-    std::vector<std::vector<double>> d(n,
-                                       std::vector<double>(n, inf));
+    linalg::FlatMatrix d(n, n, inf);
     for (int i = 0; i < n; ++i)
         d[i][i] = 0.0;
     const auto &edges = topo_->edges();
@@ -57,10 +59,15 @@ NoiseMap::noiseAwareDistances(double lambda) const
         auto [u, v] = edges[i];
         d[u][v] = d[v][u] = std::min(d[u][v], w);
     }
-    for (int k = 0; k < n; ++k)
-        for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k) {
+        const double *dk = d[k];
+        for (int i = 0; i < n; ++i) {
+            double *di = d[i];
+            double dik = di[k];
             for (int j = 0; j < n; ++j)
-                d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+                di[j] = std::min(di[j], dik + dk[j]);
+        }
+    }
     return d;
 }
 

@@ -17,6 +17,7 @@
 #include <random>
 
 #include "device/topology.h"
+#include "linalg/flat_matrix.h"
 
 namespace tqan {
 namespace device {
@@ -41,8 +42,7 @@ class NoiseMap
      * worse than average each traversed coupler is.  Reduces to the
      * plain hop distance at lambda = 0.
      */
-    std::vector<std::vector<double>>
-    noiseAwareDistances(double lambda) const;
+    linalg::FlatMatrix noiseAwareDistances(double lambda) const;
 
     /**
      * Synthetic calibration: lognormal edge errors with the given

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dense row-major matrix of doubles in one contiguous buffer.
+ *
+ * Replaces `vector<vector<double>>` on the hot QAP paths (the flow
+ * and location-distance matrices): one allocation instead of one per
+ * row, rows are contiguous and cache-line friendly, and a row is a
+ * plain `const double *` the tabu kernel can walk without pointer
+ * chasing.  `operator[]` returns the row pointer, so `m[i][j]` call
+ * sites read exactly like the nested-vector version they replace.
+ */
+
+#ifndef TQAN_LINALG_FLAT_MATRIX_H
+#define TQAN_LINALG_FLAT_MATRIX_H
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tqan {
+namespace linalg {
+
+class FlatMatrix
+{
+  public:
+    FlatMatrix() = default;
+
+    FlatMatrix(int rows, int cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(checkedSize(rows, cols), fill)
+    {
+    }
+
+    /** Square convenience (flow and distance matrices are square). */
+    explicit FlatMatrix(int n) : FlatMatrix(n, n) {}
+
+    /** Copy-in conversion from the nested-vector layout; every row
+     * must have the same length. */
+    explicit FlatMatrix(const std::vector<std::vector<double>> &m)
+        : FlatMatrix(static_cast<int>(m.size()),
+                     m.empty() ? 0 : static_cast<int>(m[0].size()))
+    {
+        for (int r = 0; r < rows_; ++r) {
+            if (static_cast<int>(m[r].size()) != cols_)
+                throw std::invalid_argument(
+                    "FlatMatrix: ragged rows");
+            double *dst = (*this)[r];
+            for (int c = 0; c < cols_; ++c)
+                dst[c] = m[r][c];
+        }
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    double *operator[](int r) { return data_.data() + rowOffset(r); }
+    const double *operator[](int r) const
+    {
+        return data_.data() + rowOffset(r);
+    }
+
+    double &operator()(int r, int c) { return (*this)[r][c]; }
+    double operator()(int r, int c) const { return (*this)[r][c]; }
+
+    /** The whole buffer, row-major. */
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+    friend bool operator==(const FlatMatrix &a, const FlatMatrix &b)
+    {
+        return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+               a.data_ == b.data_;
+    }
+    friend bool operator!=(const FlatMatrix &a, const FlatMatrix &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    static size_t checkedSize(int rows, int cols)
+    {
+        if (rows < 0 || cols < 0)
+            throw std::invalid_argument("FlatMatrix: negative shape");
+        return static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    }
+
+    size_t rowOffset(int r) const
+    {
+        return static_cast<size_t>(r) * static_cast<size_t>(cols_);
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace linalg
+} // namespace tqan
+
+#endif // TQAN_LINALG_FLAT_MATRIX_H

@@ -9,11 +9,11 @@ namespace tqan {
 namespace qap {
 
 Placement
-annealQap(const std::vector<std::vector<double>> &flow,
+annealQap(const linalg::FlatMatrix &flow,
           const device::Topology &topo, std::mt19937_64 &rng,
           const AnnealOptions &opt)
 {
-    int n = static_cast<int>(flow.size());
+    int n = flow.rows();
     int nloc = topo.numQubits();
     if (n > nloc)
         throw std::invalid_argument("annealQap: circuit too large");

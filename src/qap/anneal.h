@@ -24,7 +24,7 @@ struct AnnealOptions
     double alpha = 0.999; ///< geometric cooling factor
 };
 
-Placement annealQap(const std::vector<std::vector<double>> &flow,
+Placement annealQap(const linalg::FlatMatrix &flow,
                     const device::Topology &topo, std::mt19937_64 &rng,
                     const AnnealOptions &opt = AnnealOptions());
 

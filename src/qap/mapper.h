@@ -41,7 +41,7 @@ struct MapperRequest
      * memoized hop matrix, or noise-aware distances when calibration
      * data is attached (CompileContext::distances()).
      */
-    const std::vector<std::vector<double>> *dist = nullptr;
+    const linalg::FlatMatrix *dist = nullptr;
     std::uint64_t seed = 0;
     int trials = 5;  ///< randomized-mapping restarts (paper: 5)
     int jobs = 1;    ///< worker threads for the trials

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/profile.h"
+
 namespace tqan {
 namespace qap {
 
@@ -27,11 +29,11 @@ placementIsValid(const Placement &p, int deviceQubits)
     return true;
 }
 
-std::vector<std::vector<double>>
+linalg::FlatMatrix
 flowMatrix(const ham::TwoLocalHamiltonian &h)
 {
     int n = h.numQubits();
-    std::vector<std::vector<double>> f(n, std::vector<double>(n, 0.0));
+    linalg::FlatMatrix f(n, n);
     for (const auto &t : h.pairs()) {
         f[t.u][t.v] += 1.0;
         f[t.v][t.u] += 1.0;
@@ -39,11 +41,11 @@ flowMatrix(const ham::TwoLocalHamiltonian &h)
     return f;
 }
 
-std::vector<std::vector<double>>
+linalg::FlatMatrix
 flowMatrixOf(const qcir::Circuit &c)
 {
     int n = c.numQubits();
-    std::vector<std::vector<double>> f(n, std::vector<double>(n, 0.0));
+    linalg::FlatMatrix f(n, n);
     for (const auto &o : c.ops()) {
         if (o.isTwoQubit()) {
             f[o.q0][o.q1] += 1.0;
@@ -64,44 +66,52 @@ interactionGraphOf(const qcir::Circuit &c)
 }
 
 double
-qapCost(const std::vector<std::vector<double>> &flow,
+qapCost(const linalg::FlatMatrix &flow,
         const device::Topology &topo, const Placement &p)
 {
     if (!placementIsValid(p, topo.numQubits()))
         throw std::invalid_argument("qapCost: invalid placement");
-    int n = static_cast<int>(flow.size());
+    int n = flow.rows();
     double c = 0.0;
-    for (int i = 0; i < n; ++i)
+    for (int i = 0; i < n; ++i) {
+        const double *frow = flow[i];
         for (int j = i + 1; j < n; ++j)
-            if (flow[i][j] != 0.0)
-                c += flow[i][j] * topo.dist(p[i], p[j]);
+            if (frow[j] != 0.0)
+                c += frow[j] * topo.dist(p[i], p[j]);
+    }
     return c;
 }
 
 double
-qapCostMatrix(const std::vector<std::vector<double>> &flow,
-              const std::vector<std::vector<double>> &dist,
+qapCostMatrix(const linalg::FlatMatrix &flow,
+              const linalg::FlatMatrix &dist,
               const Placement &p)
 {
-    if (!placementIsValid(p, static_cast<int>(dist.size())))
+    if (!placementIsValid(p, dist.rows()))
         throw std::invalid_argument("qapCostMatrix: invalid placement");
-    int n = static_cast<int>(flow.size());
+    int n = flow.rows();
     double c = 0.0;
-    for (int i = 0; i < n; ++i)
+    for (int i = 0; i < n; ++i) {
+        const double *frow = flow[i];
+        const double *drow = dist[p[i]];
         for (int j = i + 1; j < n; ++j)
-            if (flow[i][j] != 0.0)
-                c += flow[i][j] * dist[p[i]][p[j]];
+            if (frow[j] != 0.0)
+                c += frow[j] * drow[p[j]];
+    }
     return c;
 }
 
-std::vector<std::vector<double>>
+linalg::FlatMatrix
 hopDistanceMatrix(const device::Topology &topo)
 {
+    core::profile::ScopedTimer prof("qap.hop_distances");
     int n = topo.numQubits();
-    std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
-    for (int i = 0; i < n; ++i)
+    linalg::FlatMatrix d(n, n);
+    for (int i = 0; i < n; ++i) {
+        double *row = d[i];
         for (int j = 0; j < n; ++j)
-            d[i][j] = topo.dist(i, j);
+            row[j] = topo.dist(i, j);
+    }
     return d;
 }
 

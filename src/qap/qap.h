@@ -12,6 +12,10 @@
  * The paper solves the QAP with Tabu search (Glover); we implement
  * the classic robust tabu search plus a simulated-annealing
  * alternative for ablation.
+ *
+ * Flow and distance matrices are linalg::FlatMatrix — contiguous
+ * row-major buffers the solvers can walk without per-row pointer
+ * chasing (`m[i][j]` indexing still works).
  */
 
 #ifndef TQAN_QAP_QAP_H
@@ -21,6 +25,7 @@
 
 #include "device/topology.h"
 #include "ham/hamiltonian.h"
+#include "linalg/flat_matrix.h"
 #include "qcir/circuit.h"
 
 namespace tqan {
@@ -43,34 +48,31 @@ bool placementIsValid(const Placement &p, int deviceQubits);
  * Interaction-count flow matrix of a Hamiltonian (f_ij of Eq. 7):
  * one unit per unified two-qubit term on (i, j).
  */
-std::vector<std::vector<double>>
-flowMatrix(const ham::TwoLocalHamiltonian &h);
+linalg::FlatMatrix flowMatrix(const ham::TwoLocalHamiltonian &h);
 
 /** Interaction-count flow matrix straight from a circuit's two-qubit
  * ops (one unit per op, both triangles filled). */
-std::vector<std::vector<double>>
-flowMatrixOf(const qcir::Circuit &c);
+linalg::FlatMatrix flowMatrixOf(const qcir::Circuit &c);
 
 /** Interaction graph of a circuit: one edge per distinct interacting
  * qubit pair. */
 graph::Graph interactionGraphOf(const qcir::Circuit &c);
 
 /** QAP objective of Eq. 7 for a given placement. */
-double qapCost(const std::vector<std::vector<double>> &flow,
+double qapCost(const linalg::FlatMatrix &flow,
                const device::Topology &topo, const Placement &p);
 
 /**
  * QAP objective against an arbitrary location-distance matrix (hop
  * distances, or the noise-aware distances of device::NoiseMap).
  */
-double qapCostMatrix(const std::vector<std::vector<double>> &flow,
-                     const std::vector<std::vector<double>> &dist,
+double qapCostMatrix(const linalg::FlatMatrix &flow,
+                     const linalg::FlatMatrix &dist,
                      const Placement &p);
 
 /** The hop-distance matrix of a device, widened to double (the
  * memoized QAP distance matrix of CompileContext). */
-std::vector<std::vector<double>>
-hopDistanceMatrix(const device::Topology &topo);
+linalg::FlatMatrix hopDistanceMatrix(const device::Topology &topo);
 
 } // namespace qap
 } // namespace tqan

@@ -2,41 +2,371 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <numeric>
 #include <thread>
 
+#include "core/profile.h"
+
 namespace tqan {
 namespace qap {
 
+/*
+ * DeltaTable
+ *
+ * Bit-identity contract: every cached entry equals what evaluate()
+ * returns for the current permutation, and evaluate() sums in the
+ * exact order the pre-memoization kernel used (facility a's partners
+ * in ascending index order, then facility b's).  update() keeps the
+ * contract on two paths:
+ *
+ *  - Integral data (hop-distance QAPs: flows are interaction counts,
+ *    distances are hop counts).  Every delta is a sum of products of
+ *    small integers, each exactly representable in a double, so
+ *    Taillard's O(1) correction
+ *
+ *        delta'(a,b) = delta(a,b) + (g_a - g_b) * (h_b - h_a),
+ *        g_x = f[x][u] - f[x][v],
+ *        h_x = d[perm'[x]][perm'[u]] - d[perm'[x]][perm'[v]]
+ *
+ *    (perm' = post-exchange permutation; valid for {a,b} disjoint
+ *    from the moved pair {u,v}) is computed without rounding and is
+ *    bit-equal to a fresh evaluation.  Entries touching u or v have
+ *    no O(1) form and are re-evaluated.
+ *
+ *  - Non-integral data (noise-aware distances): the correction could
+ *    round differently from a fresh evaluation and flip near-tie
+ *    scan comparisons, so every invalidated entry is re-evaluated in
+ *    evaluate() order instead.
+ *
+ * Either way an accepted move costs O((2 + deg(u) + deg(v)) * nloc)
+ * entry refreshes — O(nloc * deg) for the bounded-degree interaction
+ * graphs of 2-local Hamiltonians — instead of the full
+ * O(n * nloc * deg) rescan of the naive kernel.
+ */
+
 namespace {
 
-/** Sparse row view of the flow matrix: (partner, flow) per facility. */
-std::vector<std::vector<std::pair<int, double>>>
-sparseFlow(const std::vector<std::vector<double>> &flow)
+/** Exactly-representable small integer: products of two such values
+ * stay <= 2^40 and sums of up to ~2^12 of those stay < 2^53, so all
+ * delta arithmetic on them is exact. */
+bool
+isSmallInteger(double v)
 {
-    int n = static_cast<int>(flow.size());
-    std::vector<std::vector<std::pair<int, double>>> nz(n);
-    for (int i = 0; i < n; ++i)
-        for (int j = 0; j < n; ++j)
-            if (flow[i][j] != 0.0)
-                nz[i].push_back({j, flow[i][j]});
-    return nz;
+    return v == std::floor(v) && std::fabs(v) <= 1048576.0;  // 2^20
+}
+
+bool
+allSmallIntegers(const linalg::FlatMatrix &m)
+{
+    const double *p = m.data();
+    size_t count = static_cast<size_t>(m.rows()) * m.cols();
+    for (size_t i = 0; i < count; ++i)
+        if (!isSmallInteger(p[i]))
+            return false;
+    return true;
+}
+
+bool
+isSymmetric(const linalg::FlatMatrix &m)
+{
+    for (int i = 0; i < m.rows(); ++i)
+        for (int j = i + 1; j < m.cols(); ++j)
+            if (m[i][j] != m[j][i])
+                return false;
+    return true;
+}
+
+} // namespace
+
+DeltaTable::DeltaTable(const linalg::FlatMatrix &flow,
+                       const linalg::FlatMatrix &dist)
+    : dist_(&dist), n_(flow.rows()), nloc_(dist.rows())
+{
+    if (flow.rows() != flow.cols())
+        throw std::invalid_argument("DeltaTable: flow not square");
+    if (dist.rows() != dist.cols())
+        throw std::invalid_argument("DeltaTable: dist not square");
+    if (n_ > nloc_)
+        throw std::invalid_argument("DeltaTable: flow exceeds dist");
+
+    // update() infers the stale entries from the moved facilities'
+    // flow rows, which is only sound when flow is symmetric; the
+    // O(1) correction additionally reads dist by row where the
+    // derivation says column, so it needs dist symmetric too.  Both
+    // hold for every flow/distance matrix the compiler builds.
+    flowSymmetric_ = isSymmetric(flow);
+    exact_ = flowSymmetric_ && allSmallIntegers(flow) &&
+             allSmallIntegers(dist) && isSymmetric(dist);
+
+    nzOff_.assign(n_ + 1, 0);
+    for (int i = 0; i < n_; ++i) {
+        const double *row = flow[i];
+        int nz = 0;
+        for (int j = 0; j < n_; ++j)
+            if (row[j] != 0.0)
+                ++nz;
+        nzOff_[i + 1] = nzOff_[i] + nz;
+    }
+    nzCol_.resize(nzOff_[n_]);
+    nzVal_.resize(nzOff_[n_]);
+    for (int i = 0, k = 0; i < n_; ++i) {
+        const double *row = flow[i];
+        for (int j = 0; j < n_; ++j)
+            if (row[j] != 0.0) {
+                nzCol_[k] = j;
+                nzVal_[k] = row[j];
+                ++k;
+            }
+    }
+
+    table_.assign(static_cast<size_t>(n_) * nloc_, 0.0);
+    touched_.reserve(nloc_);
+    inSet_.assign(nloc_, 0);
+    g_.assign(nloc_, 0.0);
+    h_.assign(nloc_, 0.0);
+    s_.assign(nloc_, 0.0);
+}
+
+double
+DeltaTable::evaluate(const std::vector<int> &perm, int a, int b) const
+{
+    double dd = 0.0;
+    int pa = perm[a], pb = perm[b];
+    const double *da = (*dist_)[pa];
+    const double *db = (*dist_)[pb];
+    if (a < n_) {
+        for (int k = nzOff_[a]; k < nzOff_[a + 1]; ++k) {
+            int j = nzCol_[k];
+            if (j == b)
+                continue;
+            int pj = (j == a) ? pa : perm[j];
+            dd += nzVal_[k] * (db[pj] - da[pj]);
+        }
+    }
+    if (b < n_) {
+        for (int k = nzOff_[b]; k < nzOff_[b + 1]; ++k) {
+            int j = nzCol_[k];
+            if (j == a)
+                continue;
+            int pj = (j == b) ? pb : perm[j];
+            dd += nzVal_[k] * (da[pj] - db[pj]);
+        }
+    }
+    return dd;
+}
+
+void
+DeltaTable::reset(const std::vector<int> &perm)
+{
+    for (int a = 0; a < n_; ++a) {
+        double *row = table_.data() + static_cast<size_t>(a) * nloc_;
+        for (int b = a + 1; b < nloc_; ++b)
+            row[b] = evaluate(perm, a, b);
+    }
+}
+
+void
+DeltaTable::update(const std::vector<int> &perm, int u, int v)
+{
+    // An entry (a, b) reads perm[a], perm[b] and perm[j] for a's and
+    // b's flow partners j; the exchange changed slots u and v only.
+    // So the stale entries are exactly those touching u, v, or a
+    // flow partner of u or v (flow is symmetric: u in nz[a] iff a in
+    // nz[u]).
+    touched_.clear();
+    auto mark = [this](int s) {
+        if (!inSet_[s]) {
+            inSet_[s] = 1;
+            touched_.push_back(s);
+        }
+    };
+    mark(u);
+    mark(v);
+    if (u < n_)
+        for (int k = nzOff_[u]; k < nzOff_[u + 1]; ++k)
+            mark(nzCol_[k]);
+    if (v < n_)
+        for (int k = nzOff_[v]; k < nzOff_[v + 1]; ++k)
+            mark(nzCol_[k]);
+
+    if (!exact_) {
+        // Non-integral data: re-evaluate every stale entry in
+        // evaluate() order so cached bits match a fresh computation.
+        for (int s : touched_) {
+            for (int m = 0; m < nloc_; ++m) {
+                if (m == s)
+                    continue;
+                // Pairs with both ends touched refresh once, on the
+                // smaller touched index's turn.
+                if (inSet_[m] && m < s)
+                    continue;
+                int a = std::min(s, m), b = std::max(s, m);
+                if (a >= n_)
+                    continue;  // dummy-dummy pairs never scanned
+                table_[static_cast<size_t>(a) * nloc_ + b] =
+                    evaluate(perm, a, b);
+            }
+        }
+        for (int s : touched_)
+            inSet_[s] = 0;
+        return;
+    }
+
+    // Integral fast path.  g is the sparse flow-difference column
+    // and h the dense distance-difference column of the O(1)
+    // correction; both are exact integers, so every path below
+    // produces the same bits evaluate() would.
+    int lu = perm[u], lv = perm[v];
+    const double *dlu = (*dist_)[lu];
+    const double *dlv = (*dist_)[lv];
+    for (int x = 0; x < nloc_; ++x)
+        h_[x] = dlu[perm[x]] - dlv[perm[x]];
+    if (u < n_)
+        for (int k = nzOff_[u]; k < nzOff_[u + 1]; ++k)
+            g_[nzCol_[k]] += nzVal_[k];
+    if (v < n_)
+        for (int k = nzOff_[v]; k < nzOff_[v + 1]; ++k)
+            g_[nzCol_[k]] -= nzVal_[k];
+
+    for (int s : touched_) {
+        if (s == u || s == v)
+            refreshMovedFacility(perm, s, u, v);
+        else
+            correctPartnerRow(s, u, v);
+    }
+
+    for (int s : touched_)
+        inSet_[s] = 0;
+    if (u < n_)
+        for (int k = nzOff_[u]; k < nzOff_[u + 1]; ++k)
+            g_[nzCol_[k]] = 0.0;
+    if (v < n_)
+        for (int k = nzOff_[v]; k < nzOff_[v + 1]; ++k)
+            g_[nzCol_[k]] = 0.0;
+}
+
+void
+DeltaTable::refreshMovedFacility(const std::vector<int> &perm, int s,
+                                 int u, int v)
+{
+    // Owns every pair that includes the moved facility s; the pair
+    // (u, v) itself is refreshed on u's turn only.
+    if (s >= n_) {
+        // A dummy was moved: only the n real rows can pair with it.
+        for (int a = 0; a < n_; ++a) {
+            if (a == u && s == v)
+                continue;
+            table_[static_cast<size_t>(a) * nloc_ + s] =
+                evaluate(perm, a, s);
+        }
+        return;
+    }
+
+    // s_[x] = sum_k f_sk * d[perm[k]][x] over s's partners k; then a
+    // pair with a flowless partner m is the pure relocation
+    //     delta(s, m) = s_[perm[m]] - s_[perm[s]]
+    // (exact: integer products and sums).  Partner-side terms exist
+    // only for the <= n real facilities, evaluated directly.
+    std::fill(s_.begin(), s_.end(), 0.0);
+    for (int k = nzOff_[s]; k < nzOff_[s + 1]; ++k) {
+        const double *drow = (*dist_)[perm[nzCol_[k]]];
+        double f = nzVal_[k];
+        for (int x = 0; x < nloc_; ++x)
+            s_[x] += f * drow[x];
+    }
+    double sHome = s_[perm[s]];
+
+    for (int m = 0; m < n_; ++m) {
+        if (m == s || (s == v && m == u))
+            continue;
+        int a = std::min(s, m), b = std::max(s, m);
+        table_[static_cast<size_t>(a) * nloc_ + b] =
+            evaluate(perm, a, b);
+    }
+    double *row = table_.data() + static_cast<size_t>(s) * nloc_;
+    for (int b = std::max(n_, s + 1); b < nloc_; ++b) {
+        if (s == v && b == u)
+            continue;
+        row[b] = s_[perm[b]] - sHome;
+    }
+}
+
+void
+DeltaTable::correctPartnerRow(int w, int u, int v)
+{
+    // Applies delta += (g_a - g_b) * (h_b - h_a) to w's pairs.
+    // Pairs including u or v belong to refreshMovedFacility; pairs
+    // of two partners are corrected once, on the smaller index's
+    // turn (the formula covers both ends in one application).
+    double gw = g_[w];
+    double hw = h_[w];
+    for (int a = 0; a < w; ++a) {
+        if (a == u || a == v || inSet_[a])
+            continue;
+        double coeff = g_[a] - gw;
+        if (coeff != 0.0)
+            table_[static_cast<size_t>(a) * nloc_ + w] +=
+                coeff * (hw - h_[a]);
+    }
+    double *row = table_.data() + static_cast<size_t>(w) * nloc_;
+    for (int b = w + 1; b < n_; ++b) {
+        if (b == u || b == v)
+            continue;
+        double coeff = gw - g_[b];
+        if (coeff != 0.0)
+            row[b] += coeff * (h_[b] - hw);
+    }
+    // Dummy tail: flowless locations have g = 0, and the only
+    // touched index >= n can be a moved dummy v — excluded, so the
+    // whole span is one branch-free fused multiply-add sweep.
+    if (gw != 0.0) {
+        auto sweep = [&](int lo, int hi) {
+            for (int b = lo; b < hi; ++b)
+                row[b] += gw * (h_[b] - hw);
+        };
+        int lo = std::max(n_, w + 1);
+        if (v >= lo) {
+            sweep(lo, v);
+            sweep(v + 1, nloc_);
+        } else {
+            sweep(lo, nloc_);
+        }
+    }
+}
+
+namespace {
+
+double
+costOf(const linalg::FlatMatrix &flow, const linalg::FlatMatrix &d,
+       const std::vector<int> &perm)
+{
+    int n = flow.rows();
+    double c = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double *frow = flow[i];
+        const double *drow = d[perm[i]];
+        for (int j = i + 1; j < n; ++j)
+            if (frow[j] != 0.0)
+                c += frow[j] * drow[perm[j]];
+    }
+    return c;
 }
 
 } // namespace
 
 Placement
-tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
-                    const std::vector<std::vector<double>> &dist,
+tabuSearchQapMatrix(const linalg::FlatMatrix &flow,
+                    const linalg::FlatMatrix &dist,
                     std::mt19937_64 &rng, const TabuOptions &opt)
 {
-    int n = static_cast<int>(flow.size());
-    int nloc = static_cast<int>(dist.size());
+    core::profile::ScopedTimer prof("qap.tabu");
+
+    int n = flow.rows();
+    int nloc = dist.rows();
     if (n > nloc)
         throw std::invalid_argument("tabuSearchQap: circuit too large");
-    const auto &d = dist;
-    auto nz = sparseFlow(flow);
 
     // Pad with dummy facilities so perm is a full permutation of the
     // device qubits.
@@ -44,48 +374,30 @@ tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
     std::iota(perm.begin(), perm.end(), 0);
     std::shuffle(perm.begin(), perm.end(), rng);
 
-    // Cost change of exchanging the locations of facilities a and b.
-    // Only real facilities contribute flow.
-    auto delta = [&](int a, int b) {
-        double dd = 0.0;
-        int pa = perm[a], pb = perm[b];
-        if (a < n) {
-            for (const auto &[k, f] : nz[a]) {
-                if (k == b)
-                    continue;
-                int pk = (k == a) ? pa : perm[k];
-                dd += f * (d[pb][pk] - d[pa][pk]);
-            }
-        }
-        if (b < n) {
-            for (const auto &[k, f] : nz[b]) {
-                if (k == a)
-                    continue;
-                int pk = (k == b) ? pb : perm[k];
-                dd += f * (d[pa][pk] - d[pb][pk]);
-            }
-        }
-        return dd;
-    };
+    // Below ~64 facility-locations the table costs more to maintain
+    // than the rescan it replaces (measured crossover between 6x9
+    // and 6x16); both paths produce bit-identical placements, so the
+    // choice is purely a matter of speed.
+    DeltaTable deltas(flow, dist);
+    const bool memoize =
+        deltas.memoizable() && static_cast<long>(n) * nloc >= 64;
+    if (memoize)
+        deltas.reset(perm);
 
-    auto costOf = [&](const Placement &p) {
-        double c = 0.0;
-        for (int i = 0; i < n; ++i)
-            for (int j = i + 1; j < n; ++j)
-                if (flow[i][j] != 0.0)
-                    c += flow[i][j] * d[p[i]][p[j]];
-        return c;
-    };
-    Placement cur(perm.begin(), perm.begin() + n);
-    double cost = costOf(cur);
+    double cost = costOf(flow, dist, perm);
     double best_cost = cost;
     std::vector<int> best_perm = perm;
 
     // tabu[facility * nloc + location] = first iteration at which the
     // facility may return to the location.
     std::vector<int> tabu(static_cast<size_t>(nloc) * nloc, 0);
-    std::uniform_int_distribution<int> tenure(
-        opt.tabuLowMul * nloc / 10, opt.tabuHighMul * nloc / 10 + 1);
+    // Clamped: tenure 0 would make moves never tabu, and a caller's
+    // low/high multipliers (or a tiny device) could invert the range,
+    // which is UB for uniform_int_distribution.
+    int tenure_lo = std::max(1, opt.tabuLowMul * nloc / 10);
+    int tenure_hi =
+        std::max(tenure_lo, opt.tabuHighMul * nloc / 10 + 1);
+    std::uniform_int_distribution<int> tenure(tenure_lo, tenure_hi);
 
     int stall = 0;
     for (int it = 0; it < opt.maxIters && stall < opt.stallLimit;
@@ -94,20 +406,27 @@ tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
         int ba = -1, bb = -1;
         bool found = false;
         for (int a = 0; a < n; ++a) {
+            const double *drow = memoize ? deltas.row(a) : nullptr;
+            const int *trow = tabu.data() + a * nloc;
+            int pa = perm[a];
             for (int b = a + 1; b < nloc; ++b) {
-                double dd = delta(a, b);
-                bool is_tabu =
-                    tabu[a * nloc + perm[b]] > it ||
-                    tabu[b * nloc + perm[a]] > it;
+                double dd = drow ? drow[b]
+                                 : deltas.evaluate(perm, a, b);
+                // A pair that cannot beat the current best move is
+                // skipped before the (two dependent loads of the)
+                // tabu test — pure reordering of side-effect-free
+                // predicates, so the selected move is unchanged.
+                if (found && dd >= best_delta)
+                    continue;
+                bool is_tabu = trow[perm[b]] > it ||
+                               tabu[b * nloc + pa] > it;
                 bool aspire = cost + dd < best_cost - 1e-12;
                 if (is_tabu && !aspire)
                     continue;
-                if (!found || dd < best_delta) {
-                    best_delta = dd;
-                    ba = a;
-                    bb = b;
-                    found = true;
-                }
+                best_delta = dd;
+                ba = a;
+                bb = b;
+                found = true;
             }
         }
         if (!found) {
@@ -120,6 +439,8 @@ tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
         tabu[bb * nloc + perm[bb]] = it + t;
         std::swap(perm[ba], perm[bb]);
         cost += best_delta;
+        if (memoize)
+            deltas.update(perm, ba, bb);
         if (cost < best_cost - 1e-12) {
             best_cost = cost;
             best_perm = perm;
@@ -133,7 +454,7 @@ tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
 }
 
 Placement
-tabuSearchQap(const std::vector<std::vector<double>> &flow,
+tabuSearchQap(const linalg::FlatMatrix &flow,
               const device::Topology &topo, std::mt19937_64 &rng,
               const TabuOptions &opt)
 {
@@ -142,7 +463,7 @@ tabuSearchQap(const std::vector<std::vector<double>> &flow,
 }
 
 Placement
-bestOfTabu(const std::vector<std::vector<double>> &flow,
+bestOfTabu(const linalg::FlatMatrix &flow,
            const device::Topology &topo, std::mt19937_64 &rng,
            int trials, const TabuOptions &opt)
 {
@@ -160,8 +481,8 @@ bestOfTabu(const std::vector<std::vector<double>> &flow,
 }
 
 Placement
-bestOfTabu(const std::vector<std::vector<double>> &flow,
-           const std::vector<std::vector<double>> &dist,
+bestOfTabu(const linalg::FlatMatrix &flow,
+           const linalg::FlatMatrix &dist,
            std::uint64_t seed, int trials, const TabuOptions &opt,
            int jobs)
 {
@@ -205,7 +526,7 @@ bestOfTabu(const std::vector<std::vector<double>> &flow,
 }
 
 Placement
-bestOfTabu(const std::vector<std::vector<double>> &flow,
+bestOfTabu(const linalg::FlatMatrix &flow,
            const device::Topology &topo, std::uint64_t seed,
            int trials, const TabuOptions &opt, int jobs)
 {

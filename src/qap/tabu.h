@@ -8,6 +8,16 @@
  * Moves exchange the locations of two facilities; a move is tabu if
  * it reassigns a facility to a location it occupied recently, with
  * the usual aspiration criterion (always accept a new global best).
+ *
+ * The kernel follows Taillard's robust taboo search memoization: a
+ * DeltaTable caches the cost change of every candidate exchange, so
+ * a neighborhood scan is a flat O(n * nloc) table read, and an
+ * accepted move refreshes only the entries whose inputs changed
+ * (O(nloc * deg) for the bounded-degree flows of 2-local
+ * Hamiltonians) instead of re-deriving every delta from the sparse
+ * flow.  Refreshes re-evaluate in the exact summation order of a
+ * fresh computation, so results are bit-identical to the naive
+ * rescanning kernel — the golden sweep is the oracle.
  */
 
 #ifndef TQAN_QAP_TABU_H
@@ -31,6 +41,92 @@ struct TabuOptions
 };
 
 /**
+ * Memoized move-evaluation table of the Taillard-style kernel.
+ *
+ * delta(a, b) caches the cost change of exchanging the locations of
+ * facilities a and b (a < b) under the permutation it was last
+ * synchronized with.  update() must be called after every applied
+ * exchange; only entries whose inputs changed (pairs touching the
+ * moved facilities or their flow partners) are refreshed.
+ *
+ * Bit-identity contract: a cached value always equals what
+ * evaluate() returns bit-for-bit.  Entries touching a moved facility
+ * are re-evaluated outright.  For the flow-partner rows there are
+ * two paths: when every flow and distance entry is a small integer
+ * (the hop-distance QAP — the paper's case), every delta is an
+ * exactly-representable integer, so Taillard's O(1) algebraic
+ * correction is applied per entry and is *exact*, hence bit-equal to
+ * re-evaluation.  Non-integral distance matrices (noise-aware
+ * placement) take the slower path: full re-evaluation in the same
+ * summation order, so the guarantee holds there too.
+ *
+ * Public for the kernel's property tests; not a stable API.
+ */
+class DeltaTable
+{
+  public:
+    /** Both matrices must outlive the table.  flow is n x n, dist is
+     * nloc x nloc with n <= nloc. */
+    DeltaTable(const linalg::FlatMatrix &flow,
+               const linalg::FlatMatrix &dist);
+
+    /** Rebuild every entry for a new permutation (O(n*nloc*deg)). */
+    void reset(const std::vector<int> &perm);
+
+    /** Cached cost change of exchanging facilities a < b. */
+    double delta(int a, int b) const
+    {
+        return table_[static_cast<size_t>(a) * nloc_ + b];
+    }
+
+    /** One row of cached deltas (entries b > a are meaningful). */
+    const double *row(int a) const
+    {
+        return table_.data() + static_cast<size_t>(a) * nloc_;
+    }
+
+    /** Fresh evaluation against `perm`, bypassing the cache. */
+    double evaluate(const std::vector<int> &perm, int a, int b) const;
+
+    /** Refresh the entries invalidated by an exchange of facilities
+     * u and v; `perm` is the permutation *after* the exchange. */
+    void update(const std::vector<int> &perm, int u, int v);
+
+    int facilities() const { return n_; }
+    int locations() const { return nloc_; }
+
+    /** True when the integral fast path is active (every flow and
+     * distance entry is a small integer, both symmetric). */
+    bool exactArithmetic() const { return exact_; }
+
+    /** update() is only sound for symmetric flow (stale entries are
+     * inferred from the moved facilities' flow rows); the kernel
+     * falls back to per-scan evaluation otherwise. */
+    bool memoizable() const { return flowSymmetric_; }
+
+  private:
+    const linalg::FlatMatrix *dist_;
+    int n_ = 0;
+    int nloc_ = 0;
+    bool exact_ = false;  ///< integral data: O(1) updates are exact
+    bool flowSymmetric_ = false;
+    /** CSR view of the nonzero flow: facility i's partners and flows
+     * are nzCol_/nzVal_[nzOff_[i] .. nzOff_[i+1]). */
+    std::vector<int> nzOff_, nzCol_;
+    std::vector<double> nzVal_;
+    std::vector<double> table_;  ///< n_ x nloc_, entries b > a used
+    std::vector<int> touched_;   ///< scratch: facilities to refresh
+    std::vector<char> inSet_;    ///< scratch membership flags
+    std::vector<double> g_;      ///< scratch: flow-difference column
+    std::vector<double> h_;      ///< scratch: distance differences
+    std::vector<double> s_;      ///< scratch: moved-row dot products
+
+    void refreshMovedFacility(const std::vector<int> &perm, int s,
+                              int u, int v);
+    void correctPartnerRow(int w, int u, int v);
+};
+
+/**
  * Solve the QAP for an initial placement.
  *
  * @param flow n x n circuit-qubit interaction counts.
@@ -40,7 +136,7 @@ struct TabuOptions
  *        5 times and keeps the best result.
  * @return placement of the n circuit qubits (injective into N).
  */
-Placement tabuSearchQap(const std::vector<std::vector<double>> &flow,
+Placement tabuSearchQap(const linalg::FlatMatrix &flow,
                         const device::Topology &topo,
                         std::mt19937_64 &rng,
                         const TabuOptions &opt = TabuOptions());
@@ -51,13 +147,13 @@ Placement tabuSearchQap(const std::vector<std::vector<double>> &flow,
  * device::NoiseMap (the paper's Sec. VII future-work direction).
  */
 Placement
-tabuSearchQapMatrix(const std::vector<std::vector<double>> &flow,
-                    const std::vector<std::vector<double>> &dist,
+tabuSearchQapMatrix(const linalg::FlatMatrix &flow,
+                    const linalg::FlatMatrix &dist,
                     std::mt19937_64 &rng,
                     const TabuOptions &opt = TabuOptions());
 
 /** Run tabuSearchQap `trials` times, keep the lowest-cost result. */
-Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
+Placement bestOfTabu(const linalg::FlatMatrix &flow,
                      const device::Topology &topo, std::mt19937_64 &rng,
                      int trials = 5,
                      const TabuOptions &opt = TabuOptions());
@@ -72,15 +168,15 @@ Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
  * bit-identical for every `jobs` value (jobs == 1 is the sequential
  * reference).
  */
-Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
-                     const std::vector<std::vector<double>> &dist,
+Placement bestOfTabu(const linalg::FlatMatrix &flow,
+                     const linalg::FlatMatrix &dist,
                      std::uint64_t seed, int trials = 5,
                      const TabuOptions &opt = TabuOptions(),
                      int jobs = 1);
 
 /** Hop-distance convenience wrapper of the deterministic parallel
  * best-of-trials. */
-Placement bestOfTabu(const std::vector<std::vector<double>> &flow,
+Placement bestOfTabu(const linalg::FlatMatrix &flow,
                      const device::Topology &topo, std::uint64_t seed,
                      int trials = 5,
                      const TabuOptions &opt = TabuOptions(),

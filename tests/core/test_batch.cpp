@@ -159,7 +159,7 @@ TEST(BatchCompiler, DistanceMatrixIsMemoizedPerTopology)
         EXPECT_EQ(d.get(), bc.distancesFor(g1).get());
         return d;
     }();
-    ASSERT_EQ(d1->size(), 9u);
+    ASSERT_EQ(d1->rows(), 9);
     EXPECT_DOUBLE_EQ((*d1)[0][8], 4.0);
 
     // A freshly built equal topology shares the cached matrix; a

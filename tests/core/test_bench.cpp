@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests of the tqan-sweep --bench machinery: median reduction over
+ * repeats, the BENCH_*.json writer/reader round trip, and the
+ * baseline comparison the CI perf job gates on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sweep.h"
+
+using namespace tqan;
+using namespace tqan::core;
+
+namespace {
+
+SweepSpec
+tinySpec()
+{
+    SweepSpec s;
+    s.experiment = "bench_test";
+    s.benchmarks = {Benchmark::NnnHeisenberg};
+    s.devices = {{"grid:3x3", ""}};
+    s.backends = {"2qan", "tket_like"};
+    s.sizes = {6};
+    s.trials = 1;
+    return s;
+}
+
+BenchRow
+rowWith(const std::string &backend, double median)
+{
+    BenchRow b;
+    b.benchmark = "NNN_Heisenberg";
+    b.device = "grid3x3";
+    b.gateset = "cnot";
+    b.backend = backend;
+    b.nqubits = 6;
+    b.instance = 0;
+    b.medianSeconds = median;
+    b.minSeconds = median * 0.9;
+    b.maxSeconds = median * 1.1;
+    return b;
+}
+
+} // namespace
+
+TEST(Bench, RunProducesOneRowPerJobWithPositiveMedians)
+{
+    BatchCompiler bc({1});
+    std::vector<BenchRow> rows =
+        runBench(tinySpec(), bc, {/*warmup=*/0, /*repeat=*/3});
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto &r : rows) {
+        EXPECT_TRUE(r.ok()) << r.error;
+        EXPECT_GT(r.medianSeconds, 0.0) << r.key();
+        EXPECT_LE(r.minSeconds, r.medianSeconds);
+        EXPECT_LE(r.medianSeconds, r.maxSeconds);
+    }
+    // The 2QAN row carries the per-pass breakdown; mapping dominates.
+    EXPECT_EQ(rows[0].backend, "2qan");
+    EXPECT_GT(rows[0].mappingSeconds, 0.0);
+}
+
+TEST(Bench, RejectsBadRepeatCounts)
+{
+    BatchCompiler bc({1});
+    EXPECT_THROW(runBench(tinySpec(), bc, {0, 0}),
+                 std::invalid_argument);
+    EXPECT_THROW(runBench(tinySpec(), bc, {-1, 2}),
+                 std::invalid_argument);
+}
+
+TEST(Bench, JsonRoundTripsEveryField)
+{
+    std::vector<BenchRow> rows = {rowWith("2qan", 0.0125),
+                                  rowWith("tket_like", 0.001)};
+    rows[0].mappingSeconds = 0.011;
+    rows[0].routingSeconds = 0.0009;
+    rows[0].schedulingSeconds = 0.0004;
+
+    std::string json = benchJson("unit", {1, 5}, 2, rows);
+    EXPECT_NE(json.find("\"schema\":\"tqan-bench-v1\""),
+              std::string::npos);
+
+    std::istringstream in(json);
+    std::vector<BenchRow> back = parseBenchJson(in);
+    ASSERT_EQ(back.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(back[i].key(), rows[i].key());
+        EXPECT_NEAR(back[i].medianSeconds, rows[i].medianSeconds,
+                    1e-9);
+        EXPECT_NEAR(back[i].minSeconds, rows[i].minSeconds, 1e-9);
+        EXPECT_NEAR(back[i].maxSeconds, rows[i].maxSeconds, 1e-9);
+        EXPECT_NEAR(back[i].mappingSeconds, rows[i].mappingSeconds,
+                    1e-9);
+        EXPECT_TRUE(back[i].ok());
+    }
+}
+
+TEST(Bench, ParseRejectsMalformedRowLines)
+{
+    std::istringstream in(
+        "{\"rows\":[\n"
+        "{\"benchmark\":\"X\",\"median_seconds\":0.5}\n"
+        "]}\n");
+    EXPECT_THROW(parseBenchJson(in), std::invalid_argument);
+}
+
+TEST(Bench, CompareFlagsOnlyRegressionsBeyondTolerance)
+{
+    std::vector<BenchRow> base = {rowWith("2qan", 0.010),
+                                  rowWith("tket_like", 0.002)};
+    std::vector<BenchRow> cur = {rowWith("2qan", 0.0124),
+                                 rowWith("tket_like", 0.0026)};
+
+    // 2qan +24% passes at 25% tolerance, tket_like +30% fails.
+    auto reg = compareBench(base, cur, 0.25);
+    ASSERT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg[0].key, rowWith("tket_like", 0).key());
+    EXPECT_NEAR(reg[0].ratio, 1.3, 1e-9);
+
+    // Tighter tolerance catches both.
+    EXPECT_EQ(compareBench(base, cur, 0.1).size(), 2u);
+}
+
+TEST(Bench, CompareIgnoresNewAndMissingKeys)
+{
+    std::vector<BenchRow> base = {rowWith("2qan", 0.010)};
+    std::vector<BenchRow> cur = {rowWith("qiskit_sabre", 99.0)};
+    EXPECT_TRUE(compareBench(base, cur, 0.25).empty());
+}
+
+TEST(Bench, CompareIgnoresSubMillisecondNoiseRows)
+{
+    // A 20 us row doubling is clock jitter, not a regression; the
+    // gate only applies above the minSeconds floor.
+    std::vector<BenchRow> base = {rowWith("2qan", 20e-6)};
+    std::vector<BenchRow> cur = {rowWith("2qan", 40e-6)};
+    EXPECT_TRUE(compareBench(base, cur, 0.25).empty());
+    EXPECT_EQ(compareBench(base, cur, 0.25, /*minSeconds=*/1e-6)
+                  .size(),
+              1u);
+}
+
+TEST(Bench, CompareSkipsFailedRows)
+{
+    std::vector<BenchRow> base = {rowWith("2qan", 0.010)};
+    std::vector<BenchRow> cur = {rowWith("2qan", 99.0)};
+    cur[0].error = "exploded";
+    EXPECT_TRUE(compareBench(base, cur, 0.25).empty());
+}

@@ -19,8 +19,7 @@ namespace {
 
 MapperRequest
 requestFor(const qcir::Circuit &c, const device::Topology &topo,
-           const std::vector<std::vector<double>> &dist,
-           std::uint64_t seed)
+           const linalg::FlatMatrix &dist, std::uint64_t seed)
 {
     MapperRequest req;
     req.circuit = &c;
@@ -71,10 +70,11 @@ TEST(MapperRegistry, CustomStrategyPlugsIn)
         }
     };
 
-    if (!hasMapper("test_reverse"))
+    if (!hasMapper("test_reverse")) {
         EXPECT_TRUE(registerMapper("test_reverse", []() {
             return std::unique_ptr<Mapper>(new ReverseMapper);
         }));
+    }
     // Duplicate registration is refused, not overwritten.
     EXPECT_FALSE(registerMapper("test_reverse", []() {
         return std::unique_ptr<Mapper>(new ReverseMapper);
@@ -181,8 +181,7 @@ TEST(TabuParallel, NoiseAwareTrialsShareTheSamePath)
 TEST(TabuParallel, RejectsZeroTrials)
 {
     device::Topology topo = device::line(4);
-    std::vector<std::vector<double>> f(4,
-                                       std::vector<double>(4, 0.0));
+    linalg::FlatMatrix f(4, 4);
     EXPECT_THROW(
         bestOfTabu(f, hopDistanceMatrix(topo), 1, 0, TabuOptions(), 2),
         std::invalid_argument);

@@ -94,8 +94,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TabuProperty, ::testing::Range(0, 8));
 
 TEST(Tabu, RejectsOversizedCircuit)
 {
-    std::vector<std::vector<double>> f(10,
-                                       std::vector<double>(10, 0.0));
+    linalg::FlatMatrix f(10, 10);
     device::Topology topo = device::line(5);
     std::mt19937_64 rng(1);
     EXPECT_THROW(tabuSearchQap(f, topo, rng), std::invalid_argument);

@@ -15,12 +15,14 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "core/profile.h"
 #include "core/sweep.h"
 
 using namespace tqan;
@@ -34,6 +36,23 @@ joined(const std::vector<std::string> &names, const char *sep)
     for (const auto &n : names)
         s += (s.empty() ? "" : sep) + n;
     return s;
+}
+
+/** Strict integer flag parse: rejects trailing garbage instead of
+ * silently truncating like atoi ("--warmup two" must not mean 0). */
+int
+intFlag(const std::string &flag, const std::string &value)
+{
+    try {
+        size_t used = 0;
+        int v = std::stoi(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    std::fprintf(stderr, "tqan-sweep: bad integer '%s' for %s\n",
+                 value.c_str(), flag.c_str());
+    std::exit(2);
 }
 
 void
@@ -56,9 +75,115 @@ printHelp(std::FILE *out)
         "  --tables          also print the Table I/II aggregate\n"
         "                    grid (each baseline vs 2qan)\n"
         "  --tables-only     print only the aggregate grid\n"
+        "  --profile         print the profiling report (wall time\n"
+        "                    per pass / backend) to stderr\n"
         "  --spec-help       describe the sweep-spec format\n"
-        "  --help            show this help and exit\n",
+        "  --help            show this help and exit\n"
+        "\n"
+        "benchmark mode (perf-regression CI):\n"
+        "  --bench           time the grid instead of printing rows:\n"
+        "                    run it --warmup un-timed + --repeat\n"
+        "                    timed times and write per-job medians\n"
+        "                    as JSON to --out\n"
+        "  --warmup N        un-timed warmup runs (default 1)\n"
+        "  --repeat N        timed runs (default 5)\n"
+        "  --out FILE        bench JSON path (default\n"
+        "                    BENCH_pr3.json; '-' = stdout)\n"
+        "  --baseline FILE   compare medians against a previous\n"
+        "                    bench JSON; exit 3 when any job is\n"
+        "                    slower than baseline * (1 + tolerance)\n"
+        "                    (default 0.25, override with\n"
+        "                    TQAN_BENCH_TOLERANCE; rows under 0.1 ms\n"
+        "                    are never gated — clock jitter).\n"
+        "                    Refresh with TQAN_UPDATE_BASELINE=1.\n",
         joined(core::sweepPresetNames(), " | ").c_str());
+}
+
+int
+runBenchMode(const core::SweepSpec &spec, int jobs,
+             const core::BenchOptions &bo, const std::string &outFile,
+             const std::string &baselineFile)
+{
+    core::BatchCompiler bc({jobs});
+    std::vector<core::BenchRow> rows = core::runBench(spec, bc, bo);
+    std::string json =
+        core::benchJson(spec.experiment, bo, jobs, rows);
+
+    if (outFile == "-") {
+        std::fputs(json.c_str(), stdout);
+    } else {
+        std::ofstream out(outFile);
+        if (!out)
+            throw std::runtime_error("cannot write " + outFile);
+        out << json;
+        std::fprintf(stderr, "tqan-sweep: wrote %zu bench rows to %s\n",
+                     rows.size(), outFile.c_str());
+    }
+
+    int failed = 0;
+    for (const auto &row : rows)
+        if (!row.ok()) {
+            ++failed;
+            std::fprintf(stderr, "tqan-sweep: %s failed: %s\n",
+                         row.key().c_str(), row.error.c_str());
+        }
+    if (failed)
+        return 1;
+    if (baselineFile.empty())
+        return 0;
+
+    if (std::getenv("TQAN_UPDATE_BASELINE") != nullptr) {
+        std::ofstream out(baselineFile);
+        if (!out)
+            throw std::runtime_error("cannot write " + baselineFile);
+        out << json;
+        std::fprintf(stderr,
+                     "tqan-sweep: refreshed baseline %s; review "
+                     "with git diff\n",
+                     baselineFile.c_str());
+        return 0;
+    }
+
+    std::ifstream in(baselineFile);
+    if (!in)
+        throw std::runtime_error(
+            "cannot read baseline " + baselineFile +
+            " (create it with TQAN_UPDATE_BASELINE=1)");
+    std::vector<core::BenchRow> base = core::parseBenchJson(in);
+
+    double tolerance = 0.25;
+    if (const char *tol = std::getenv("TQAN_BENCH_TOLERANCE")) {
+        char *end = nullptr;
+        double parsed = std::strtod(tol, &end);
+        if (end == tol || *end != '\0' || parsed < 0.0)
+            throw std::runtime_error(
+                "bad TQAN_BENCH_TOLERANCE '" + std::string(tol) +
+                "' (want a fraction, e.g. 0.25)");
+        tolerance = parsed;
+    }
+    std::vector<core::BenchRegression> regressions =
+        core::compareBench(base, rows, tolerance);
+    for (const auto &r : regressions)
+        std::fprintf(stderr,
+                     "tqan-sweep: PERF REGRESSION %s: %.3f ms -> "
+                     "%.3f ms (x%.2f > x%.2f allowed)\n",
+                     r.key.c_str(), r.baselineSeconds * 1e3,
+                     r.currentSeconds * 1e3, r.ratio,
+                     1.0 + tolerance);
+    if (regressions.empty()) {
+        std::fprintf(stderr,
+                     "tqan-sweep: no perf regression vs %s "
+                     "(tolerance %.0f%%, %zu rows compared)\n",
+                     baselineFile.c_str(), tolerance * 100.0,
+                     base.size());
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "tqan-sweep: %zu of %zu rows regressed; refresh "
+                 "the baseline with TQAN_UPDATE_BASELINE=1 if "
+                 "intentional\n",
+                 regressions.size(), rows.size());
+    return 3;
 }
 
 } // namespace
@@ -67,8 +192,10 @@ int
 main(int argc, char **argv)
 {
     std::string specFile, preset, format = "csv";
-    int jobs = 1;
-    bool tables = false, tablesOnly = false;
+    std::string outFile = "BENCH_pr3.json", baselineFile;
+    int jobs = 1, warmup = 1, repeat = 5;
+    bool tables = false, tablesOnly = false, bench = false,
+         profile = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -90,13 +217,25 @@ main(int argc, char **argv)
         } else if (a == "--preset") {
             preset = next();
         } else if (a == "--jobs") {
-            jobs = std::atoi(next().c_str());
+            jobs = intFlag(a, next());
         } else if (a == "--format") {
             format = next();
         } else if (a == "--tables") {
             tables = true;
         } else if (a == "--tables-only") {
             tables = tablesOnly = true;
+        } else if (a == "--bench") {
+            bench = true;
+        } else if (a == "--warmup") {
+            warmup = intFlag(a, next());
+        } else if (a == "--repeat") {
+            repeat = intFlag(a, next());
+        } else if (a == "--out") {
+            outFile = next();
+        } else if (a == "--baseline") {
+            baselineFile = next();
+        } else if (a == "--profile") {
+            profile = true;
         } else if (!a.empty() && a[0] == '-' && a != "-") {
             std::fprintf(stderr,
                          "tqan-sweep: unknown option '%s' (run "
@@ -127,6 +266,13 @@ main(int argc, char **argv)
         std::fprintf(stderr, "tqan-sweep: --jobs must be >= 1\n");
         return 2;
     }
+    if (bench && (repeat < 1 || warmup < 0)) {
+        std::fprintf(stderr, "tqan-sweep: --repeat must be >= 1 and "
+                             "--warmup >= 0\n");
+        return 2;
+    }
+
+    core::profile::setEnabled(profile);
 
     try {
         core::SweepSpec spec;
@@ -139,6 +285,14 @@ main(int argc, char **argv)
             if (!f)
                 throw std::runtime_error("cannot open " + specFile);
             spec = core::parseSweepSpec(f);
+        }
+
+        if (bench) {
+            int rc = runBenchMode(spec, jobs, {warmup, repeat},
+                                  outFile, baselineFile);
+            if (profile)
+                std::fputs(core::profile::report().c_str(), stderr);
+            return rc;
         }
 
         core::BatchCompiler bc({jobs});
@@ -183,6 +337,8 @@ main(int argc, char **argv)
                  core::aggregateTables(rows, "2qan", baselines))
                 std::printf("%s\n", core::toCsv(t).c_str());
         }
+        if (profile)
+            std::fputs(core::profile::report().c_str(), stderr);
         return failed ? 1 : 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "tqan-sweep: error: %s\n", e.what());

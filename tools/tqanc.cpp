@@ -24,6 +24,7 @@
 #include "core/backend.h"
 #include "core/compiler.h"
 #include "core/metrics.h"
+#include "core/profile.h"
 #include "decomp/pass.h"
 #include "device/devices.h"
 #include "ham/parser.h"
@@ -66,6 +67,8 @@ printHelp(std::FILE *out)
         "  --seed S          RNG seed (default 7)\n"
         "  --qasm            print the decomposed circuit "
         "(CNOT/CZ only)\n"
+        "  --profile         print a wall-time profile (per pass,\n"
+        "                    per kernel) to stderr after compiling\n"
         "  --help            show this help and exit\n"
         "\n"
         "2qan-pipeline options (rejected for other backends):\n"
@@ -123,7 +126,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 7;
     int jobs = 1, trials = 5;
     bool noise_aware = false, no_unify = false,
-         generic_sched = false, qasm = false;
+         generic_sched = false, qasm = false, profile = false;
     /** 2QAN-only options the user set explicitly, so selecting a
      * baseline pipeline can reject them instead of silently ignoring
      * them (wrong ablation conclusions otherwise). */
@@ -167,6 +170,8 @@ main(int argc, char **argv)
                 tqan_only.push_back(a);
             } else if (a == "--qasm")
                 qasm = true;
+            else if (a == "--profile")
+                profile = true;
             else
                 throw std::runtime_error(
                     "unknown option '" + a +
@@ -183,6 +188,8 @@ main(int argc, char **argv)
                      tqan_only.front().c_str(), pipeline.c_str());
         return 2;
     }
+
+    core::profile::setEnabled(profile);
 
     try {
         ham::TwoLocalHamiltonian h = [&]() {
@@ -244,6 +251,9 @@ main(int argc, char **argv)
                           res.sched.deviceCircuit);
             std::cout << qcir::toQasm(hw);
         }
+
+        if (profile)
+            std::fputs(core::profile::report().c_str(), stderr);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "tqanc: error: %s\n", e.what());
         return 1;
