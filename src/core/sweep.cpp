@@ -1,6 +1,7 @@
 #include "core/sweep.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <istream>
@@ -13,6 +14,10 @@
 #include "ham/models.h"
 #include "ham/qaoa.h"
 #include "ham/trotter.h"
+#include "sim/engine.h"
+#include "sim/noise.h"
+#include "sim/reference.h"
+#include "sim/statevector.h"
 
 namespace tqan {
 namespace core {
@@ -101,6 +106,81 @@ sweepCompileSeed(Benchmark b, int n, int instance,
 {
     return (sweepInstanceSeed(b, n, instance) ^ fnv1a64(backend)) +
            base * kSeedStride;
+}
+
+namespace {
+
+/** A sim case's inputs, built once so timed repeats cover only the
+ * simulation itself (not graph/circuit construction or thread-pool
+ * spawn). */
+struct SimWorkload
+{
+    graph::Graph g{1, {}};
+    qcir::Circuit circ{1};
+    sim::NoiseModel nm;
+    std::uint64_t trajSeed = 0;
+};
+
+SimWorkload
+prepareSimCase(const SimBenchCase &c, std::uint64_t baseSeed)
+{
+    if (c.n < 4 || c.n % 2 != 0)
+        throw std::invalid_argument(
+            "runSimCase: n must be even and >= 4 (3-regular "
+            "graph)");
+    if (c.layers < 1 || c.shots < 0)
+        throw std::invalid_argument("runSimCase: bad layers/shots");
+
+    // Same instance-seeding convention as the compile sweeps, so a
+    // sim case and a QAOA_REG3 compile row of equal (n, instance)
+    // describe the same graph.
+    const std::uint64_t instSeed =
+        sweepInstanceSeed(Benchmark::QaoaReg3, c.n, c.instance) +
+        baseSeed * kSeedStride;
+    SimWorkload w;
+    std::mt19937_64 grng(instSeed);
+    w.g = graph::randomRegularGraph(c.n, 3, grng);
+    w.circ =
+        ham::qaoaStateCircuit(w.g, ham::qaoaFixedAngles(c.layers));
+    w.nm = sim::montrealNoise();
+    w.trajSeed = instSeed ^ kSeedStride;
+    return w;
+}
+
+double
+runPreparedSimCase(const SimWorkload &w, const SimBenchCase &c,
+                   const sim::Engine *eng)
+{
+    if (c.shots > 0) {
+        if (c.reference) {
+            std::mt19937_64 rng(w.trajSeed);
+            return sim::ref::refNoisyExpectationZZ(
+                w.circ, c.n, w.g.edges(), w.nm, c.shots, rng);
+        }
+        return sim::noisyExpectationZZ(w.circ, c.n, w.g.edges(),
+                                       w.nm, c.shots, w.trajSeed,
+                                       eng);
+    }
+    if (c.reference) {
+        sim::ref::RefStatevector psi(c.n);
+        psi.applyCircuit(w.circ);
+        return psi.expectationZZ(w.g.edges());
+    }
+    sim::Statevector psi(c.n, eng);
+    psi.applyCircuit(w.circ);
+    return psi.expectationZZ(w.g.edges());
+}
+
+} // namespace
+
+double
+runSimCase(const SimBenchCase &c, std::uint64_t baseSeed, int jobs)
+{
+    SimWorkload w = prepareSimCase(c, baseSeed);
+    if (c.reference)
+        return runPreparedSimCase(w, c, nullptr);
+    sim::Engine eng(jobs);
+    return runPreparedSimCase(w, c, &eng);
 }
 
 SweepUnit
@@ -289,6 +369,26 @@ parseSweepSpec(std::istream &in)
             spec.trials = specInt(key, one());
         } else if (key == "mapper_jobs" && family.empty()) {
             spec.mapperJobs = specInt(key, one());
+        } else if (key == "sim" && family.empty()) {
+            // sim = LABEL N LAYERS SHOTS [INSTANCE] [reference]
+            // Appends one simulation bench case per line.
+            SimBenchCase sc;
+            bool hasRef =
+                !vals.empty() && vals.back() == "reference";
+            size_t nvals = vals.size() - (hasRef ? 1 : 0);
+            if (nvals < 4 || nvals > 5)
+                throw std::invalid_argument(
+                    "sweep spec line " + std::to_string(lineno) +
+                    ": sim takes LABEL N LAYERS SHOTS [INSTANCE] "
+                    "[reference]");
+            sc.label = vals[0];
+            sc.n = specInt(key, vals[1]);
+            sc.layers = specInt(key, vals[2]);
+            sc.shots = specInt(key, vals[3]);
+            if (nvals == 5)
+                sc.instance = specInt(key, vals[4]);
+            sc.reference = hasRef;
+            spec.simCases.push_back(std::move(sc));
         } else {
             throw std::invalid_argument(
                 "sweep spec line " + std::to_string(lineno) +
@@ -325,7 +425,14 @@ sweepSpecHelp()
         "  sizes.FAM / instances.FAM / backends.FAM override the\n"
         "  global value for one family, e.g.\n"
         "    sizes.QAOA_REG3 = 4 6 8\n"
-        "    backends.QAOA_REG3 = 2qan qiskit_sabre ic_qaoa\n";
+        "    backends.QAOA_REG3 = 2qan qiskit_sabre ic_qaoa\n"
+        "\n"
+        "  sim = LABEL N LAYERS SHOTS [INSTANCE] [reference]\n"
+        "  appends one simulation-throughput case (--bench only):\n"
+        "  p-layer QAOA on a random 3-regular graph, SHOTS noisy\n"
+        "  trajectories (0 = one noiseless pass); 'reference' times\n"
+        "  the pre-engine simulator instead.  A spec may be\n"
+        "  sim-only: sim lines and no devices.\n";
 }
 
 SweepSpec
@@ -355,6 +462,24 @@ sweepPreset(const std::string &name)
         s.backends = {"2qan", "qiskit_sabre", "tket_like"};
         s.sizes = {6};
         s.trials = 3;
+        // One simulation-throughput row so the CI perf gate also
+        // guards the sim engine (big enough to clear the bench
+        // jitter floor, small enough for a smoke run).
+        s.simCases = {{"qaoa_p1_traj16", 14, 1, 16, 0, false}};
+        return s;
+    }
+    if (name == "fidelity") {
+        // Simulation-throughput microbenchmarks (--bench only): the
+        // 20-qubit p=1 QAOA trajectory batch of the PR 4 acceptance
+        // criterion plus a noiseless 22-qubit pass, each timed on
+        // the engine and on the verbatim pre-engine simulator so
+        // BENCH_pr4.json records the speedup on one grid.
+        s.simCases = {
+            {"qaoa_p1_traj64", 20, 1, 64, 0, false},
+            {"qaoa_p1_traj64", 20, 1, 64, 0, true},
+            {"qaoa_p1_state", 22, 1, 0, 0, false},
+            {"qaoa_p1_state", 22, 1, 0, 0, true},
+        };
         return s;
     }
     if (name == "table1_table2") {
@@ -386,13 +511,14 @@ sweepPreset(const std::string &name)
     }
     throw std::invalid_argument(
         "unknown sweep preset '" + name + "' (available: golden | "
-        "smoke | table1_table2 | figures)");
+        "smoke | table1_table2 | figures | fidelity)");
 }
 
 std::vector<std::string>
 sweepPresetNames()
 {
-    return {"golden", "smoke", "table1_table2", "figures"};
+    return {"golden", "smoke", "table1_table2", "figures",
+            "fidelity"};
 }
 
 ExpandedSweep
@@ -721,50 +847,103 @@ runBench(const SweepSpec &spec, const BatchCompiler &bc,
     if (opt.warmup < 0)
         throw std::invalid_argument("runBench: warmup < 0");
 
-    ExpandedSweep ex = expandSweep(spec);
-    for (int w = 0; w < opt.warmup; ++w)
-        bc.run(ex.jobs);
+    std::vector<BenchRow> rows;
 
-    size_t njobs = ex.jobs.size();
-    std::vector<std::vector<double>> seconds(njobs), mapping(njobs),
-        routing(njobs), scheduling(njobs);
-    std::vector<std::string> errors(njobs);
-    for (int r = 0; r < opt.repeat; ++r) {
-        std::vector<BatchJobResult> results = bc.run(ex.jobs);
-        for (size_t i = 0; i < njobs; ++i) {
-            if (!results[i].ok()) {
-                errors[i] = results[i].error;
-                continue;
+    // Compile-throughput rows (skipped entirely for sim-only specs
+    // like the `fidelity` preset).
+    if (!(spec.devices.empty() && !spec.simCases.empty())) {
+        ExpandedSweep ex = expandSweep(spec);
+        for (int w = 0; w < opt.warmup; ++w)
+            bc.run(ex.jobs);
+
+        size_t njobs = ex.jobs.size();
+        std::vector<std::vector<double>> seconds(njobs),
+            mapping(njobs), routing(njobs), scheduling(njobs);
+        std::vector<std::string> errors(njobs);
+        for (int r = 0; r < opt.repeat; ++r) {
+            std::vector<BatchJobResult> results = bc.run(ex.jobs);
+            for (size_t i = 0; i < njobs; ++i) {
+                if (!results[i].ok()) {
+                    errors[i] = results[i].error;
+                    continue;
+                }
+                seconds[i].push_back(results[i].seconds);
+                mapping[i].push_back(
+                    results[i].result.mappingSeconds);
+                routing[i].push_back(
+                    results[i].result.routingSeconds);
+                scheduling[i].push_back(
+                    results[i].result.schedulingSeconds);
             }
-            seconds[i].push_back(results[i].seconds);
-            mapping[i].push_back(results[i].result.mappingSeconds);
-            routing[i].push_back(results[i].result.routingSeconds);
-            scheduling[i].push_back(
-                results[i].result.schedulingSeconds);
+        }
+
+        rows.resize(njobs);
+        for (size_t i = 0; i < njobs; ++i) {
+            BenchRow &b = rows[i];
+            const SweepRow &meta = ex.rows[i];
+            b.benchmark = meta.benchmark;
+            b.device = meta.device;
+            b.gateset = meta.gateset;
+            b.backend = meta.backend;
+            b.nqubits = meta.nqubits;
+            b.instance = meta.instance;
+            b.error = errors[i];
+            if (!b.ok() || seconds[i].empty())
+                continue;
+            b.medianSeconds = medianOf(seconds[i]);
+            b.minSeconds = *std::min_element(seconds[i].begin(),
+                                             seconds[i].end());
+            b.maxSeconds = *std::max_element(seconds[i].begin(),
+                                             seconds[i].end());
+            b.mappingSeconds = medianOf(mapping[i]);
+            b.routingSeconds = medianOf(routing[i]);
+            b.schedulingSeconds = medianOf(scheduling[i]);
         }
     }
 
-    std::vector<BenchRow> rows(njobs);
-    for (size_t i = 0; i < njobs; ++i) {
-        BenchRow &b = rows[i];
-        const SweepRow &meta = ex.rows[i];
-        b.benchmark = meta.benchmark;
-        b.device = meta.device;
-        b.gateset = meta.gateset;
-        b.backend = meta.backend;
-        b.nqubits = meta.nqubits;
-        b.instance = meta.instance;
-        b.error = errors[i];
-        if (!b.ok() || seconds[i].empty())
-            continue;
-        b.medianSeconds = medianOf(seconds[i]);
-        b.minSeconds =
-            *std::min_element(seconds[i].begin(), seconds[i].end());
-        b.maxSeconds =
-            *std::max_element(seconds[i].begin(), seconds[i].end());
-        b.mappingSeconds = medianOf(mapping[i]);
-        b.routingSeconds = medianOf(routing[i]);
-        b.schedulingSeconds = medianOf(scheduling[i]);
+    // Simulation-throughput rows.  The engine runs with the batch's
+    // worker count; every value it produces is identical for any
+    // jobs, only the wall time moves.
+    using Clock = std::chrono::steady_clock;
+    const int jobs = std::max(1, bc.options().jobs);
+    for (const SimBenchCase &c : spec.simCases) {
+        BenchRow b;
+        b.benchmark = c.label;
+        b.device = "simulator";
+        b.gateset = "exact";
+        b.backend = c.reference ? "reference" : "engine";
+        b.nqubits = c.n;
+        b.instance = c.instance;
+        std::vector<double> secs;
+        try {
+            // Workload and engine are built once: the timed window
+            // covers only the simulation (state allocation, gates,
+            // reduction), not graph/circuit generation or
+            // thread-pool spawn.
+            const SimWorkload w = prepareSimCase(c, spec.seed);
+            std::unique_ptr<sim::Engine> eng;
+            if (!c.reference)
+                eng.reset(new sim::Engine(jobs));
+            for (int i = 0; i < opt.warmup; ++i)
+                runPreparedSimCase(w, c, eng.get());
+            for (int r = 0; r < opt.repeat; ++r) {
+                auto t0 = Clock::now();
+                runPreparedSimCase(w, c, eng.get());
+                secs.push_back(std::chrono::duration<double>(
+                                   Clock::now() - t0)
+                                   .count());
+            }
+        } catch (const std::exception &e) {
+            b.error = e.what();
+        }
+        if (b.ok() && !secs.empty()) {
+            b.medianSeconds = medianOf(secs);
+            b.minSeconds =
+                *std::min_element(secs.begin(), secs.end());
+            b.maxSeconds =
+                *std::max_element(secs.begin(), secs.end());
+        }
+        rows.push_back(std::move(b));
     }
     return rows;
 }

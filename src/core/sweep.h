@@ -73,6 +73,30 @@ struct SweepDeviceSpec
 };
 
 /**
+ * One simulation-throughput benchmark case (`--bench` only): a
+ * p-layer QAOA workload on a random 3-regular graph, run on the
+ * sim engine (or, for the speedup denominators of BENCH_pr4.json,
+ * on the verbatim pre-engine reference simulator).  `shots > 0`
+ * times a noisy trajectory batch, `shots == 0` one noiseless
+ * statevector pass plus the cost expectation.
+ */
+struct SimBenchCase
+{
+    std::string label;      ///< BenchRow.benchmark of the row
+    int n = 0;              ///< qubits (3-regular graph nodes)
+    int layers = 1;         ///< QAOA p
+    int shots = 0;          ///< trajectories; 0 = noiseless pass
+    int instance = 0;       ///< graph instance index
+    bool reference = false; ///< time the pre-engine simulator
+};
+
+/** Execute one case once and return its <C> (kept observable so the
+ * compiler cannot elide the work; tests also pin it).  `jobs` sizes
+ * the engine — results are identical for every value. */
+double runSimCase(const SimBenchCase &c, std::uint64_t baseSeed,
+                  int jobs);
+
+/**
  * A declarative sweep: the grid plus the 2QAN pipeline knobs.  The
  * per-benchmark maps override the global lists for one family (the
  * figure sweeps use different sizes for chains and QAOA, and run
@@ -98,6 +122,10 @@ struct SweepSpec
     /** Worker threads *inside* each 2QAN job's mapper stage.  Batch
      * parallelism across jobs is the BatchCompiler's `jobs`. */
     int mapperJobs = 1;
+    /** Simulation-throughput rows appended by runBench() (ignored by
+     * runSweep — the CSV schema is compile metrics).  A spec may be
+     * sim-only: empty devices + non-empty simCases. */
+    std::vector<SimBenchCase> simCases;
 };
 
 /**

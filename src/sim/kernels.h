@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Strided statevector kernels.
+ *
+ * Every kernel enumerates exactly the composite indices it needs via
+ * bit-deposit index arithmetic — 2^(n-1) pairs for one-qubit gates,
+ * 2^(n-2) quartets for two-qubit gates — instead of walking all 2^n
+ * basis states and branch-skipping most of them.  All kernels take a
+ * composite-index range so the engine can fan blocks out over
+ * workers; ranges of distinct blocks touch disjoint amplitudes.
+ *
+ * Complex arithmetic is spelled out on raw doubles (cmul below): the
+ * library operator* carries the C99 Annex G infinity fix-up, which
+ * costs a compare+branch per multiply and blocks vectorization.
+ * Unitaries are finite by construction, so the plain formula is the
+ * right one in these loops.  The one-qubit kernels additionally walk
+ * the composite space in the contiguous runs below the target bit,
+ * so both streams of each pair advance linearly through memory.
+ *
+ * Kernel classes (dispatched by matrix structure in Statevector):
+ *  - generic 1q/2q: dense Mat2/Mat4 multiply;
+ *  - diagonal (Rz, CZ, RZZ/CPhase — the dominant class of 2QAN/QAOA
+ *    circuits): phase-only multiplies over the full index range, and
+ *    whole *runs* of diagonal gates collapse into a single sweep
+ *    (uniform ZZ runs into one popcount-indexed table lookup per
+ *    amplitude, see applyPackedPhase);
+ *  - anti-diagonal (X, Y): permutation times two coefficients;
+ *  - flip/sign/swap (X, Z, SWAP): pure permutation or sign kernels
+ *    with no complex multiplies at all;
+ *  - swap-like (iSWAP, ZZ-dressed SWAP): permutation times four
+ *    coefficients.
+ *
+ * The local two-qubit frame matches qcir::Op: q0 is bit 0 of the 4x4
+ * matrix, q1 is bit 1, independent of which device index is larger.
+ */
+
+#ifndef TQAN_SIM_KERNELS_H
+#define TQAN_SIM_KERNELS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "linalg/matrix.h"
+
+namespace tqan {
+namespace sim {
+namespace kern {
+
+using linalg::Cx;
+
+/** Branch-free complex multiply (operands finite by construction). */
+inline Cx
+cmul(Cx a, Cx b)
+{
+    return Cx(a.real() * b.real() - a.imag() * b.imag(),
+              a.real() * b.imag() + a.imag() * b.real());
+}
+
+/** Spread k over the bit positions != q (insert a 0 bit at q). */
+inline std::uint64_t
+deposit1(std::uint64_t k, int q)
+{
+    const std::uint64_t low = (std::uint64_t(1) << q) - 1;
+    return ((k & ~low) << 1) | (k & low);
+}
+
+/** Insert 0 bits at positions qlo < qhi. */
+inline std::uint64_t
+deposit2(std::uint64_t k, int qlo, int qhi)
+{
+    const std::uint64_t mlo = (std::uint64_t(1) << qlo) - 1;
+    const std::uint64_t mhi = (std::uint64_t(1) << (qhi - 1)) - 1;
+    return ((k & ~mhi) << 2) | ((k & mhi & ~mlo) << 1) | (k & mlo);
+}
+
+inline int
+popcount64(std::uint64_t x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(x);
+#else
+    int c = 0;
+    for (; x; x &= x - 1)
+        ++c;
+    return c;
+#endif
+}
+
+/** Generic dense 1q multiply over composite pairs [kBegin, kEnd),
+ * walked in the contiguous runs below bit q. */
+inline void
+apply1qGeneric(Cx *amp, int q, const linalg::Mat2 &u,
+               std::uint64_t kBegin, std::uint64_t kEnd)
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    const Cx u00 = u.at(0, 0), u01 = u.at(0, 1);
+    const Cx u10 = u.at(1, 0), u11 = u.at(1, 1);
+    std::uint64_t k = kBegin;
+    while (k < kEnd) {
+        const std::uint64_t lo = k & (bit - 1);
+        const std::uint64_t runEnd = std::min(kEnd, k - lo + bit);
+        std::uint64_t i0 = deposit1(k, q);
+        for (; k < runEnd; ++k, ++i0) {
+            const Cx a0 = amp[i0], a1 = amp[i0 | bit];
+            amp[i0] = cmul(u00, a0) + cmul(u01, a1);
+            amp[i0 | bit] = cmul(u10, a0) + cmul(u11, a1);
+        }
+    }
+}
+
+/** Diagonal 1q: amp[i] *= d[bit q of i] over indices [iBegin,
+ * iEnd) — every amplitude is touched exactly once. */
+inline void
+apply1qDiag(Cx *amp, int q, Cx d0, Cx d1, std::uint64_t iBegin,
+            std::uint64_t iEnd)
+{
+    const Cx d[2] = {d0, d1};
+    for (std::uint64_t i = iBegin; i < iEnd; ++i)
+        amp[i] = cmul(amp[i], d[(i >> q) & 1]);
+}
+
+/** Anti-diagonal 1q (X/Y class): a0' = u01 a1, a1' = u10 a0. */
+inline void
+apply1qAnti(Cx *amp, int q, Cx u01, Cx u10, std::uint64_t kBegin,
+            std::uint64_t kEnd)
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    std::uint64_t k = kBegin;
+    while (k < kEnd) {
+        const std::uint64_t lo = k & (bit - 1);
+        const std::uint64_t runEnd = std::min(kEnd, k - lo + bit);
+        std::uint64_t i0 = deposit1(k, q);
+        for (; k < runEnd; ++k, ++i0) {
+            const Cx a0 = amp[i0];
+            amp[i0] = cmul(u01, amp[i0 | bit]);
+            amp[i0 | bit] = cmul(u10, a0);
+        }
+    }
+}
+
+/** Pauli X: pure pair permutation, no multiplies. */
+inline void
+apply1qFlip(Cx *amp, int q, std::uint64_t kBegin, std::uint64_t kEnd)
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    for (std::uint64_t k = kBegin; k < kEnd; ++k) {
+        const std::uint64_t i0 = deposit1(k, q);
+        std::swap(amp[i0], amp[i0 | bit]);
+    }
+}
+
+/** Pauli Z: sign flip on the set-bit half only. */
+inline void
+apply1qSign(Cx *amp, int q, std::uint64_t kBegin, std::uint64_t kEnd)
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    for (std::uint64_t k = kBegin; k < kEnd; ++k) {
+        const std::uint64_t i1 = deposit1(k, q) | bit;
+        amp[i1] = -amp[i1];
+    }
+}
+
+/** Generic dense 2q multiply over composite quartets.  Local frame:
+ * q0 is bit 0 of u, matching Op::unitary4(). */
+inline void
+apply2qGeneric(Cx *amp, int q0, int q1, const linalg::Mat4 &u,
+               std::uint64_t kBegin, std::uint64_t kEnd)
+{
+    const std::uint64_t b0 = std::uint64_t(1) << q0;
+    const std::uint64_t b1 = std::uint64_t(1) << q1;
+    const int qlo = q0 < q1 ? q0 : q1;
+    const int qhi = q0 < q1 ? q1 : q0;
+    const std::uint64_t bLo = std::uint64_t(1) << qlo;
+    Cx m[16];
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            m[r * 4 + c] = u.at(r, c);
+    std::uint64_t k = kBegin;
+    while (k < kEnd) {
+        const std::uint64_t lo = k & (bLo - 1);
+        const std::uint64_t runEnd = std::min(kEnd, k - lo + bLo);
+        std::uint64_t base = deposit2(k, qlo, qhi);
+        for (; k < runEnd; ++k, ++base) {
+            const std::uint64_t idx[4] = {base, base | b0, base | b1,
+                                          base | b0 | b1};
+            Cx v[4];
+            for (int c = 0; c < 4; ++c)
+                v[c] = amp[idx[c]];
+            for (int r = 0; r < 4; ++r) {
+                Cx s = cmul(m[r * 4], v[0]);
+                for (int c = 1; c < 4; ++c)
+                    s += cmul(m[r * 4 + c], v[c]);
+                amp[idx[r]] = s;
+            }
+        }
+    }
+}
+
+/** One diagonal two-qubit gate: the four phases in the local frame
+ * (bit 0 = q0).  The unit GateStream accumulates into runs. */
+struct DiagGate
+{
+    int q0 = -1;
+    int q1 = -1;
+    Cx d[4] = {Cx(1.0, 0.0), Cx(1.0, 0.0), Cx(1.0, 0.0),
+               Cx(1.0, 0.0)};
+};
+
+/** Diagonal 2q (RZZ / CZ / CPhase): phase-only multiply over the
+ * full index range [iBegin, iEnd). */
+inline void
+apply2qDiag(Cx *amp, int q0, int q1, const Cx d[4],
+            std::uint64_t iBegin, std::uint64_t iEnd)
+{
+    for (std::uint64_t i = iBegin; i < iEnd; ++i)
+        amp[i] = cmul(
+            amp[i], d[((i >> q0) & 1) | (((i >> q1) & 1) << 1)]);
+}
+
+/** A whole run of diagonal gates in ONE sweep: per amplitude, the
+ * product of every gate's phase at that index. */
+inline void
+applyDiagProduct(Cx *amp, const DiagGate *gates, int count,
+                 std::uint64_t iBegin, std::uint64_t iEnd)
+{
+    for (std::uint64_t i = iBegin; i < iEnd; ++i) {
+        Cx f = gates[0].d[((i >> gates[0].q0) & 1) |
+                          (((i >> gates[0].q1) & 1) << 1)];
+        for (int g = 1; g < count; ++g)
+            f = cmul(f, gates[g].d[((i >> gates[g].q0) & 1) |
+                                   (((i >> gates[g].q1) & 1) << 1)]);
+        amp[i] = cmul(amp[i], f);
+    }
+}
+
+/**
+ * Packed-parity phase sweep: the fused form of a uniform ZZ run (one
+ * QAOA cost layer).  Each gate's phase depends only on the parity of
+ * its qubit pair; the per-gate parity bits of index i are
+ * PL[i & loMask] ^ PH[i >> nlo] (split-index lookup tables built by
+ * the caller), and the run's total phase is tab[popcount(...)].
+ * One XOR + popcount + multiply per amplitude, however long the run.
+ */
+inline void
+applyPackedPhase(Cx *amp, const std::uint64_t *PL,
+                 const std::uint64_t *PH, int nlo, const Cx *tab,
+                 std::uint64_t iBegin, std::uint64_t iEnd)
+{
+    const std::uint64_t loMask = (std::uint64_t(1) << nlo) - 1;
+    for (std::uint64_t i = iBegin; i < iEnd; ++i)
+        amp[i] = cmul(
+            amp[i],
+            tab[popcount64(PL[i & loMask] ^ PH[i >> nlo])]);
+}
+
+/** Branchless blocked <sum ZZ> partial: per index, the number of
+ * odd-parity edges comes from the same split-index parity tables. */
+inline double
+sumZZPacked(const Cx *amp, const std::uint64_t *PL,
+            const std::uint64_t *PH, int nlo, double nedges,
+            std::uint64_t iBegin, std::uint64_t iEnd)
+{
+    const std::uint64_t loMask = (std::uint64_t(1) << nlo) - 1;
+    double s = 0.0;
+    for (std::uint64_t i = iBegin; i < iEnd; ++i) {
+        const int odd =
+            popcount64(PL[i & loMask] ^ PH[i >> nlo]);
+        const double re = amp[i].real(), im = amp[i].imag();
+        s += (re * re + im * im) * (nedges - 2.0 * odd);
+    }
+    return s;
+}
+
+/** SWAP: pure permutation of the |01> / |10> amplitudes. */
+inline void
+apply2qSwap(Cx *amp, int q0, int q1, std::uint64_t kBegin,
+            std::uint64_t kEnd)
+{
+    const std::uint64_t b0 = std::uint64_t(1) << q0;
+    const std::uint64_t b1 = std::uint64_t(1) << q1;
+    const int qlo = q0 < q1 ? q0 : q1;
+    const int qhi = q0 < q1 ? q1 : q0;
+    for (std::uint64_t k = kBegin; k < kEnd; ++k) {
+        const std::uint64_t base = deposit2(k, qlo, qhi);
+        std::swap(amp[base | b0], amp[base | b1]);
+    }
+}
+
+/** Swap-like (iSWAP, ZZ-dressed SWAP): permutation of the middle
+ * pair times four coefficients — u(0,0), u(1,2), u(2,1), u(3,3). */
+inline void
+apply2qSwapLike(Cx *amp, int q0, int q1, Cx c00, Cx c12, Cx c21,
+                Cx c33, std::uint64_t kBegin, std::uint64_t kEnd)
+{
+    const std::uint64_t b0 = std::uint64_t(1) << q0;
+    const std::uint64_t b1 = std::uint64_t(1) << q1;
+    const int qlo = q0 < q1 ? q0 : q1;
+    const int qhi = q0 < q1 ? q1 : q0;
+    for (std::uint64_t k = kBegin; k < kEnd; ++k) {
+        const std::uint64_t base = deposit2(k, qlo, qhi);
+        const Cx a01 = amp[base | b0];
+        amp[base] = cmul(amp[base], c00);
+        amp[base | b0] = cmul(c12, amp[base | b1]);
+        amp[base | b1] = cmul(c21, a01);
+        amp[base | b0 | b1] = cmul(amp[base | b0 | b1], c33);
+    }
+}
+
+} // namespace kern
+} // namespace sim
+} // namespace tqan
+
+#endif // TQAN_SIM_KERNELS_H

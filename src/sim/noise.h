@@ -14,6 +14,7 @@
 #ifndef TQAN_SIM_NOISE_H
 #define TQAN_SIM_NOISE_H
 
+#include <cstdint>
 #include <random>
 
 #include "qcir/circuit.h"
@@ -22,8 +23,11 @@
 namespace tqan {
 namespace sim {
 
-/** Calibration data (defaults: IBMQ Montreal on 2021-10-29 as
- * reported in the paper, Sec. IV). */
+class Engine;
+
+/** Calibration data.  The field defaults mirror montrealNoise()
+ * (IBMQ Montreal on 2021-10-29 as reported in the paper, Sec. IV);
+ * edit both together — the engine tests pin montrealNoise(). */
 struct NoiseModel
 {
     double err2q = 0.01241;   ///< average CNOT error rate
@@ -50,7 +54,28 @@ void runNoisyTrajectory(Statevector &psi, const qcir::Circuit &c,
  * Monte-Carlo estimate of <sum ZZ> over `edges` for a noisy circuit,
  * averaged over `shots` trajectories (exact expectation per
  * trajectory, so variance comes only from the error locations).
+ *
+ * Shot s runs on its own generator seeded `seed ^ (s * golden)`
+ * (the mapper's per-trial derivation scheme lifted to trajectories,
+ * golden-ratio strided so adjacent batch seeds do not share shot
+ * seeds) and the per-shot expectations are combined in shot order,
+ * so the result is bit-identical for any Engine worker count.  Pass
+ * an Engine to batch the trajectories over its pool; each shot's
+ * statevector stays serial (whole shots are the unit of
+ * parallelism).
  */
+double noisyExpectationZZ(const qcir::Circuit &c, int numQubits,
+                          const std::vector<graph::Edge> &edges,
+                          const NoiseModel &nm, int shots,
+                          std::uint64_t seed,
+                          const Engine *eng = nullptr);
+
+/** Convenience overload: derives the batch seed with one rng draw,
+ * then runs the seeded serial path above.  NOTE: this is the old
+ * signature but not the old sampling scheme — pre-engine callers
+ * consumed the rng sequentially across shots, so a fixed rng seed
+ * yields different (statistically equivalent) estimates than before
+ * and advances the rng by one draw instead of many. */
 double noisyExpectationZZ(const qcir::Circuit &c, int numQubits,
                           const std::vector<graph::Edge> &edges,
                           const NoiseModel &nm, int shots,

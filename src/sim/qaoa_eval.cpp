@@ -30,10 +30,20 @@ trajectoryRatio(const qcir::Circuit &device,
                 const std::vector<graph::Edge> &costEdges, int cmin,
                 const NoiseModel &nm, int shots, std::mt19937_64 &rng)
 {
+    return trajectoryRatio(device, costEdges, cmin, nm, shots, rng(),
+                           nullptr);
+}
+
+double
+trajectoryRatio(const qcir::Circuit &device,
+                const std::vector<graph::Edge> &costEdges, int cmin,
+                const NoiseModel &nm, int shots, std::uint64_t seed,
+                const Engine *eng)
+{
     if (cmin == 0)
         throw std::invalid_argument("trajectoryRatio: degenerate C");
     double e = noisyExpectationZZ(device, device.numQubits(),
-                                  costEdges, nm, shots, rng);
+                                  costEdges, nm, shots, seed, eng);
     return e / cmin;
 }
 

@@ -46,6 +46,15 @@ double trajectoryRatio(const qcir::Circuit &device,
                        int cmin, const NoiseModel &nm, int shots,
                        std::mt19937_64 &rng);
 
+/** Seeded variant: per-shot derived seeds (the golden-ratio-strided
+ * scheme of noisyExpectationZZ, see noise.h), shots batched over
+ * `eng` when given; bit-identical for any worker count. */
+double trajectoryRatio(const qcir::Circuit &device,
+                       const std::vector<graph::Edge> &costEdges,
+                       int cmin, const NoiseModel &nm, int shots,
+                       std::uint64_t seed,
+                       const Engine *eng = nullptr);
+
 /**
  * Re-index a device circuit onto the compact register of qubits it
  * actually touches.  @param qubitMap output: old device qubit ->

@@ -1,0 +1,200 @@
+#include "sim/reference.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tqan {
+namespace sim {
+namespace ref {
+
+using linalg::Cx;
+using linalg::Mat2;
+using linalg::Mat4;
+
+RefStatevector::RefStatevector(int n) : n_(n)
+{
+    if (n < 1 || n > 26)
+        throw std::invalid_argument("RefStatevector: 1 <= n <= 26");
+    amp_.assign(std::uint64_t(1) << n, Cx(0.0, 0.0));
+    amp_[0] = 1.0;
+}
+
+double
+RefStatevector::probability(std::uint64_t basis) const
+{
+    return std::norm(amp_[basis]);
+}
+
+double
+RefStatevector::norm() const
+{
+    double s = 0.0;
+    for (const auto &a : amp_)
+        s += std::norm(a);
+    return std::sqrt(s);
+}
+
+void
+RefStatevector::apply1q(int q, const Mat2 &u)
+{
+    const std::uint64_t bit = std::uint64_t(1) << q;
+    const std::uint64_t dimv = dim();
+    for (std::uint64_t i = 0; i < dimv; ++i) {
+        if (i & bit)
+            continue;
+        Cx a0 = amp_[i], a1 = amp_[i | bit];
+        amp_[i] = u.at(0, 0) * a0 + u.at(0, 1) * a1;
+        amp_[i | bit] = u.at(1, 0) * a0 + u.at(1, 1) * a1;
+    }
+}
+
+void
+RefStatevector::apply2q(int q0, int q1, const Mat4 &u)
+{
+    const std::uint64_t b0 = std::uint64_t(1) << q0;
+    const std::uint64_t b1 = std::uint64_t(1) << q1;
+    const std::uint64_t dimv = dim();
+    for (std::uint64_t i = 0; i < dimv; ++i) {
+        if ((i & b0) || (i & b1))
+            continue;
+        // Local index: bit 0 = q0, bit 1 = q1.
+        std::uint64_t idx[4] = {i, i | b0, i | b1, i | b0 | b1};
+        Cx v[4];
+        for (int k = 0; k < 4; ++k)
+            v[k] = amp_[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Cx s = 0.0;
+            for (int c = 0; c < 4; ++c)
+                s += u.at(r, c) * v[c];
+            amp_[idx[r]] = s;
+        }
+    }
+}
+
+void
+RefStatevector::applyOp(const qcir::Op &op)
+{
+    if (op.isTwoQubit())
+        apply2q(op.q0, op.q1, op.unitary4());
+    else
+        apply1q(op.q0, op.unitary2());
+}
+
+void
+RefStatevector::applyCircuit(const qcir::Circuit &c)
+{
+    if (c.numQubits() > n_)
+        throw std::invalid_argument(
+            "applyCircuit: register too big");
+    for (const auto &op : c.ops())
+        applyOp(op);
+}
+
+void
+RefStatevector::applyPauli(int q, char axis)
+{
+    switch (axis) {
+      case 'X':
+        apply1q(q, linalg::pauliX());
+        break;
+      case 'Y':
+        apply1q(q, linalg::pauliY());
+        break;
+      case 'Z':
+        apply1q(q, linalg::pauliZ());
+        break;
+      default:
+        throw std::invalid_argument("applyPauli: bad axis");
+    }
+}
+
+double
+RefStatevector::expectationZZ(
+    const std::vector<graph::Edge> &edges) const
+{
+    double total = 0.0;
+    const std::uint64_t dimv = dim();
+    for (std::uint64_t i = 0; i < dimv; ++i) {
+        double p = std::norm(amp_[i]);
+        if (p == 0.0)
+            continue;
+        int c = 0;
+        for (const auto &[u, v] : edges) {
+            bool same = (((i >> u) ^ (i >> v)) & 1) == 0;
+            c += same ? 1 : -1;
+        }
+        total += p * c;
+    }
+    return total;
+}
+
+double
+RefStatevector::fidelityWith(const RefStatevector &other) const
+{
+    if (other.n_ != n_)
+        throw std::invalid_argument("fidelityWith: size mismatch");
+    Cx ov = 0.0;
+    for (std::uint64_t i = 0; i < dim(); ++i)
+        ov += std::conj(other.amp_[i]) * amp_[i];
+    return std::abs(ov);
+}
+
+std::uint64_t
+RefStatevector::sample(std::mt19937_64 &rng) const
+{
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    double r = uni(rng);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < dim(); ++i) {
+        acc += std::norm(amp_[i]);
+        if (r <= acc)
+            return i;
+    }
+    return dim() - 1;
+}
+
+void
+refRunNoisyTrajectory(RefStatevector &psi, const qcir::Circuit &c,
+                      const NoiseModel &nm, std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_int_distribution<int> pauli3(0, 2);
+    std::uniform_int_distribution<int> pauli15(1, 15);
+    const char axes[3] = {'X', 'Y', 'Z'};
+
+    for (const auto &op : c.ops()) {
+        psi.applyOp(op);
+        if (op.isTwoQubit()) {
+            if (uni(rng) < nm.err2q) {
+                int code = pauli15(rng);
+                int p0 = code & 3, p1 = (code >> 2) & 3;
+                if (p0)
+                    psi.applyPauli(op.q0, axes[p0 - 1]);
+                if (p1)
+                    psi.applyPauli(op.q1, axes[p1 - 1]);
+            }
+        } else {
+            if (uni(rng) < nm.err1q)
+                psi.applyPauli(op.q0, axes[pauli3(rng)]);
+        }
+    }
+}
+
+double
+refNoisyExpectationZZ(const qcir::Circuit &c, int numQubits,
+                      const std::vector<graph::Edge> &edges,
+                      const NoiseModel &nm, int shots,
+                      std::mt19937_64 &rng)
+{
+    double acc = 0.0;
+    for (int s = 0; s < shots; ++s) {
+        RefStatevector psi(numQubits);
+        refRunNoisyTrajectory(psi, c, nm, rng);
+        acc += psi.expectationZZ(edges);
+    }
+    return acc / shots;
+}
+
+} // namespace ref
+} // namespace sim
+} // namespace tqan

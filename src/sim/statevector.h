@@ -1,12 +1,18 @@
 /**
  * @file
- * Dense statevector simulator.
+ * Dense statevector simulator — the high-throughput engine behind
+ * every fidelity/QAOA number (paper Fig. 10/13 substitutes) and the
+ * verification backend of the integration tests.
  *
- * Substitute for the paper's hardware runs (Fig. 10): executes the
- * compiled circuits exactly (every op exposes its unitary) and
- * evaluates QAOA cost expectations.  Also the verification engine of
- * the integration tests: decomposed circuits are replayed and
- * compared against their application-level sources.
+ * Kernel design (see kernels.h): gates enumerate exactly their
+ * 2^(n-1) / 2^(n-2) composite indices via bit-deposit arithmetic on
+ * a 64-byte-aligned amplitude buffer; diagonal gates (Rz, CZ,
+ * RZZ/CPhase — the dominant class of 2QAN/QAOA circuits) run as
+ * phase-only multiplies, X/Z/SWAP as permutation/sign kernels, and
+ * applyCircuit fuses runs of single-qubit gates per qubit into one
+ * Mat2 before touching the state.  Attach an Engine to run kernels
+ * and reductions block-parallel — the block grid is fixed, so every
+ * result is bit-identical for any worker count.
  *
  * Qubit 0 is the least significant bit of the basis index, matching
  * the Op unitary convention (op.q0 = local bit 0).
@@ -21,15 +27,31 @@
 
 #include "graph/graph.h"
 #include "qcir/circuit.h"
+#include "sim/aligned.h"
+#include "sim/kernels.h"
 
 namespace tqan {
 namespace sim {
 
+class Engine;
+
 class Statevector
 {
   public:
-    /** |0...0> on n qubits (n <= 26 guarded). */
-    explicit Statevector(int n);
+    /** Hard qubit ceiling: 2^30 amplitudes = 16 GiB. */
+    static constexpr int kMaxQubits = 30;
+
+    /**
+     * |0...0> on n qubits (1 <= n <= 30).  The amplitude buffer is
+     * allocated eagerly with an explicit size check: exceeding the
+     * ceiling throws invalid_argument, an allocation failure
+     * rethrows as runtime_error naming the byte count.
+     *
+     * @param eng optional block-parallel execution engine (non-owned,
+     *        must outlive the state).  Null = serial; results are
+     *        identical either way.
+     */
+    explicit Statevector(int n, const Engine *eng = nullptr);
 
     int numQubits() const { return n_; }
     std::uint64_t dim() const { return std::uint64_t(1) << n_; }
@@ -41,29 +63,103 @@ class Statevector
     double probability(std::uint64_t basis) const;
     double norm() const;
 
+    /** Apply a one-qubit unitary; dispatches to the diagonal /
+     * anti-diagonal / generic kernel by matrix structure. */
     void apply1q(int q, const linalg::Mat2 &u);
-    /** q0 is local bit 0 of the 4x4 unitary (Op convention). */
+    /** q0 is local bit 0 of the 4x4 unitary (Op convention);
+     * dispatches diagonal and swap-like structures to specialized
+     * kernels. */
     void apply2q(int q0, int q1, const linalg::Mat4 &u);
     /** Apply any circuit op via its exact unitary. */
     void applyOp(const qcir::Op &op);
+    /** Apply a circuit, fusing runs of single-qubit gates per qubit
+     * into one Mat2 before touching the state. */
     void applyCircuit(const qcir::Circuit &c);
-    /** Pauli injection for stochastic noise (axis in {X, Y, Z}). */
+    /** Pauli injection for stochastic noise (axis in {X, Y, Z});
+     * pure permutation / sign kernels. */
     void applyPauli(int q, char axis);
+
+    /** Apply a run of mutually commuting diagonal two-qubit gates in
+     * one sweep.  Uniform parity-symmetric runs (a QAOA ZZ layer)
+     * collapse further, to one popcount-indexed table lookup per
+     * amplitude. */
+    void applyDiagRun(const std::vector<kern::DiagGate> &run);
 
     /** <psi| sum_{(u,v) in E} Z_u Z_v |psi> (QAOA cost operator). */
     double expectationZZ(const graph::Graph &g) const;
-    /** Same but with edges given directly (device-qubit pairs). */
+    /** Same but with edges given directly (device-qubit pairs);
+     * branchless per-edge bitmask + popcount parity. */
     double expectationZZ(const std::vector<graph::Edge> &edges) const;
 
     /** |<other|this>|. */
     double fidelityWith(const Statevector &other) const;
 
-    /** Sample a basis state from the Born distribution. */
+    /** Sample a basis state from the Born distribution (streaming
+     * scan, O(1) extra memory).  Returns exactly what
+     * sampleMany(rng, 1) would; multi-shot callers should use
+     * sampleMany to amortize its one-time prefix-sum build. */
     std::uint64_t sample(std::mt19937_64 &rng) const;
+
+    /**
+     * Draw `shots` basis states: one O(2^n) prefix-sum build, then
+     * one binary search per draw.  Draw i equals what `shots`
+     * successive sample() calls on the same rng would return.
+     */
+    std::vector<std::uint64_t> sampleMany(std::mt19937_64 &rng,
+                                          int shots) const;
 
   private:
     int n_;
-    std::vector<linalg::Cx> amp_;
+    const Engine *eng_;
+    /** Live span: every amplitude with a set bit at position >=
+     * liveQubits_ is exactly zero (gates only mix along their own
+     * qubit axes, so the span grows only when a non-diagonal gate
+     * touches a new qubit).  Kernels and reductions iterate the
+     * 2^liveQubits_ live prefix only — the initial |+>^n layer of a
+     * QAOA circuit costs O(2^n) total instead of n * 2^(n-1). */
+    int liveQubits_ = 0;
+    AmpBuffer amp_;
+};
+
+/**
+ * Order-preserving gate stream with cross-gate fusion: runs of
+ * single-qubit gates on one qubit collapse into a single Mat2, and
+ * runs of diagonal two-qubit gates collapse into one phase sweep
+ * (applyDiagRun).  applyCircuit and the noisy-trajectory runner both
+ * feed one; flush() drains every pending gate.
+ *
+ * Ordering invariant: for any qubit, pending diagonal gates always
+ * precede that qubit's pending 1q run (add() flushes whichever side
+ * would violate this), so flushing the diagonal run first and the 1q
+ * runs second replays the exact program order up to commuting
+ * rearrangements.
+ */
+class GateStream
+{
+  public:
+    explicit GateStream(Statevector &psi);
+    ~GateStream();
+
+    GateStream(const GateStream &) = delete;
+    GateStream &operator=(const GateStream &) = delete;
+
+    /** Enqueue one circuit op (applied no later than flush()). */
+    void add(const qcir::Op &op);
+    /** Enqueue a Pauli (noise injection), fused like any 1q gate. */
+    void addPauli(int q, char axis);
+    /** Apply everything still pending, in program order. */
+    void flush();
+
+  private:
+    void flushDiag();
+    void flushOne(int q);
+    void flushTwo(int q0, int q1);
+
+    Statevector *psi_;
+    std::vector<linalg::Mat2> pend1q_;
+    std::vector<char> has1q_;
+    std::vector<kern::DiagGate> diag_;
+    std::uint64_t diagMask_ = 0;  ///< qubits the diag run touches
 };
 
 } // namespace sim

@@ -64,6 +64,81 @@ TEST(Bench, RunProducesOneRowPerJobWithPositiveMedians)
     EXPECT_GT(rows[0].mappingSeconds, 0.0);
 }
 
+TEST(Bench, SimCasesProduceThroughputRows)
+{
+    SweepSpec s;
+    s.experiment = "sim_bench_test";
+    s.simCases = {{"traj", 6, 1, 2, 0, false},
+                  {"traj", 6, 1, 2, 0, true},
+                  {"state", 6, 1, 0, 0, false}};
+
+    BatchCompiler bc({2});
+    std::vector<BenchRow> rows = runBench(s, bc, {0, 2});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].backend, "engine");
+    EXPECT_EQ(rows[1].backend, "reference");
+    EXPECT_EQ(rows[2].benchmark, "state");
+    for (const auto &r : rows) {
+        EXPECT_TRUE(r.ok()) << r.error;
+        EXPECT_EQ(r.device, "simulator");
+        EXPECT_EQ(r.gateset, "exact");
+        EXPECT_GT(r.medianSeconds, 0.0) << r.key();
+    }
+    // Engine and reference rows of the same case stay distinct keys
+    // (the baseline comparison matches on key()).
+    EXPECT_NE(rows[0].key(), rows[1].key());
+
+    // Rows survive the BENCH_*.json round trip.
+    std::istringstream in(benchJson("sim_bench_test", {0, 2}, 2,
+                                    rows));
+    std::vector<BenchRow> back = parseBenchJson(in);
+    ASSERT_EQ(back.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(back[i].key(), rows[i].key());
+}
+
+TEST(Bench, SmokePresetCarriesASimRow)
+{
+    SweepSpec s = sweepPreset("smoke");
+    ASSERT_FALSE(s.simCases.empty());
+    EXPECT_FALSE(s.simCases[0].reference);
+    EXPECT_GT(s.simCases[0].shots, 0);
+}
+
+TEST(Bench, FidelityPresetIsSimOnly)
+{
+    SweepSpec s = sweepPreset("fidelity");
+    EXPECT_TRUE(s.devices.empty());
+    ASSERT_EQ(s.simCases.size(), 4u);
+    // The acceptance microbenchmark: 20-qubit p=1 trajectory batch,
+    // engine and reference rows.
+    EXPECT_EQ(s.simCases[0].n, 20);
+    EXPECT_EQ(s.simCases[0].shots, 64);
+    EXPECT_FALSE(s.simCases[0].reference);
+    EXPECT_TRUE(s.simCases[1].reference);
+}
+
+TEST(Bench, SpecParserReadsSimLines)
+{
+    std::istringstream in(
+        "experiment = x\n"
+        "sim = fast 8 1 16\n"
+        "sim = slow 10 2 0 3 reference\n");
+    SweepSpec s = parseSweepSpec(in);
+    ASSERT_EQ(s.simCases.size(), 2u);
+    EXPECT_EQ(s.simCases[0].label, "fast");
+    EXPECT_EQ(s.simCases[0].n, 8);
+    EXPECT_EQ(s.simCases[0].layers, 1);
+    EXPECT_EQ(s.simCases[0].shots, 16);
+    EXPECT_EQ(s.simCases[0].instance, 0);
+    EXPECT_FALSE(s.simCases[0].reference);
+    EXPECT_EQ(s.simCases[1].instance, 3);
+    EXPECT_TRUE(s.simCases[1].reference);
+
+    std::istringstream bad("sim = onlytwo 4\n");
+    EXPECT_THROW(parseSweepSpec(bad), std::invalid_argument);
+}
+
 TEST(Bench, RejectsBadRepeatCounts)
 {
     BatchCompiler bc({1});

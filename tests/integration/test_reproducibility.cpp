@@ -162,7 +162,9 @@ TEST(Statevector, SixteenQubitSmoke)
 TEST(FailureInjection, SimulatorGuards)
 {
     EXPECT_THROW(sim::Statevector(0), std::invalid_argument);
-    EXPECT_THROW(sim::Statevector(27), std::invalid_argument);
+    // Ceiling is 30 qubits (2^30 amplitudes = 16 GiB); beyond it
+    // the guard fires before any allocation is attempted.
+    EXPECT_THROW(sim::Statevector(31), std::invalid_argument);
     sim::Statevector psi(2);
     EXPECT_THROW(psi.applyPauli(0, 'Q'), std::invalid_argument);
     qcir::Circuit big(5);

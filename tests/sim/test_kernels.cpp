@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Kernel-correctness pinning: every specialized, fused and strided
+ * path of the simulation engine against the verbatim pre-engine
+ * kernels (sim/reference.h), across random circuits, qubit counts
+ * 1-12 and both qubit orderings (q0 < q1 and q0 > q1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "graph/random_graph.h"
+#include "ham/qaoa.h"
+#include "sim/reference.h"
+#include "sim/statevector.h"
+
+using namespace tqan;
+using namespace tqan::sim;
+using tqan::qcir::Circuit;
+using tqan::qcir::Op;
+
+namespace {
+
+linalg::Mat2
+randU2(std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    return linalg::rz(ang(rng)) * linalg::ry(ang(rng)) *
+           linalg::rz(ang(rng));
+}
+
+linalg::Mat4
+randU4(std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> ang(-1.0, 1.0);
+    return linalg::expXxYyZz(ang(rng), ang(rng), ang(rng)) *
+           linalg::kron(randU2(rng), randU2(rng));
+}
+
+/** Random circuit drawing from every op kind the simulator
+ * dispatches on (generic, diagonal, swap-like, anti-diagonal
+ * specializations all get exercised). */
+Circuit
+randomCircuit(int n, int length, std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    std::uniform_int_distribution<int> pick1(0, n - 1);
+    Circuit c(n);
+    for (int i = 0; i < length; ++i) {
+        int kind = static_cast<int>(rng() % 10);
+        int q0 = pick1(rng);
+        int q1 = pick1(rng);
+        while (n > 1 && q1 == q0)
+            q1 = pick1(rng);
+        if (n < 2)
+            kind %= 4;  // single-qubit kinds only
+        switch (kind) {
+          case 0:
+            c.add(Op::rx(q0, ang(rng)));
+            break;
+          case 1:
+            c.add(Op::ry(q0, ang(rng)));
+            break;
+          case 2:
+            c.add(Op::rz(q0, ang(rng)));
+            break;
+          case 3:
+            c.add(Op::u1q(q0, randU2(rng)));
+            break;
+          case 4:
+            // Diagonal two-qubit class (RZZ).
+            c.add(Op::interact(q0, q1, 0.0, 0.0, ang(rng)));
+            break;
+          case 5:
+            c.add(Op::interact(q0, q1, ang(rng), ang(rng),
+                               ang(rng)));
+            break;
+          case 6:
+            c.add(Op::swap(q0, q1));
+            break;
+          case 7:
+            c.add(Op::dressedSwap(q0, q1, 0.0, 0.0, ang(rng)));
+            break;
+          case 8:
+            c.add(rng() % 2 ? Op::cz(q0, q1)
+                            : Op::cnot(q0, q1));
+            break;
+          default:
+            c.add(rng() % 2 ? Op::iswap(q0, q1)
+                            : Op::u2q(q0, q1, randU4(rng)));
+            break;
+        }
+    }
+    return c;
+}
+
+/** Max |amp difference| between the engine and the reference. */
+double
+maxAmpDiff(const Statevector &a, const ref::RefStatevector &b)
+{
+    double worst = 0.0;
+    for (std::uint64_t i = 0; i < a.dim(); ++i)
+        worst = std::max(worst,
+                         std::abs(a.amplitude(i) - b.amplitude(i)));
+    return worst;
+}
+
+/** Run one circuit through both simulators. */
+void
+expectCircuitMatches(const Circuit &c, int n, double tol = 1e-12)
+{
+    Statevector psi(n);
+    ref::RefStatevector refPsi(n);
+    psi.applyCircuit(c);
+    refPsi.applyCircuit(c);
+    EXPECT_LT(maxAmpDiff(psi, refPsi), tol);
+}
+
+} // namespace
+
+TEST(Kernels, RandomCircuitsMatchReferenceAcrossSizes)
+{
+    std::mt19937_64 rng(2024);
+    for (int n = 1; n <= 12; ++n) {
+        for (int rep = 0; rep < 3; ++rep) {
+            Circuit c = randomCircuit(n, 8 + 4 * n, rng);
+            Statevector psi(n);
+            ref::RefStatevector refPsi(n);
+            psi.applyCircuit(c);
+            refPsi.applyCircuit(c);
+            EXPECT_LT(maxAmpDiff(psi, refPsi), 1e-12)
+                << "n=" << n << " rep=" << rep;
+            EXPECT_NEAR(psi.norm(), refPsi.norm(), 1e-12);
+        }
+    }
+}
+
+TEST(Kernels, PerOpPathMatchesReferenceBothOrderings)
+{
+    // Every dispatched kernel class, explicitly, in both qubit
+    // orderings, on a non-trivial state.
+    std::mt19937_64 rng(77);
+    const int n = 5;
+    Circuit prep = randomCircuit(n, 20, rng);
+
+    std::vector<Op> cases;
+    for (auto [a, b] : {std::pair<int, int>{1, 3},
+                        std::pair<int, int>{3, 1}}) {
+        cases.push_back(Op::interact(a, b, 0.0, 0.0, 0.7));  // diag
+        cases.push_back(Op::cz(a, b));                       // diag
+        cases.push_back(Op::swap(a, b));             // permutation
+        cases.push_back(Op::iswap(a, b));            // swap-like
+        cases.push_back(Op::dressedSwap(a, b, 0.0, 0.0, 0.4));
+        cases.push_back(Op::cnot(a, b));             // generic
+        cases.push_back(Op::interact(a, b, 0.3, 0.2, 0.1));
+        cases.push_back(Op::u2q(a, b, randU4(rng)));
+    }
+    cases.push_back(Op::rz(2, 0.9));   // diagonal 1q
+    cases.push_back(Op::rx(2, 1.1));   // generic 1q
+    cases.push_back(Op::u1q(4, linalg::hadamard()));
+
+    for (const Op &op : cases) {
+        Statevector psi(n);
+        ref::RefStatevector refPsi(n);
+        psi.applyCircuit(prep);
+        refPsi.applyCircuit(prep);
+        psi.applyOp(op);
+        refPsi.applyOp(op);
+        EXPECT_LT(maxAmpDiff(psi, refPsi), 1e-12) << op.str();
+    }
+}
+
+TEST(Kernels, PauliKernelsMatchReference)
+{
+    std::mt19937_64 rng(78);
+    const int n = 6;
+    Circuit prep = randomCircuit(n, 25, rng);
+    for (char axis : {'X', 'Y', 'Z'}) {
+        for (int q : {0, 3, 5}) {
+            Statevector psi(n);
+            ref::RefStatevector refPsi(n);
+            psi.applyCircuit(prep);
+            refPsi.applyCircuit(prep);
+            psi.applyPauli(q, axis);
+            refPsi.applyPauli(q, axis);
+            EXPECT_LT(maxAmpDiff(psi, refPsi), 1e-12)
+                << axis << q;
+        }
+    }
+}
+
+TEST(Kernels, FusedSingleQubitRunsMatchSequential)
+{
+    // Long 1q runs per qubit (fused into one Mat2, possibly into a
+    // kron pair) interleaved with 2q barriers.
+    std::mt19937_64 rng(79);
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    const int n = 4;
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) {
+        c.add(Op::rx(q, ang(rng)));
+        c.add(Op::rz(q, ang(rng)));
+        c.add(Op::ry(q, ang(rng)));
+        c.add(Op::u1q(q, randU2(rng)));
+    }
+    c.add(Op::cnot(0, 2));
+    for (int q = 0; q < n; ++q) {
+        c.add(Op::rz(q, ang(rng)));
+        c.add(Op::rz(q, ang(rng)));
+    }
+    c.add(Op::interact(1, 3, 0.0, 0.0, 0.8));
+    c.add(Op::rx(1, ang(rng)));
+    expectCircuitMatches(c, n);
+}
+
+TEST(Kernels, DiagonalRunFusionMatchesReference)
+{
+    // A whole uniform ZZ layer (the packed-parity fast path) and a
+    // mixed-angle layer (the general product path), interleaved
+    // with the 1q gates a QAOA circuit has.
+    std::mt19937_64 rng(80);
+    const int n = 8;
+    graph::Graph g = graph::randomRegularGraph(n, 3, rng);
+
+    // Uniform angles: qaoaStateCircuit is exactly this shape.
+    Circuit uniform =
+        ham::qaoaStateCircuit(g, ham::qaoaFixedAngles(2));
+    expectCircuitMatches(uniform, n);
+
+    // Mixed angles break the uniform fast path.
+    std::uniform_real_distribution<double> ang(-M_PI, M_PI);
+    Circuit mixed(n);
+    for (int q = 0; q < n; ++q)
+        mixed.add(Op::u1q(q, linalg::hadamard()));
+    for (const auto &[u, v] : g.edges())
+        mixed.add(Op::interact(u, v, 0.0, 0.0, ang(rng)));
+    for (int q = 0; q < n; ++q)
+        mixed.add(Op::rx(q, 0.3));
+    expectCircuitMatches(mixed, n);
+
+    // A diagonal run interrupted by a non-diagonal gate on one of
+    // its qubits (forces the ordering-preserving partial flush).
+    Circuit interrupted(n);
+    for (int q = 0; q < n; ++q)
+        interrupted.add(Op::u1q(q, linalg::hadamard()));
+    interrupted.add(Op::interact(0, 1, 0.0, 0.0, 0.5));
+    interrupted.add(Op::interact(2, 3, 0.0, 0.0, 0.5));
+    interrupted.add(Op::rx(1, 0.7));  // 1q after a diag on q1
+    interrupted.add(Op::interact(1, 2, 0.0, 0.0, 0.5));
+    interrupted.add(Op::cnot(3, 4));  // non-diag barrier
+    interrupted.add(Op::interact(3, 4, 0.0, 0.0, 0.5));
+    expectCircuitMatches(interrupted, n);
+}
+
+TEST(Kernels, ExpectationZZBranchlessMatchesOldImplementation)
+{
+    // Property test of the satellite: per-edge bitmask + popcount
+    // parity against the reference shift/XOR loop, to 1e-12, on
+    // random states.
+    std::mt19937_64 rng(81);
+    for (int n : {2, 5, 9, 12}) {
+        Circuit prep = randomCircuit(n, 6 * n, rng);
+        Statevector psi(n);
+        ref::RefStatevector refPsi(n);
+        psi.applyCircuit(prep);
+        refPsi.applyCircuit(prep);
+        for (int rep = 0; rep < 3; ++rep) {
+            graph::Graph g = graph::erdosRenyi(n, 0.5, rng);
+            EXPECT_NEAR(psi.expectationZZ(g.edges()),
+                        refPsi.expectationZZ(g.edges()), 1e-12)
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(Kernels, SampleDrawsAreBitIdenticalToOldPath)
+{
+    // The prefix-sum + binary-search sampler must return exactly
+    // what the old linear scan returned for the same rng stream.
+    std::mt19937_64 rng(82);
+    const int n = 7;
+    Circuit prep = randomCircuit(n, 40, rng);
+    Statevector psi(n);
+    ref::RefStatevector refPsi(n);
+    psi.applyCircuit(prep);
+    refPsi.applyCircuit(prep);
+
+    std::mt19937_64 rngNew(555), rngOld(555);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(psi.sample(rngNew), refPsi.sample(rngOld));
+
+    // sampleMany draw i == i-th successive sample() call.
+    std::mt19937_64 rngMany(556), rngLoop(556);
+    auto many = psi.sampleMany(rngMany, 100);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(many[i], refPsi.sample(rngLoop)) << i;
+}
+
+TEST(Kernels, SampleManyFollowsBornDistribution)
+{
+    Statevector psi(2);
+    psi.apply1q(0, linalg::hadamard());
+    psi.apply2q(0, 1, linalg::cnot(0, 1));  // Bell: 00 / 11 only
+    std::mt19937_64 rng(83);
+    auto draws = psi.sampleMany(rng, 4000);
+    int ones = 0;
+    for (auto d : draws) {
+        EXPECT_TRUE(d == 0b00 || d == 0b11);
+        ones += d == 0b11;
+    }
+    EXPECT_NEAR(ones / 4000.0, 0.5, 0.05);
+}

@@ -84,11 +84,16 @@ printHelp(std::FILE *out)
         "  --bench           time the grid instead of printing rows:\n"
         "                    run it --warmup un-timed + --repeat\n"
         "                    timed times and write per-job medians\n"
-        "                    as JSON to --out\n"
+        "                    as JSON to --out.  Specs may add\n"
+        "                    simulation-throughput rows (`sim =`\n"
+        "                    lines; the `fidelity` preset is\n"
+        "                    sim-only and times the QAOA trajectory\n"
+        "                    batch on the engine and the pre-engine\n"
+        "                    reference simulator)\n"
         "  --warmup N        un-timed warmup runs (default 1)\n"
         "  --repeat N        timed runs (default 5)\n"
         "  --out FILE        bench JSON path (default\n"
-        "                    BENCH_pr3.json; '-' = stdout)\n"
+        "                    BENCH_pr4.json; '-' = stdout)\n"
         "  --baseline FILE   compare medians against a previous\n"
         "                    bench JSON; exit 3 when any job is\n"
         "                    slower than baseline * (1 + tolerance)\n"
@@ -192,7 +197,7 @@ int
 main(int argc, char **argv)
 {
     std::string specFile, preset, format = "csv";
-    std::string outFile = "BENCH_pr3.json", baselineFile;
+    std::string outFile = "BENCH_pr4.json", baselineFile;
     int jobs = 1, warmup = 1, repeat = 5;
     bool tables = false, tablesOnly = false, bench = false,
          profile = false;
@@ -293,6 +298,13 @@ main(int argc, char **argv)
             if (profile)
                 std::fputs(core::profile::report().c_str(), stderr);
             return rc;
+        }
+        if (spec.devices.empty() && !spec.simCases.empty()) {
+            std::fprintf(
+                stderr,
+                "tqan-sweep: this spec holds only simulation "
+                "benchmark cases; run it with --bench\n");
+            return 2;
         }
 
         core::BatchCompiler bc({jobs});
