@@ -91,6 +91,25 @@ struct CompileResult
     /** Wall time of every executed pass, in execution order. */
     std::vector<PassTiming> passTimes;
 
+    /** @name Layout accessors.
+     * Every backend fills the sched slot, so these are the one
+     * place callers (verification, QASM consumers, chained steps)
+     * read the qubit layouts from — no more reconstructing the
+     * final permutation from routing SWAP traces.
+     * initialLayout()[q] / finalLayout()[q] = device qubit holding
+     * logical qubit q before / after the device circuit.  The
+     * verify subsystem property-tests finalLayout() against the
+     * SWAP trace of the device circuit for every backend. @{ */
+    const qap::Placement &initialLayout() const
+    {
+        return sched.initialMap;
+    }
+    const qap::Placement &finalLayout() const
+    {
+        return sched.finalMap;
+    }
+    /** @} */
+
     /** Convenience accessors over passTimes for the three classic
      * stages (0.0 when a stage did not run). */
     double mappingSeconds = 0.0;

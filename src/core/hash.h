@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared string hashing for seed-derivation conventions.
+ *
+ * Both the sweep engine (per-backend compile seeds) and the fuzz
+ * harness (per-backend scenario seeds) fold backend NAMES into
+ * seeds, so reordering a backend list never changes a result.  They
+ * must keep using the same hash — one definition lives here.
+ */
+
+#ifndef TQAN_CORE_HASH_H
+#define TQAN_CORE_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace tqan {
+namespace core {
+
+/** FNV-1a, 64-bit.  The constants are part of the golden-file seed
+ * convention — never change them. */
+inline std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_HASH_H

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/hash.h"
 #include "device/devices.h"
 #include "graph/random_graph.h"
 #include "ham/models.h"
@@ -18,6 +19,7 @@
 #include "sim/noise.h"
 #include "sim/reference.h"
 #include "sim/statevector.h"
+#include "verify/check.h"
 
 namespace tqan {
 namespace core {
@@ -25,17 +27,6 @@ namespace core {
 namespace {
 
 constexpr std::uint64_t kSeedStride = 0x9E3779B97F4A7C15ull;
-
-std::uint64_t
-fnv1a64(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
 
 } // namespace
 
@@ -369,6 +360,16 @@ parseSweepSpec(std::istream &in)
             spec.trials = specInt(key, one());
         } else if (key == "mapper_jobs" && family.empty()) {
             spec.mapperJobs = specInt(key, one());
+        } else if (key == "verify" && family.empty()) {
+            const std::string &v = one();
+            if (v == "on" || v == "1")
+                spec.verify = true;
+            else if (v == "off" || v == "0")
+                spec.verify = false;
+            else
+                throw std::invalid_argument(
+                    "sweep spec line " + std::to_string(lineno) +
+                    ": verify takes on|off|1|0, got '" + v + "'");
         } else if (key == "sim" && family.empty()) {
             // sim = LABEL N LAYERS SHOTS [INSTANCE] [reference]
             // Appends one simulation bench case per line.
@@ -421,6 +422,10 @@ sweepSpecHelp()
         "  seed = S                   base seed; 0 = canonical grid\n"
         "  trials = K                 2QAN mapper trials (default 5)\n"
         "  mapper_jobs = N            threads inside each 2QAN job\n"
+        "  verify = on|off            end-to-end verify every ok\n"
+        "                             row (un-map + operator\n"
+        "                             multiset + unitary oracle);\n"
+        "                             mismatches fail the row\n"
         "\n"
         "  sizes.FAM / instances.FAM / backends.FAM override the\n"
         "  global value for one family, e.g.\n"
@@ -482,6 +487,24 @@ sweepPreset(const std::string &name)
         };
         return s;
     }
+    if (name == "verify") {
+        // End-to-end correctness grid: every backend on every
+        // family, devices small enough for the full statevector
+        // oracle, verification on.  IC-QAOA joins on the QAOA rows
+        // only (ZZ-only circuits, as in the paper).
+        s.devices = {{"grid:3x3", ""}, {"line:8", ""},
+                     {"aspen", ""}};
+        s.backends = {"2qan", "qiskit_sabre", "tket_like",
+                      "paulihedral_like"};
+        s.backendsFor[Benchmark::QaoaReg3] = {
+            "2qan", "qiskit_sabre", "tket_like", "ic_qaoa",
+            "paulihedral_like"};
+        s.sizes = {4, 6, 8};
+        s.instances = 2;
+        s.trials = 2;
+        s.verify = true;
+        return s;
+    }
     if (name == "table1_table2") {
         // The Table I/II grid: chains on all three devices (the
         // paper stops the Ising sweep at 40), QAOA with 5 instances
@@ -511,14 +534,14 @@ sweepPreset(const std::string &name)
     }
     throw std::invalid_argument(
         "unknown sweep preset '" + name + "' (available: golden | "
-        "smoke | table1_table2 | figures | fidelity)");
+        "smoke | verify | table1_table2 | figures | fidelity)");
 }
 
 std::vector<std::string>
 sweepPresetNames()
 {
-    return {"golden", "smoke", "table1_table2", "figures",
-            "fidelity"};
+    return {"golden", "smoke", "verify", "table1_table2",
+            "figures", "fidelity"};
 }
 
 ExpandedSweep
@@ -627,6 +650,27 @@ runSweep(const SweepSpec &spec, const BatchCompiler &bc)
         ex.rows[i].schedulingSeconds =
             results[i].result.schedulingSeconds;
         ex.rows[i].error = results[i].error;
+    }
+    if (spec.verify) {
+        // Rows verify independently, so fan the (simulation-heavy)
+        // checks out over a pool of the batch's width; each task
+        // writes only its own row.
+        ThreadPool pool(bc.options().jobs);
+        for (size_t i = 0; i < ex.rows.size(); ++i) {
+            if (!ex.rows[i].ok())
+                continue;
+            SweepRow *row = &ex.rows[i];
+            const qcir::Circuit *step = ex.jobs[i].job.step;
+            const CompileResult *res = &results[i].result;
+            pool.submit([row, step, res]() {
+                verify::CompilationCheck chk =
+                    verify::checkCompilation(*step, *res);
+                if (!chk.ok)
+                    row->error =
+                        "verification failed: " + chk.error;
+            });
+        }
+        pool.wait();
     }
     return std::move(ex.rows);
 }

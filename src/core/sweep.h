@@ -126,6 +126,12 @@ struct SweepSpec
      * runSweep — the CSV schema is compile metrics).  A spec may be
      * sim-only: empty devices + non-empty simCases. */
     std::vector<SimBenchCase> simCases;
+    /** End-to-end verification: after compiling, run every ok row
+     * through verify::checkCompilation (un-map, layout, operator
+     * multiset, unitary oracle) and fail the row on a mismatch.
+     * The `verify` preset is the canonical small all-backend grid
+     * with this on; `tqan-sweep --verify` forces it for any spec. */
+    bool verify = false;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "qcir/qasm.h"
 
 #include <cctype>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -84,6 +85,12 @@ struct Statement
     std::string text;
     int line;
 };
+
+/** Sanity cap on register declarations: far above every real device
+ * (the repo's largest is 65 qubits) yet small enough that a
+ * generator-crafted "qreg q[2000000000]" cannot push callers that
+ * size per-qubit buffers into allocation blowups. */
+constexpr int kMaxQregSize = 1 << 20;
 
 [[noreturn]] void
 parseError(int line, const std::string &what)
@@ -254,7 +261,9 @@ parseQasm(const std::string &src)
         }
         if (stmt.compare(0, 5, "qreg ") == 0) {
             if (haveQreg)
-                parseError(line, "more than one qreg");
+                parseError(line,
+                           "more than one qreg (duplicate register "
+                           "declaration)");
             std::string body = stripped(stmt.substr(5));
             if (body.compare(0, 2, "q[") != 0 || body.back() != ']')
                 parseError(line,
@@ -270,9 +279,29 @@ parseQasm(const std::string &src)
             }
             if (n <= 0)
                 parseError(line, "bad qreg size '" + num + "'");
+            if (n > kMaxQregSize)
+                parseError(line,
+                           "implausible qreg size " +
+                               std::to_string(n) + " (limit " +
+                               std::to_string(kMaxQregSize) + ")");
             circuit = Circuit(n);
             haveQreg = true;
             continue;
+        }
+        // Legal OpenQASM 2.0 the toQasm dialect does not model:
+        // reject with a statement-class error instead of a
+        // misleading gate-lookup failure.
+        for (const char *unsupported :
+             {"creg ", "measure ", "barrier ", "reset ", "if ",
+              "if(", "opaque "}) {
+            if (stmt.compare(0, std::strlen(unsupported),
+                             unsupported) == 0)
+                parseError(line,
+                           "unsupported statement '" + stmt +
+                               "' (the tqan dialect is purely "
+                               "unitary: no classical registers, "
+                               "measurement, barriers or "
+                               "conditionals)");
         }
 
         // Gate application: NAME [(params)] operands.  Whitespace

@@ -336,6 +336,30 @@ Statevector::applyPauli(int q, char axis)
 }
 
 double
+Statevector::expectationZ(int q) const
+{
+    if (q < 0 || q >= n_)
+        throw std::invalid_argument("expectationZ: qubit " +
+                                    std::to_string(q) +
+                                    " out of range");
+    // Beyond the live span the bit is always 0 (amplitudes with it
+    // set are exactly zero), so Z contributes +1 per unit of norm.
+    if (q >= liveQubits_)
+        return norm();
+    const Cx *amp = amp_.data();
+    const std::uint64_t mask = std::uint64_t(1) << q;
+    return sumBlocks(
+        eng_, std::uint64_t(1) << liveQubits_,
+        [amp, mask](std::uint64_t lo, std::uint64_t hi) {
+            double s = 0.0;
+            for (std::uint64_t i = lo; i < hi; ++i)
+                s += std::norm(amp[i]) *
+                     ((i & mask) ? -1.0 : 1.0);
+            return s;
+        });
+}
+
+double
 Statevector::expectationZZ(const graph::Graph &g) const
 {
     return expectationZZ(g.edges());

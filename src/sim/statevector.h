@@ -85,6 +85,11 @@ class Statevector
      * amplitude. */
     void applyDiagRun(const std::vector<kern::DiagGate> &run);
 
+    /** <psi| Z_q |psi> (single-qubit probe of the verification
+     * subsystem; also the unused-qubit-is-|0> witness, where the
+     * value must be exactly 1). */
+    double expectationZ(int q) const;
+
     /** <psi| sum_{(u,v) in E} Z_u Z_v |psi> (QAOA cost operator). */
     double expectationZZ(const graph::Graph &g) const;
     /** Same but with edges given directly (device-qubit pairs);

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Random connected device topologies for the fuzz harness.
+ *
+ * The paper evaluates three fixed devices; the fuzz harness instead
+ * draws devices from a family of random connected coupling graphs
+ * with bounded degree, so the compiler backends are exercised on
+ * connectivity shapes nobody hand-picked: spanning-tree skeletons
+ * densified with random extra couplers, plus the structured families
+ * (line / ring / grid) at random sizes.
+ */
+
+#ifndef TQAN_TESTGEN_RANDOM_TOPOLOGY_H
+#define TQAN_TESTGEN_RANDOM_TOPOLOGY_H
+
+#include <random>
+
+#include "device/topology.h"
+
+namespace tqan {
+namespace testgen {
+
+struct TopologyOptions
+{
+    int minQubits = 4;
+    int maxQubits = 12;
+    /** Maximum coupler degree of any qubit (real devices: 3-4). */
+    int maxDegree = 4;
+    /** Extra couplers beyond the spanning tree, as a fraction of n
+     * (0 = trees only, 1 = up to n extra edges). */
+    double extraEdgeFraction = 0.5;
+};
+
+/**
+ * A random connected topology: a uniform random spanning tree
+ * (random Prufer-free attachment walk) densified with random extra
+ * edges, both respecting `maxDegree`.  Always connected; degree of
+ * every node <= maxDegree; name encodes the seed for reproduction.
+ */
+device::Topology randomConnectedTopology(std::mt19937_64 &rng,
+                                         const TopologyOptions &opt);
+
+/**
+ * Serialize a topology as an edge-list spec string
+ * ("custom:N:u-v,u-v,...") that topologyFromSpec() reads back.
+ * Round-trips any topology, including device::deviceByName ones.
+ */
+std::string topologySpec(const device::Topology &topo);
+
+/** Parse a topologySpec() string ("custom:N:0-1,1-2,...") or fall
+ * back to device::deviceByName for every other name.
+ * @throws std::invalid_argument on malformed specs. */
+device::Topology topologyFromSpec(const std::string &spec);
+
+} // namespace testgen
+} // namespace tqan
+
+#endif // TQAN_TESTGEN_RANDOM_TOPOLOGY_H

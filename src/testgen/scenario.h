@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Randomized 2-local workload generator — the scenario side of the
+ * end-to-end correctness subsystem.
+ *
+ * Every scenario is one (Hamiltonian, Trotter-step circuit, device)
+ * triple drawn from the workload classes the paper targets but the
+ * fixed benchmark grid never exercises: Heisenberg / transverse-field
+ * Ising / XY chains at random sizes, Heisenberg models on random
+ * Erdos-Renyi interaction graphs with random coefficients, random
+ * QAOA MaxCut instances, and adversarial shapes (disconnected
+ * interaction graphs, single-qubit-only circuits, circuits exactly
+ * filling the device).  Devices are random connected topologies
+ * (random_topology.h) plus the structured families at random sizes.
+ *
+ * Scenarios are fully determined by their seed: randomScenario(seed)
+ * always returns the same scenario, so every fuzz failure reproduces
+ * from one integer.  toSpec()/scenarioFromSpec() serialize a scenario
+ * as a small text file — the reproducer format of tqan-fuzz.
+ */
+
+#ifndef TQAN_TESTGEN_SCENARIO_H
+#define TQAN_TESTGEN_SCENARIO_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "device/topology.h"
+#include "ham/hamiltonian.h"
+#include "qcir/circuit.h"
+#include "testgen/random_topology.h"
+
+namespace tqan {
+namespace testgen {
+
+/** Workload family of one scenario. */
+enum class ScenarioKind {
+    HeisenbergChain,   ///< NNN Heisenberg chain (paper Eq. 6)
+    IsingChain,        ///< NNN transverse-field Ising (paper Eq. 4)
+    XYChain,           ///< NNN XY chain (paper Eq. 5)
+    RandomGraphHam,    ///< Heisenberg terms on an Erdos-Renyi graph
+    Qaoa,              ///< QAOA MaxCut layer on a random graph
+    DisconnectedHam,   ///< interaction graph with >= 2 components
+    SingleQubitOnly,   ///< field terms only, no two-qubit ops
+    FullDevice,        ///< circuit qubits == device qubits
+};
+
+std::string scenarioKindName(ScenarioKind k);
+
+struct ScenarioOptions
+{
+    int minQubits = 3;
+    int maxQubits = 9;
+    /** Device size is drawn from [circuit n, maxDeviceQubits]. */
+    int maxDeviceQubits = 11;
+    TopologyOptions topology;
+    /** Weight of adversarial kinds (Disconnected / SingleQubitOnly /
+     * FullDevice) in the kind draw, 0..1. */
+    double adversarialFraction = 0.25;
+};
+
+/** One generated workload: everything a backend needs to compile and
+ * the verifier needs to check. */
+struct Scenario
+{
+    ScenarioKind kind = ScenarioKind::HeisenbergChain;
+    std::uint64_t seed = 0;   ///< the seed that generated this
+    std::shared_ptr<const ham::TwoLocalHamiltonian> hamiltonian;
+    std::shared_ptr<const qcir::Circuit> step;  ///< one Trotter step
+    device::Topology topo{"unset", graph::Graph(1)};
+    double time = 1.0;        ///< Trotter-step time
+    std::string name;         ///< "kind/n=5/dev=rand8d4/seed=42"
+};
+
+/** Deterministic scenario from a seed (same seed, same scenario). */
+Scenario randomScenario(std::uint64_t seed,
+                        const ScenarioOptions &opt = {});
+
+/** Reproducer serialization: scenario -> text spec. */
+std::string toSpec(const Scenario &s);
+
+/** Parse a toSpec() reproducer back.
+ * @throws std::invalid_argument / std::runtime_error on malformed
+ *         specs. */
+Scenario scenarioFromSpec(std::istream &in);
+Scenario scenarioFromSpec(const std::string &text);
+
+} // namespace testgen
+} // namespace tqan
+
+#endif // TQAN_TESTGEN_SCENARIO_H

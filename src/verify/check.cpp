@@ -1,0 +1,115 @@
+#include "verify/check.h"
+
+#include <sstream>
+
+#include "decomp/pass.h"
+#include "verify/reference.h"
+
+namespace tqan {
+namespace verify {
+
+using qcir::Circuit;
+
+CompilationCheck
+checkCompilation(const Circuit &step, const core::CompileResult &res,
+                 const CheckOptions &opt)
+{
+    CompilationCheck out;
+    const Circuit &device = res.sched.deviceCircuit;
+    const qap::Placement &initialMap = res.initialLayout();
+    const qap::Placement &finalMap = res.finalLayout();
+    const int n = step.numQubits();
+
+    // 1. Executed-order reference.
+    UnmappedReference ref =
+        unmapDeviceCircuit(device, initialMap, n);
+    if (!ref.ok) {
+        out.error = "unmap: " + ref.error;
+        return out;
+    }
+
+    // 2. Advertised final layout vs the SWAP trace.
+    if (ref.finalMap != finalMap) {
+        out.error =
+            "final layout mismatch: the SWAP trace of the device "
+            "circuit does not produce the advertised finalLayout()";
+        return out;
+    }
+
+    // 3. Valid reordering of the input step.
+    Circuit unified = qcir::unifySamePairInteractions(step);
+    std::string why;
+    if (!sameOperatorMultiset(unified, ref.logical, 1e-9, &why)) {
+        out.error = "operator multiset: " + why;
+        return out;
+    }
+
+    EquivalenceChecker checker(opt.equivalence);
+
+    // 4. Device circuit implements the executed reference.
+    EquivalenceReport rep =
+        checker.check(ref.logical, device, initialMap, finalMap);
+    out.mode = rep.mode;
+    out.worstDeviation =
+        std::max(out.worstDeviation, rep.worstDeviation);
+    if (!rep.equivalent) {
+        out.error = "device circuit vs executed reference (" +
+                    checkModeName(rep.mode) + "): " + rep.detail;
+        return out;
+    }
+
+    // 5. Commuting inputs admit the direct check.
+    if (allOpsCommute(unified)) {
+        out.directChecked = true;
+        rep = checker.check(unified, device, initialMap, finalMap);
+        out.worstDeviation =
+            std::max(out.worstDeviation, rep.worstDeviation);
+        if (!rep.equivalent) {
+            out.error =
+                "device circuit vs commuting input (direct, " +
+                checkModeName(rep.mode) + "): " + rep.detail;
+            return out;
+        }
+    }
+
+    // 6. Decomposition layer, end to end.
+    if (opt.checkDecompositions) {
+        struct Pass
+        {
+            const char *name;
+            Circuit (*run)(const Circuit &);
+        };
+        const Pass passes[] = {
+            {"decomposeToCnot", decomp::decomposeToCnot},
+            {"decomposeToCz", decomp::decomposeToCz},
+        };
+        for (const Pass &p : passes) {
+            Circuit hw;
+            try {
+                hw = p.run(device);
+            } catch (const std::exception &e) {
+                out.error = std::string(p.name) +
+                            " threw: " + e.what();
+                return out;
+            }
+            rep = checker.check(ref.logical, hw, initialMap,
+                                finalMap);
+            out.worstDeviation =
+                std::max(out.worstDeviation, rep.worstDeviation);
+            if (!rep.equivalent) {
+                out.error = std::string(p.name) + " output vs "
+                            "executed reference (" +
+                            checkModeName(rep.mode) +
+                            "): " + rep.detail;
+                return out;
+            }
+            ++out.decompositionsChecked;
+        }
+    }
+
+    out.ok = true;
+    return out;
+}
+
+} // namespace verify
+} // namespace tqan

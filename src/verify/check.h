@@ -1,0 +1,76 @@
+/**
+ * @file
+ * One-stop end-to-end verification of a CompileResult: the routine
+ * the fuzz harness, `tqan-sweep` verification mode and the tests all
+ * share.
+ *
+ * For one compiled result it asserts, in order:
+ *
+ *  1. the device circuit un-maps cleanly (verify/reference.h) into
+ *     an executed-order logical circuit,
+ *  2. the un-mapped final layout equals the result's advertised
+ *     finalLayout() (SWAP-trace consistency),
+ *  3. the executed operator multiset equals the (unified) input
+ *     step's — the compiled circuit is a valid reordering under
+ *     Trotter semantics,
+ *  4. the device circuit is unitarily equivalent to the executed
+ *     reference under the claimed maps (EquivalenceChecker),
+ *  5. when every input op provably commutes (allOpsCommute), the
+ *     device circuit is additionally checked directly against the
+ *     input step — the reordering freedom collapses, so this must
+ *     hold too,
+ *  6. optionally, the CNOT and CZ decompositions of the device
+ *     circuit re-verify against the same reference and maps,
+ *     certifying the decomposition layer end-to-end.
+ */
+
+#ifndef TQAN_VERIFY_CHECK_H
+#define TQAN_VERIFY_CHECK_H
+
+#include <string>
+
+#include "core/compiler.h"
+#include "verify/equivalence.h"
+
+namespace tqan {
+namespace verify {
+
+struct CheckOptions
+{
+    EquivalenceOptions equivalence;
+    /** Also verify decomposeToCnot / decomposeToCz outputs (the
+     * strongest check; skipped automatically for circuits the
+     * decomposers cannot consume). */
+    bool checkDecompositions = true;
+};
+
+struct CompilationCheck
+{
+    bool ok = false;
+    /** Which stage failed + why (empty when ok). */
+    std::string error;
+    CheckMode mode = CheckMode::Full;
+    /** Worst deviation across every oracle invocation. */
+    double worstDeviation = 0.0;
+    /** Whether the commuting-input direct check ran. */
+    bool directChecked = false;
+    /** Whether the decomposition re-verification ran. */
+    int decompositionsChecked = 0;
+};
+
+/**
+ * Verify one compiled result against its input step circuit.
+ *
+ * @param step the logical input circuit handed to the backend
+ *        (pre-unification; the check unifies it the way every
+ *        backend does).
+ * @param res the compilation result (sched slot consumed).
+ */
+CompilationCheck checkCompilation(const qcir::Circuit &step,
+                                  const core::CompileResult &res,
+                                  const CheckOptions &opt = {});
+
+} // namespace verify
+} // namespace tqan
+
+#endif // TQAN_VERIFY_CHECK_H

@@ -1,0 +1,246 @@
+#include "verify/equivalence.h"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/matrix.h"
+#include "sim/statevector.h"
+
+namespace tqan {
+namespace verify {
+
+using linalg::Cx;
+using qcir::Circuit;
+using qcir::Op;
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/** Haar-uniform single-qubit state preparation from |0>: ZYZ Euler
+ * angles with the polar angle drawn via arccos. */
+linalg::Mat2
+randomBlochPrep(std::mt19937_64 &rng)
+{
+    std::uniform_real_distribution<double> u01(0.0, 1.0);
+    std::uniform_real_distribution<double> u2pi(
+        0.0, 2.0 * 3.14159265358979323846);
+    double theta = std::acos(1.0 - 2.0 * u01(rng));
+    return linalg::rz(u2pi(rng)) * linalg::ry(theta) *
+           linalg::rz(u2pi(rng));
+}
+
+/** Random product frame for probe measurements (Haar per qubit is
+ * overkill; random Euler rotations suffice and stay exact). */
+linalg::Mat2
+randomFrame(std::mt19937_64 &rng)
+{
+    return randomBlochPrep(rng);
+}
+
+/** One probe of the probe oracle: Z_u (v < 0) or Z_u Z_v. */
+struct Probe
+{
+    int u;
+    int v;  ///< -1 for single-qubit Z probes
+};
+
+} // namespace
+
+std::string
+checkModeName(CheckMode m)
+{
+    return m == CheckMode::Full ? "full" : "probe";
+}
+
+EquivalenceChecker::EquivalenceChecker(EquivalenceOptions opt)
+    : opt_(opt)
+{
+    if (opt_.trials < 1)
+        throw std::invalid_argument(
+            "EquivalenceChecker: trials < 1");
+    if (opt_.probesPerTrial < 1)
+        throw std::invalid_argument(
+            "EquivalenceChecker: probesPerTrial < 1");
+}
+
+EquivalenceReport
+EquivalenceChecker::check(const Circuit &logical,
+                          const Circuit &device,
+                          const qap::Placement &initialMap,
+                          const qap::Placement &finalMap) const
+{
+    const int n = logical.numQubits();
+    const int N = device.numQubits();
+    if (n < 1 || N < n)
+        throw std::invalid_argument(
+            "EquivalenceChecker: need 1 <= logical qubits <= device "
+            "qubits");
+    if (static_cast<int>(initialMap.size()) != n ||
+        static_cast<int>(finalMap.size()) != n)
+        throw std::invalid_argument(
+            "EquivalenceChecker: map size != logical qubit count");
+    if (!qap::placementIsValid(initialMap, N) ||
+        !qap::placementIsValid(finalMap, N))
+        throw std::invalid_argument(
+            "EquivalenceChecker: maps must be injective placements "
+            "onto the device register");
+
+    EquivalenceReport rep;
+    rep.mode = (N <= opt_.maxFullQubits) ? CheckMode::Full
+                                         : CheckMode::Probe;
+
+    // Unmapped device qubits must stay |0>; witness them explicitly
+    // in probe mode (full mode covers them through the overlap).
+    std::vector<int> unmapped;
+    {
+        std::vector<int> used(N, 0);
+        for (int q : finalMap)
+            used[q] = 1;
+        for (int dq = 0; dq < N; ++dq)
+            if (!used[dq])
+                unmapped.push_back(dq);
+    }
+
+    for (int t = 0; t < opt_.trials; ++t) {
+        std::mt19937_64 rng(opt_.seed + kGolden * (t + 1));
+
+        // One preparation per logical qubit, shared by both sides.
+        std::vector<linalg::Mat2> prep(n);
+        for (int q = 0; q < n; ++q)
+            prep[q] = randomBlochPrep(rng);
+
+        if (rep.mode == CheckMode::Full) {
+            sim::Statevector psiL(n, opt_.engine);
+            for (int q = 0; q < n; ++q)
+                psiL.apply1q(q, prep[q]);
+            psiL.applyCircuit(logical);
+
+            sim::Statevector psiD(N, opt_.engine);
+            for (int q = 0; q < n; ++q)
+                psiD.apply1q(initialMap[q], prep[q]);
+            psiD.applyCircuit(device);
+
+            // <psiD | embed(psiL)>: deposit logical bit q at device
+            // bit finalMap[q]; unmapped device bits stay 0.
+            Cx overlap(0.0, 0.0);
+            const std::uint64_t dimL = psiL.dim();
+            for (std::uint64_t b = 0; b < dimL; ++b) {
+                std::uint64_t db = 0;
+                for (int q = 0; q < n; ++q)
+                    db |= ((b >> q) & 1ULL)
+                          << static_cast<unsigned>(finalMap[q]);
+                overlap += std::conj(psiD.amplitude(db)) *
+                           psiL.amplitude(b);
+            }
+            double dev = std::abs(1.0 - std::abs(overlap));
+            rep.worstDeviation = std::max(rep.worstDeviation, dev);
+            if (dev > opt_.tolerance) {
+                std::ostringstream os;
+                os << "trial " << t << ": |overlap| = "
+                   << std::abs(overlap) << " (deviation " << dev
+                   << " > tolerance " << opt_.tolerance << ")";
+                rep.detail = os.str();
+                rep.trialsRun = t + 1;
+                return rep;
+            }
+        } else {
+            // Probe plan: shared frame + observables, drawn before
+            // either simulation so both sides see the same plan.
+            std::vector<linalg::Mat2> frame(n);
+            for (int q = 0; q < n; ++q)
+                frame[q] = randomFrame(rng);
+            std::uniform_int_distribution<int> qd(0, n - 1);
+            std::vector<Probe> probes;
+            for (int k = 0; k < opt_.probesPerTrial; ++k) {
+                if (n >= 2 && k % 2 == 1) {
+                    int u = qd(rng), v = qd(rng);
+                    while (v == u)
+                        v = qd(rng);
+                    probes.push_back({u, v});
+                } else {
+                    probes.push_back({qd(rng), -1});
+                }
+            }
+
+            std::vector<double> expectL;
+            {
+                sim::Statevector psiL(n, opt_.engine);
+                for (int q = 0; q < n; ++q)
+                    psiL.apply1q(q, prep[q]);
+                psiL.applyCircuit(logical);
+                for (int q = 0; q < n; ++q)
+                    psiL.apply1q(q, frame[q]);
+                for (const Probe &p : probes)
+                    expectL.push_back(
+                        p.v < 0 ? psiL.expectationZ(p.u)
+                                : psiL.expectationZZ(
+                                      {{p.u, p.v}}));
+            }
+
+            sim::Statevector psiD(N, opt_.engine);
+            for (int q = 0; q < n; ++q)
+                psiD.apply1q(initialMap[q], prep[q]);
+            psiD.applyCircuit(device);
+
+            // |0>-witnesses before the frame touches anything.
+            for (int dq : unmapped) {
+                double z = psiD.expectationZ(dq);
+                double dev = std::abs(1.0 - z);
+                rep.worstDeviation =
+                    std::max(rep.worstDeviation, dev);
+                if (dev > opt_.tolerance) {
+                    std::ostringstream os;
+                    os << "trial " << t << ": unmapped device qubit "
+                       << dq << " left |0> (<Z> = " << z << ")";
+                    rep.detail = os.str();
+                    rep.trialsRun = t + 1;
+                    return rep;
+                }
+            }
+
+            for (int q = 0; q < n; ++q)
+                psiD.apply1q(finalMap[q], frame[q]);
+            for (size_t k = 0; k < probes.size(); ++k) {
+                const Probe &p = probes[k];
+                double ed =
+                    p.v < 0
+                        ? psiD.expectationZ(finalMap[p.u])
+                        : psiD.expectationZZ(
+                              {{finalMap[p.u], finalMap[p.v]}});
+                double dev = std::abs(ed - expectL[k]);
+                rep.worstDeviation =
+                    std::max(rep.worstDeviation, dev);
+                if (dev > opt_.tolerance) {
+                    std::ostringstream os;
+                    os << "trial " << t << ": probe " << k << " (Z_"
+                       << p.u;
+                    if (p.v >= 0)
+                        os << " Z_" << p.v;
+                    os << ") differs: logical " << expectL[k]
+                       << " vs device " << ed;
+                    rep.detail = os.str();
+                    rep.trialsRun = t + 1;
+                    return rep;
+                }
+            }
+        }
+        rep.trialsRun = t + 1;
+    }
+    rep.equivalent = true;
+    return rep;
+}
+
+EquivalenceReport
+EquivalenceChecker::check(const Circuit &a, const Circuit &b) const
+{
+    qap::Placement id(a.numQubits());
+    for (int q = 0; q < a.numQubits(); ++q)
+        id[q] = q;
+    return check(a, b, id, id);
+}
+
+} // namespace verify
+} // namespace tqan

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Permutation-aware unitary-equivalence certification (the oracle of
+ * the end-to-end correctness subsystem).
+ *
+ * EquivalenceChecker certifies, up to global phase, that a compiled
+ * device circuit D on N qubits implements a logical circuit L on
+ * n <= N qubits under the claimed qubit maps: for every input state
+ * |psi> of the logical register,
+ *
+ *   D (pi_init |psi> (x) |0...0>)  ==  pi_final (L |psi>) (x) |0...0>
+ *
+ * where pi_init / pi_final embed logical qubit q at device qubit
+ * initialMap[q] / finalMap[q] and every unmapped device qubit starts
+ * and ends in |0>.
+ *
+ * Two oracle modes, selected by device size:
+ *
+ *  - Full (N <= maxFullQubits, default 20): both sides are simulated
+ *    on the statevector engine for `trials` random product-state
+ *    inputs and the full overlap |<D psi_dev | embed(L psi_log)>| is
+ *    compared to 1.  For inequivalent circuits the accepting product
+ *    states form a measure-zero real-algebraic subvariety of the
+ *    product-state manifold, so in exact arithmetic the false-accept
+ *    probability of even a single random trial is 0; with the finite
+ *    tolerance tau the escape set is an O(tau)-neighbourhood of that
+ *    variety, and the operational bound is measured by the mutation
+ *    campaign (tqan-fuzz --mutate: >= 95% of injected single-gate
+ *    corruptions must be caught; in practice the full oracle catches
+ *    every corruption whose unitary distance exceeds tau).
+ *
+ *  - Probe (N > maxFullQubits): holds only one statevector at a time.
+ *    Per trial a random product input AND a random product output
+ *    frame are drawn; the oracle compares `probesPerTrial` scalar
+ *    observables (single-qubit Z and two-qubit ZZ expectations in
+ *    the rotated frame) plus |0>-witnesses on unmapped device
+ *    qubits.  A corruption invisible to one random frame+probe pair
+ *    is caught independently by the others: the per-probe miss
+ *    probability delta (measured empirically by the mutation
+ *    campaign) compounds to a false-accept bound of
+ *    delta^(trials * probesPerTrial) for generic faults.  Phase-only
+ *    faults at the circuit end are exactly why the random output
+ *    frame exists: without it, trailing Rz corruption commutes with
+ *    every Z-basis observable and would be invisible.
+ *
+ * Determinism: the checker derives all randomness from options.seed,
+ * so a reported deviation reproduces exactly; simulations attach an
+ * optional sim::Engine, and results are bit-identical for any worker
+ * count (the engine's fixed-block-grid contract).
+ */
+
+#ifndef TQAN_VERIFY_EQUIVALENCE_H
+#define TQAN_VERIFY_EQUIVALENCE_H
+
+#include <cstdint>
+#include <string>
+
+#include "qap/qap.h"
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace sim {
+class Engine;
+}
+
+namespace verify {
+
+/** Which oracle certified (or refuted) the equivalence. */
+enum class CheckMode { Full, Probe };
+
+std::string checkModeName(CheckMode m);
+
+struct EquivalenceOptions
+{
+    /** Full statevector comparison up to this many DEVICE qubits;
+     * larger devices use the probe oracle. */
+    int maxFullQubits = 20;
+    /** Random product-state input trials. */
+    int trials = 3;
+    /** Scalar observables compared per trial in probe mode. */
+    int probesPerTrial = 12;
+    /** |1 - overlap| (full) / probe delta (probe) acceptance
+     * threshold.  Decomposition passes accumulate ~1e-12 per gate;
+     * 1e-7 keeps orders of magnitude of head-room on both sides. */
+    double tolerance = 1e-7;
+    /** Seed of every random draw the checker makes. */
+    std::uint64_t seed = 0x7A4E5EEDULL;
+    /** Optional block-parallel engine (non-owned); null = serial.
+     * Results are identical either way. */
+    const sim::Engine *engine = nullptr;
+};
+
+struct EquivalenceReport
+{
+    bool equivalent = false;
+    CheckMode mode = CheckMode::Full;
+    int trialsRun = 0;
+    /** Worst deviation seen: max |1 - |overlap|| (full) or max
+     * probe delta (probe).  Reported even on success, so tests can
+     * pin how much slack remains. */
+    double worstDeviation = 0.0;
+    /** Human-readable description of the first failure (empty when
+     * equivalent). */
+    std::string detail;
+};
+
+class EquivalenceChecker
+{
+  public:
+    explicit EquivalenceChecker(EquivalenceOptions opt = {});
+
+    const EquivalenceOptions &options() const { return opt_; }
+
+    /**
+     * Certify D == pi_final . L . pi_init^-1 up to global phase.
+     *
+     * @param logical n-qubit circuit (any op kinds; simulated via
+     *        exact unitaries).
+     * @param device circuit on the device register (N >= n qubits).
+     * @param initialMap logical -> device at circuit start.
+     * @param finalMap logical -> device after the device circuit.
+     * @throws std::invalid_argument on malformed maps / registers.
+     */
+    EquivalenceReport check(const qcir::Circuit &logical,
+                            const qcir::Circuit &device,
+                            const qap::Placement &initialMap,
+                            const qap::Placement &finalMap) const;
+
+    /** Same-register convenience: identity maps (used to compare a
+     * circuit against its own decomposition). */
+    EquivalenceReport check(const qcir::Circuit &a,
+                            const qcir::Circuit &b) const;
+
+  private:
+    EquivalenceOptions opt_;
+};
+
+} // namespace verify
+} // namespace tqan
+
+#endif // TQAN_VERIFY_EQUIVALENCE_H

@@ -1,0 +1,251 @@
+#include "verify/fuzz.h"
+
+#include <functional>
+#include <sstream>
+
+#include "core/backend.h"
+#include "core/batch.h"
+#include "core/hash.h"
+#include "ham/trotter.h"
+#include "verify/mutate.h"
+#include "verify/reference.h"
+
+namespace tqan {
+namespace verify {
+
+using testgen::Scenario;
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/**
+ * Documented backend preconditions: a scenario violating one is
+ * routed away from the backend instead of counted as a finding
+ * (matching how the sweep presets feed ic_qaoa QAOA rows only).
+ * Every OTHER exception a backend throws is a crash-class bug.
+ */
+bool
+backendAccepts(const std::string &backend, const Scenario &s)
+{
+    if (backend == "ic_qaoa")
+        return s.hamiltonian->isDiagonal();
+    return true;
+}
+
+core::CompileJob
+jobFor(const Scenario &s, const std::string &backend,
+       const FuzzOptions &opt)
+{
+    core::CompileJob job;
+    job.step = s.step.get();
+    job.hamiltonian = s.hamiltonian.get();
+    job.time = s.time;
+    job.options.seed = s.seed * kGolden + core::fnv1a64(backend);
+    job.options.mapperTrials = opt.mapperTrials;
+    return job;
+}
+
+/** Compile + verify one (scenario, backend) case; empty error =
+ * clean.  The compiled result is handed back for the mutation
+ * campaign. */
+std::string
+checkCase(const Scenario &s, const std::string &backend,
+          const FuzzOptions &opt, core::CompileResult *resOut)
+{
+    core::CompileResult res;
+    try {
+        res = core::backendByName(backend).compile(
+            jobFor(s, backend, opt), s.topo);
+    } catch (const std::exception &e) {
+        return std::string("compile threw: ") + e.what();
+    }
+    CompilationCheck chk;
+    try {
+        chk = checkCompilation(*s.step, res, opt.check);
+    } catch (const std::exception &e) {
+        return std::string("checker threw: ") + e.what();
+    }
+    if (resOut)
+        *resOut = std::move(res);
+    return chk.ok ? std::string() : chk.error;
+}
+
+/**
+ * Greedy shrink: repeatedly drop Hamiltonian terms while the same
+ * backend still fails verification, until no single removal keeps
+ * the failure alive.
+ */
+Scenario
+shrunk(const Scenario &s0, const std::string &backend,
+       const FuzzOptions &opt)
+{
+    Scenario best = s0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        const auto &pairs = best.hamiltonian->pairs();
+        const auto &fields = best.hamiltonian->fields();
+        const size_t nterms = pairs.size() + fields.size();
+        for (size_t drop = 0; drop < nterms; ++drop) {
+            ham::TwoLocalHamiltonian h(
+                best.hamiltonian->numQubits());
+            for (size_t i = 0; i < pairs.size(); ++i)
+                if (i != drop)
+                    h.addPair(pairs[i].u, pairs[i].v, pairs[i].xx,
+                              pairs[i].yy, pairs[i].zz);
+            for (size_t i = 0; i < fields.size(); ++i)
+                if (pairs.size() + i != drop)
+                    h.addField(fields[i].q, fields[i].axis,
+                               fields[i].coeff);
+            if (h.pairs().empty() && h.fields().empty())
+                continue;
+            Scenario cand = best;
+            cand.hamiltonian =
+                std::make_shared<ham::TwoLocalHamiltonian>(
+                    std::move(h));
+            cand.step = std::make_shared<qcir::Circuit>(
+                ham::trotterStep(*cand.hamiltonian, cand.time));
+            if (!checkCase(cand, backend, opt, nullptr).empty()) {
+                best = std::move(cand);
+                progress = true;
+                break;  // restart the scan on the smaller instance
+            }
+        }
+    }
+    return best;
+}
+
+FuzzFailure
+madeFailure(const Scenario &s, const std::string &backend,
+            const std::string &error, const FuzzOptions &opt)
+{
+    FuzzFailure f;
+    f.backend = backend;
+    f.scenarioName = s.name;
+    f.scenarioSeed = s.seed;
+    f.error = error;
+    Scenario repro =
+        opt.shrink ? shrunk(s, backend, opt) : s;
+    std::ostringstream os;
+    os << "# backend = " << backend << "\n";
+    os << "# error = " << error << "\n";
+    os << testgen::toSpec(repro);
+    f.reproducer = os.str();
+    return f;
+}
+
+/** Per-scenario work item result, filled by the pool tasks. */
+struct CaseResult
+{
+    std::vector<FuzzFailure> failures;
+    int cases = 0;
+    int mutTried = 0;
+    int mutDetected = 0;
+};
+
+} // namespace
+
+std::vector<FuzzFailure>
+runScenario(const Scenario &s, const FuzzOptions &opt)
+{
+    std::vector<std::string> backends =
+        opt.backends.empty() ? core::backendNames() : opt.backends;
+    std::vector<FuzzFailure> out;
+    for (const auto &b : backends) {
+        if (!backendAccepts(b, s))
+            continue;
+        std::string err = checkCase(s, b, opt, nullptr);
+        if (!err.empty()) {
+            FuzzOptions noShrink = opt;
+            noShrink.shrink = false;
+            out.push_back(madeFailure(s, b, err, noShrink));
+        }
+    }
+    return out;
+}
+
+FuzzSummary
+runFuzz(const FuzzOptions &opt)
+{
+    std::vector<std::string> backends =
+        opt.backends.empty() ? core::backendNames() : opt.backends;
+
+    std::vector<CaseResult> results(
+        static_cast<size_t>(opt.iterations));
+    core::ThreadPool pool(opt.jobs);
+    for (int i = 0; i < opt.iterations; ++i) {
+        pool.submit([i, &results, &backends, &opt]() {
+            CaseResult &slot = results[i];
+            Scenario s = testgen::randomScenario(opt.seed + i,
+                                                 opt.scenario);
+            for (const auto &b : backends) {
+                if (!backendAccepts(b, s))
+                    continue;
+                core::CompileResult res;
+                std::string err = checkCase(s, b, opt, &res);
+                ++slot.cases;
+                if (!err.empty()) {
+                    slot.failures.push_back(
+                        madeFailure(s, b, err, opt));
+                    continue;
+                }
+                if (opt.mutationsPerCase <= 0)
+                    continue;
+
+                // Mutation campaign: the checker must reject a
+                // corrupted copy of this verified-clean circuit.
+                UnmappedReference ref = unmapDeviceCircuit(
+                    res.sched.deviceCircuit, res.initialLayout(),
+                    s.step->numQubits());
+                if (!ref.ok)
+                    continue;  // unreachable: the case verified
+                EquivalenceChecker checker(opt.check.equivalence);
+                std::mt19937_64 mrng(s.seed * kGolden +
+                                     core::fnv1a64(b) + 0xBADC0DEULL);
+                for (int m = 0; m < opt.mutationsPerCase; ++m) {
+                    Mutation mut;
+                    if (!mutateCircuit(res.sched.deviceCircuit,
+                                       mrng, &mut))
+                        break;  // nothing mutable (e.g. 1q-only)
+                    ++slot.mutTried;
+                    EquivalenceReport rep = checker.check(
+                        ref.logical, mut.circuit,
+                        res.initialLayout(), res.finalLayout());
+                    if (!rep.equivalent)
+                        ++slot.mutDetected;
+                }
+            }
+        });
+    }
+    pool.wait();
+
+    FuzzSummary sum;
+    sum.scenarios = opt.iterations;
+    for (const auto &r : results) {
+        sum.cases += r.cases;
+        sum.mutationsTried += r.mutTried;
+        sum.mutationsDetected += r.mutDetected;
+        sum.failures.insert(sum.failures.end(), r.failures.begin(),
+                            r.failures.end());
+    }
+    return sum;
+}
+
+std::string
+summaryLine(const FuzzSummary &s)
+{
+    std::ostringstream os;
+    os << s.scenarios << " scenarios, " << s.cases << " cases, "
+       << s.failures.size() << " failures";
+    if (s.mutationsTried > 0) {
+        os.precision(1);
+        os << std::fixed << ", mutation detection "
+           << 100.0 * s.detectionRate() << "% (n="
+           << s.mutationsTried << ")";
+    }
+    return os.str();
+}
+
+} // namespace verify
+} // namespace tqan

@@ -1,0 +1,168 @@
+#include "verify/mutate.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tqan {
+namespace verify {
+
+using qcir::Circuit;
+using qcir::Op;
+using qcir::OpKind;
+
+namespace {
+
+/** Distance of a two-qubit op from the identity, phase-free. */
+double
+identityDistance(const Op &o)
+{
+    return linalg::phaseDistance(o.unitary4(),
+                                 linalg::Mat4::identity());
+}
+
+/** Distance of op applied twice from op applied once, phase-free
+ * (a duplicate is semantic iff this is non-negligible). */
+double
+duplicateDistance(const Op &o)
+{
+    linalg::Mat4 u = o.unitary4();
+    return linalg::phaseDistance(u * u, u);
+}
+
+Circuit
+without(const Circuit &c, int skip)
+{
+    Circuit out(c.numQubits());
+    for (int i = 0; i < c.size(); ++i)
+        if (i != skip)
+            out.add(c.op(i));
+    return out;
+}
+
+Circuit
+replaced(const Circuit &c, int at, const Op &o)
+{
+    Circuit out(c.numQubits());
+    for (int i = 0; i < c.size(); ++i)
+        out.add(i == at ? o : c.op(i));
+    return out;
+}
+
+Circuit
+duplicated(const Circuit &c, int at)
+{
+    Circuit out(c.numQubits());
+    for (int i = 0; i < c.size(); ++i) {
+        out.add(c.op(i));
+        if (i == at)
+            out.add(c.op(i));
+    }
+    return out;
+}
+
+/** Semantic-change threshold: far above decomposition round-off,
+ * far below any real fault's distance. */
+constexpr double kMinDistance = 0.05;
+
+} // namespace
+
+bool
+mutateCircuit(const Circuit &device, std::mt19937_64 &rng,
+              Mutation *out)
+{
+    // Candidate ops per mutation class.
+    std::vector<int> rotations;  // Rx / Ry / Rz
+    std::vector<int> payloads;   // Interact / DressedSwap
+    std::vector<int> droppable;  // non-trivial plain Interacts
+    for (int i = 0; i < device.size(); ++i) {
+        const Op &o = device.op(i);
+        if (o.kind == OpKind::Rx || o.kind == OpKind::Ry ||
+            o.kind == OpKind::Rz)
+            rotations.push_back(i);
+        else if (o.kind == OpKind::Interact ||
+                 o.kind == OpKind::DressedSwap)
+            payloads.push_back(i);
+        if (o.kind == OpKind::Interact &&
+            identityDistance(o) > kMinDistance)
+            droppable.push_back(i);
+    }
+
+    std::uniform_real_distribution<double> dd(0.4, 1.2);
+    std::uniform_int_distribution<int> kindDraw(0, 3);
+
+    // A few attempts: a drawn class can be empty or produce a
+    // sub-threshold mutation; try another.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        int kind = kindDraw(rng);
+        std::ostringstream desc;
+        switch (kind) {
+          case 0: {  // AngleBump
+            if (rotations.empty())
+                break;
+            std::uniform_int_distribution<size_t> pick(
+                0, rotations.size() - 1);
+            int at = rotations[pick(rng)];
+            Op o = device.op(at);
+            double delta = dd(rng);
+            o.theta += delta;
+            desc << "bump theta of op " << at << " (" << o.str()
+                 << ") by " << delta;
+            *out = {replaced(device, at, o), desc.str()};
+            return true;
+          }
+          case 1: {  // CoeffBump
+            if (payloads.empty())
+                break;
+            std::uniform_int_distribution<size_t> pick(
+                0, payloads.size() - 1);
+            int at = payloads[pick(rng)];
+            Op o = device.op(at);
+            double delta = dd(rng);
+            switch (std::uniform_int_distribution<int>(0, 2)(rng)) {
+              case 0: o.axx += delta; break;
+              case 1: o.ayy += delta; break;
+              default: o.azz += delta; break;
+            }
+            if (linalg::phaseDistance(o.unitary4(),
+                                      device.op(at).unitary4()) <
+                kMinDistance)
+                break;  // landed on a periodicity; redraw
+            desc << "bump a coefficient of op " << at << " by "
+                 << delta;
+            *out = {replaced(device, at, o), desc.str()};
+            return true;
+          }
+          case 2: {  // DropGate
+            if (droppable.empty())
+                break;
+            std::uniform_int_distribution<size_t> pick(
+                0, droppable.size() - 1);
+            int at = droppable[pick(rng)];
+            desc << "drop op " << at << " ("
+                 << device.op(at).str() << ")";
+            *out = {without(device, at), desc.str()};
+            return true;
+          }
+          default: {  // DuplicateGate
+            if (droppable.empty())
+                break;
+            std::uniform_int_distribution<size_t> pick(
+                0, droppable.size() - 1);
+            int at = droppable[pick(rng)];
+            if (duplicateDistance(device.op(at)) < kMinDistance)
+                break;  // involutory payload; redraw
+            desc << "duplicate op " << at << " ("
+                 << device.op(at).str() << ")";
+            *out = {duplicated(device, at), desc.str()};
+            return true;
+          }
+        }
+    }
+    return false;
+}
+
+} // namespace verify
+} // namespace tqan

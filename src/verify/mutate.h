@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Single-gate corruption of compiled circuits — the mutation side of
+ * the fuzz harness.
+ *
+ * A verification oracle is only trustworthy if it demonstrably
+ * rejects miscompiled circuits, so tqan-fuzz's mutation mode injects
+ * one deliberate post-compile fault and asserts the checker catches
+ * it.  Every mutation models a real compiler-bug class and is
+ * validated to be SEMANTIC before use (the corrupted gate's unitary
+ * is numerically far from the original, never an identity-up-to-
+ * phase rewrite), so the measured detection rate is a true positive
+ * rate, not diluted by no-op "corruptions":
+ *
+ *  - AngleBump:  a rotation angle off by a finite delta
+ *                (mis-propagated parameter),
+ *  - CoeffBump:  one XX/YY/ZZ coefficient of an Interact /
+ *                DressedSwap payload off by a finite delta
+ *                (wrong unification arithmetic),
+ *  - DropGate:   a non-trivial Interact deleted (lost operator),
+ *  - DuplicateGate: a non-involutory Interact applied twice
+ *                (double emission).
+ */
+
+#ifndef TQAN_VERIFY_MUTATE_H
+#define TQAN_VERIFY_MUTATE_H
+
+#include <random>
+#include <string>
+
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace verify {
+
+struct Mutation
+{
+    qcir::Circuit circuit;    ///< the corrupted device circuit
+    std::string description;  ///< "bump theta of op 7 by 0.83"
+};
+
+/**
+ * Produce one guaranteed-semantic single-gate corruption of the
+ * circuit.  Returns false when the circuit offers no mutable gate
+ * (e.g. empty or identity-only circuits); the rng draw sequence is
+ * deterministic, so (circuit, rng state) fully determines the
+ * mutation.
+ */
+bool mutateCircuit(const qcir::Circuit &device,
+                   std::mt19937_64 &rng, Mutation *out);
+
+} // namespace verify
+} // namespace tqan
+
+#endif // TQAN_VERIFY_MUTATE_H

@@ -1,0 +1,254 @@
+#include "verify/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace tqan {
+namespace verify {
+
+using qcir::Circuit;
+using qcir::Op;
+using qcir::OpKind;
+
+UnmappedReference
+unmapDeviceCircuit(const Circuit &device,
+                   const qap::Placement &initialMap,
+                   int numLogicalQubits)
+{
+    UnmappedReference out;
+    if (!qap::placementIsValid(initialMap, device.numQubits())) {
+        out.error = "initial map is not a valid placement onto " +
+                    std::to_string(device.numQubits()) +
+                    " device qubits";
+        return out;
+    }
+    if (static_cast<int>(initialMap.size()) != numLogicalQubits) {
+        out.error = "initial map covers " +
+                    std::to_string(initialMap.size()) +
+                    " logical qubits, expected " +
+                    std::to_string(numLogicalQubits);
+        return out;
+    }
+
+    std::vector<int> inv =
+        qap::invertPlacement(initialMap, device.numQubits());
+    Circuit logical(numLogicalQubits);
+
+    for (int i = 0; i < device.size(); ++i) {
+        const Op &o = device.op(i);
+        switch (o.kind) {
+          case OpKind::Rx:
+          case OpKind::Ry:
+          case OpKind::Rz:
+          case OpKind::U1q: {
+            int lq = inv[o.q0];
+            if (lq < 0) {
+                out.error =
+                    "op " + std::to_string(i) + " (" + o.str() +
+                    ") acts on unmapped device qubit " +
+                    std::to_string(o.q0);
+                return out;
+            }
+            Op l = o;
+            l.q0 = lq;
+            logical.add(l);
+            break;
+          }
+          case OpKind::Interact:
+          case OpKind::DressedSwap: {
+            int lu = inv[o.q0], lv = inv[o.q1];
+            if (lu < 0 || lv < 0) {
+                out.error =
+                    "op " + std::to_string(i) + " (" + o.str() +
+                    ") interacts with unmapped device qubit";
+                return out;
+            }
+            // Interact payloads are symmetric under qubit exchange
+            // (XX/YY/ZZ all are), so operand order is free.
+            logical.add(Op::interact(lu, lv, o.axx, o.ayy, o.azz));
+            if (o.kind == OpKind::DressedSwap)
+                std::swap(inv[o.q0], inv[o.q1]);
+            break;
+          }
+          case OpKind::Swap:
+            std::swap(inv[o.q0], inv[o.q1]);
+            break;
+          default:
+            out.error = "op " + std::to_string(i) + " (" + o.str() +
+                        ") is hardware-level; un-mapping consumes "
+                        "symbolic circuits only";
+            return out;
+        }
+    }
+
+    out.finalMap.assign(numLogicalQubits, -1);
+    for (int dq = 0; dq < device.numQubits(); ++dq)
+        if (inv[dq] >= 0)
+            out.finalMap[inv[dq]] = dq;
+    for (int lq = 0; lq < numLogicalQubits; ++lq) {
+        if (out.finalMap[lq] < 0) {
+            out.error = "logical qubit " + std::to_string(lq) +
+                        " lost its device position (corrupt SWAP "
+                        "chain)";
+            return out;
+        }
+    }
+    out.logical = std::move(logical);
+    out.ok = true;
+    return out;
+}
+
+namespace {
+
+/** Sort key for one op's multiset identity. */
+struct TermKey
+{
+    int kind;
+    int u, v;  ///< normalized qubit pair (v = -1 for 1q ops)
+
+    bool operator<(const TermKey &o) const
+    {
+        if (kind != o.kind)
+            return kind < o.kind;
+        if (u != o.u)
+            return u < o.u;
+        return v < o.v;
+    }
+};
+
+struct TermVal
+{
+    double a, b, c;
+};
+
+bool
+collectTerms(const Circuit &c,
+             std::multimap<TermKey, TermVal> &out, std::string *why)
+{
+    for (const auto &o : c.ops()) {
+        TermKey key;
+        key.kind = static_cast<int>(o.kind);
+        if (o.isTwoQubit()) {
+            if (o.kind != OpKind::Interact &&
+                o.kind != OpKind::DressedSwap) {
+                if (why)
+                    *why = "unsupported two-qubit op kind '" +
+                           o.str() +
+                           "' (multiset check is symbolic-only)";
+                return false;
+            }
+            // DressedSwap carries the same Interact payload; the
+            // SWAP part is permutation bookkeeping, not a term.
+            key.kind = static_cast<int>(OpKind::Interact);
+            key.u = std::min(o.q0, o.q1);
+            key.v = std::max(o.q0, o.q1);
+            out.insert({key, {o.axx, o.ayy, o.azz}});
+        } else {
+            key.u = o.q0;
+            key.v = -1;
+            if (o.kind == OpKind::U1q) {
+                if (why)
+                    *why = "U1q ops have no term identity; multiset "
+                           "check supports Rx/Ry/Rz only";
+                return false;
+            }
+            out.insert({key, {o.theta, 0.0, 0.0}});
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+sameOperatorMultiset(const Circuit &a, const Circuit &b, double tol,
+                     std::string *why)
+{
+    if (a.numQubits() != b.numQubits()) {
+        if (why)
+            *why = "register sizes differ (" +
+                   std::to_string(a.numQubits()) + " vs " +
+                   std::to_string(b.numQubits()) + ")";
+        return false;
+    }
+    std::multimap<TermKey, TermVal> ta, tb;
+    if (!collectTerms(a, ta, why) || !collectTerms(b, tb, why))
+        return false;
+    if (ta.size() != tb.size()) {
+        if (why)
+            *why = "operator counts differ (" +
+                   std::to_string(ta.size()) + " vs " +
+                   std::to_string(tb.size()) + ")";
+        return false;
+    }
+    // Greedy matching inside each key bucket (buckets are tiny).
+    for (auto it = ta.begin(); it != ta.end(); ++it) {
+        auto [lo, hi] = tb.equal_range(it->first);
+        bool matched = false;
+        for (auto jt = lo; jt != hi; ++jt) {
+            if (std::abs(it->second.a - jt->second.a) < tol &&
+                std::abs(it->second.b - jt->second.b) < tol &&
+                std::abs(it->second.c - jt->second.c) < tol) {
+                tb.erase(jt);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            if (why) {
+                std::ostringstream os;
+                os << "no match for term on (" << it->first.u;
+                if (it->first.v >= 0)
+                    os << ", " << it->first.v;
+                os << ") with coefficients (" << it->second.a << ", "
+                   << it->second.b << ", " << it->second.c << ")";
+                *why = os.str();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+/** Z-diagonal ops: Rz rotations and pure-ZZ interactions (dressed
+ * SWAPs excluded — the SWAP factor is not diagonal). */
+bool
+isZDiagonal(const Op &o)
+{
+    if (o.kind == OpKind::Rz)
+        return true;
+    if (o.kind == OpKind::Interact)
+        return o.axx == 0.0 && o.ayy == 0.0;
+    return false;
+}
+
+bool
+sharesQubit(const Op &a, const Op &b)
+{
+    return a.touches(b.q0) || (b.q1 >= 0 && a.touches(b.q1));
+}
+
+} // namespace
+
+bool
+allOpsCommute(const Circuit &c)
+{
+    const auto &ops = c.ops();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        for (size_t j = i + 1; j < ops.size(); ++j) {
+            if (!sharesQubit(ops[i], ops[j]))
+                continue;
+            if (isZDiagonal(ops[i]) && isZDiagonal(ops[j]))
+                continue;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace verify
+} // namespace tqan

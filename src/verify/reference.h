@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Executed-order reference extraction — the semantic bridge between a
+ * compiled device circuit and the logical step it claims to
+ * implement.
+ *
+ * The paper's compilation model is order-free: inside one Trotter
+ * step every operator exp(i t h_j H_j) may execute in any order (each
+ * ordering is an equally valid product-formula step), and the
+ * permutation-aware passes exploit exactly that freedom.  A compiled
+ * circuit is therefore NOT unitarily equal to the input step in
+ * general; the correct end-to-end statement is two-part:
+ *
+ *  1. the device circuit exactly implements SOME logical operator
+ *     sequence under the claimed initial/final qubit maps
+ *     (unitary equivalence, checked by verify::EquivalenceChecker
+ *     against the executed-order reference extracted here), and
+ *
+ *  2. that sequence executes the input step's operator multiset
+ *     exactly once each (sameOperatorMultiset), i.e. it is a valid
+ *     reordering of the input Trotter step.
+ *
+ * When every pair of input operators commutes (checked conservatively
+ * by allOpsCommute — e.g. pure-ZZ Ising / QAOA cost layers), the
+ * reordering freedom collapses and direct unitary equivalence against
+ * the input itself must also hold; callers can then tighten the check.
+ *
+ * unmapDeviceCircuit walks a symbolic device circuit (Interact /
+ * Swap / DressedSwap / 1q ops — what every registered backend emits
+ * before gate decomposition) with the live device->logical map and
+ * returns the executed logical circuit plus the final map, failing
+ * loudly on ops that touch unmapped device qubits or on
+ * hardware-level gates (decompose-then-verify instead goes through
+ * the checker with the symbolic reference).
+ */
+
+#ifndef TQAN_VERIFY_REFERENCE_H
+#define TQAN_VERIFY_REFERENCE_H
+
+#include <string>
+
+#include "qap/qap.h"
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace verify {
+
+/** Result of un-mapping a symbolic device circuit. */
+struct UnmappedReference
+{
+    bool ok = false;
+    std::string error;        ///< why un-mapping failed
+    qcir::Circuit logical;    ///< executed-order logical circuit
+    qap::Placement finalMap;  ///< logical -> device after all SWAPs
+};
+
+/**
+ * Un-map a symbolic device circuit into the logical operator
+ * sequence it executes, in execution order.
+ *
+ * @param device device-qubit circuit (Interact / Swap / DressedSwap /
+ *        single-qubit ops only).
+ * @param initialMap logical -> device map at circuit start.
+ * @param numLogicalQubits register size of the logical circuit.
+ */
+UnmappedReference unmapDeviceCircuit(const qcir::Circuit &device,
+                                     const qap::Placement &initialMap,
+                                     int numLogicalQubits);
+
+/**
+ * Order-free multiset equality of two Trotter-step circuits: the
+ * same Interact terms per (unordered) qubit pair and the same
+ * single-qubit rotations per qubit, all coefficients within `tol`.
+ * This is exactly "b is a valid reordering of a" under the paper's
+ * Hamiltonian-simulation semantics.  On mismatch returns false and
+ * (optionally) describes the first difference.
+ */
+bool sameOperatorMultiset(const qcir::Circuit &a,
+                          const qcir::Circuit &b, double tol = 1e-9,
+                          std::string *why = nullptr);
+
+/**
+ * Conservative pairwise-commutation test: true only when every pair
+ * of ops provably commutes (disjoint qubit supports, or both ops
+ * diagonal in the Z basis: Rz and pure-ZZ Interacts).  True e.g. for
+ * QAOA cost layers and zero-field Ising steps; when true, compiled
+ * output must be unitarily equivalent to the input directly.
+ */
+bool allOpsCommute(const qcir::Circuit &c);
+
+} // namespace verify
+} // namespace tqan
+
+#endif // TQAN_VERIFY_REFERENCE_H

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests of the unitary-equivalence oracle: positive cases
+ * (identity, permutation embedding, global phase, decomposition),
+ * negative cases (angle/coefficient corruption, dropped gates, wrong
+ * final map, junk on unmapped qubits), both oracle modes, and the
+ * engine-attachment invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "decomp/pass.h"
+#include "linalg/matrix.h"
+#include "sim/engine.h"
+#include "verify/equivalence.h"
+
+using namespace tqan;
+using qcir::Circuit;
+using qcir::Op;
+using verify::CheckMode;
+using verify::EquivalenceChecker;
+using verify::EquivalenceOptions;
+using verify::EquivalenceReport;
+
+namespace {
+
+/** A small non-trivial application-level circuit. */
+Circuit
+sampleCircuit(int n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> d(0.1, 1.4);
+    Circuit c(n);
+    for (int q = 0; q + 1 < n; ++q)
+        c.add(Op::interact(q, q + 1, d(rng), d(rng), d(rng)));
+    for (int q = 0; q < n; ++q)
+        c.add(Op::rx(q, d(rng)));
+    if (n >= 3)
+        c.add(Op::interact(0, 2, d(rng), 0.0, d(rng)));
+    return c;
+}
+
+/** Embed a logical circuit on a larger register via a map. */
+Circuit
+embedded(const Circuit &c, const qap::Placement &map, int devQubits)
+{
+    Circuit out(devQubits);
+    for (const auto &o : c.ops()) {
+        Op m = o;
+        m.q0 = map[o.q0];
+        if (o.q1 >= 0)
+            m.q1 = map[o.q1];
+        out.add(m);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Equivalence, IdenticalCircuitsPass)
+{
+    Circuit c = sampleCircuit(4, 11);
+    EquivalenceChecker chk;
+    EquivalenceReport rep = chk.check(c, c);
+    EXPECT_TRUE(rep.equivalent) << rep.detail;
+    EXPECT_EQ(rep.mode, CheckMode::Full);
+    EXPECT_LT(rep.worstDeviation, 1e-10);
+}
+
+TEST(Equivalence, GlobalPhaseIsIgnored)
+{
+    Circuit a(2);
+    a.add(Op::rz(0, 0.7));
+    a.add(Op::interact(0, 1, 0.0, 0.0, 0.4));
+
+    // Same operation with an injected global phase e^{i 0.3}.
+    linalg::Mat2 phased = linalg::rz(0.7) * linalg::Cx(
+        std::cos(0.3), std::sin(0.3));
+    Circuit b(2);
+    b.add(Op::u1q(0, phased));
+    b.add(Op::interact(0, 1, 0.0, 0.0, 0.4));
+
+    EquivalenceChecker chk;
+    EXPECT_TRUE(chk.check(a, b).equivalent);
+}
+
+TEST(Equivalence, DetectsAngleCorruption)
+{
+    Circuit c = sampleCircuit(4, 12);
+    Circuit bad = c;
+    bad.ops()[1].azz += 0.6;
+    EquivalenceChecker chk;
+    EquivalenceReport rep = chk.check(c, bad);
+    EXPECT_FALSE(rep.equivalent);
+    EXPECT_GT(rep.worstDeviation, 1e-3);
+}
+
+TEST(Equivalence, DetectsDroppedGate)
+{
+    Circuit c = sampleCircuit(4, 13);
+    Circuit bad(4);
+    for (int i = 1; i < c.size(); ++i)
+        bad.add(c.op(i));
+    EquivalenceChecker chk;
+    EXPECT_FALSE(chk.check(c, bad).equivalent);
+}
+
+TEST(Equivalence, PermutationEmbeddingWithSwaps)
+{
+    Circuit logical = sampleCircuit(3, 14);
+    // Device: 5 qubits; logical q -> device {4, 0, 2}; one final
+    // SWAP moves logical 0 from device 4 to device 1.
+    qap::Placement init = {4, 0, 2};
+    Circuit device = embedded(logical, init, 5);
+    device.add(Op::swap(4, 1));
+    qap::Placement fin = {1, 0, 2};
+
+    EquivalenceChecker chk;
+    EXPECT_TRUE(chk.check(logical, device, init, fin).equivalent);
+
+    // The same device circuit with the WRONG final map must fail.
+    EXPECT_FALSE(chk.check(logical, device, init, init).equivalent);
+}
+
+TEST(Equivalence, DetectsJunkOnUnmappedQubit)
+{
+    Circuit logical = sampleCircuit(3, 15);
+    qap::Placement map = {0, 1, 2};
+    Circuit device = embedded(logical, map, 5);
+    device.add(Op::rx(4, 0.9));  // unmapped qubit leaves |0>
+
+    for (int maxFull : {20, 0}) {  // full and probe oracles
+        EquivalenceOptions opt;
+        opt.maxFullQubits = maxFull;
+        EquivalenceChecker chk(opt);
+        EXPECT_FALSE(
+            chk.check(logical, device, map, map).equivalent)
+            << "maxFullQubits=" << maxFull;
+    }
+}
+
+TEST(Equivalence, ProbeModeAcceptsAndRejects)
+{
+    Circuit c = sampleCircuit(5, 16);
+    EquivalenceOptions opt;
+    opt.maxFullQubits = 0;  // force the probe oracle
+    EquivalenceChecker chk(opt);
+
+    EquivalenceReport rep = chk.check(c, c);
+    EXPECT_TRUE(rep.equivalent) << rep.detail;
+    EXPECT_EQ(rep.mode, CheckMode::Probe);
+
+    Circuit bad = c;
+    bad.ops()[0].axx += 0.7;
+    EXPECT_FALSE(chk.check(c, bad).equivalent);
+}
+
+TEST(Equivalence, ProbeModeCatchesTrailingPhaseFault)
+{
+    // A trailing Rz corruption commutes with every Z-basis
+    // observable; the random output frame is what makes it visible.
+    Circuit c = sampleCircuit(4, 17);
+    Circuit bad = c;
+    bad.add(Op::rz(2, 0.8));
+
+    EquivalenceOptions opt;
+    opt.maxFullQubits = 0;
+    EquivalenceChecker chk(opt);
+    EXPECT_FALSE(chk.check(c, bad).equivalent);
+}
+
+TEST(Equivalence, DecompositionOutputsVerify)
+{
+    Circuit c = sampleCircuit(4, 18);
+    EquivalenceChecker chk;
+    EXPECT_TRUE(chk.check(c, decomp::decomposeToCnot(c)).equivalent);
+    EXPECT_TRUE(chk.check(c, decomp::decomposeToCz(c)).equivalent);
+}
+
+TEST(Equivalence, EngineAttachmentDoesNotChangeResults)
+{
+    Circuit c = sampleCircuit(5, 19);
+    Circuit bad = c;
+    bad.ops()[2].theta += 0.5;
+
+    EquivalenceChecker serial;
+    sim::Engine eng(4);
+    EquivalenceOptions opt;
+    opt.engine = &eng;
+    EquivalenceChecker parallel(opt);
+
+    EquivalenceReport a = serial.check(c, c);
+    EquivalenceReport b = parallel.check(c, c);
+    EXPECT_TRUE(a.equivalent);
+    EXPECT_TRUE(b.equivalent);
+    EXPECT_DOUBLE_EQ(a.worstDeviation, b.worstDeviation);
+
+    EXPECT_EQ(serial.check(c, bad).equivalent,
+              parallel.check(c, bad).equivalent);
+}
+
+TEST(Equivalence, RejectsMalformedMaps)
+{
+    Circuit c = sampleCircuit(3, 20);
+    EquivalenceChecker chk;
+    qap::Placement good = {0, 1, 2};
+    qap::Placement shortMap = {0, 1};
+    qap::Placement collide = {0, 0, 1};
+    EXPECT_THROW(chk.check(c, c, shortMap, good),
+                 std::invalid_argument);
+    EXPECT_THROW(chk.check(c, c, good, collide),
+                 std::invalid_argument);
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Replays every reproducer in tests/regress/ through the full
+ * compile-and-verify stack (ctest label: verify).
+ *
+ * The corpus pins scenario shapes the fuzz campaign flagged as
+ * interesting — today the adversarial generator classes plus the
+ * parser-hardening findings in spec form.  When tqan-fuzz finds a
+ * real miscompile, check its (shrunk) reproducer in here: the bug
+ * stays fixed forever, and the file doubles as format-stability
+ * coverage for scenarioFromSpec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "verify/fuzz.h"
+
+using namespace tqan;
+
+namespace {
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+corpusFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(TQAN_REGRESS_DIR))
+        if (e.path().extension() == ".repro")
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+TEST(RegressReplay, CorpusExists)
+{
+    EXPECT_GE(corpusFiles().size(), 3u)
+        << "tests/regress/ lost its reproducer corpus";
+}
+
+TEST(RegressReplay, EveryReproducerVerifiesCleanOnEveryBackend)
+{
+    verify::FuzzOptions opt;
+    for (const fs::path &p : corpusFiles()) {
+        std::ifstream f(p);
+        ASSERT_TRUE(f) << p;
+        testgen::Scenario s;
+        ASSERT_NO_THROW(s = testgen::scenarioFromSpec(f)) << p;
+        for (const auto &fail : verify::runScenario(s, opt))
+            ADD_FAILURE() << p.filename() << " on " << fail.backend
+                          << ": " << fail.error;
+    }
+}

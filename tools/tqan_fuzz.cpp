@@ -1,0 +1,263 @@
+/**
+ * @file
+ * tqan-fuzz -- cross-backend differential fuzz harness CLI.
+ *
+ * Draws randomized 2-local scenarios (testgen), compiles each with
+ * every registered backend, and end-to-end verifies every result
+ * (verify::checkCompilation: un-map, layout, operator multiset,
+ * unitary oracle, decomposition re-verify).  Failing cases are
+ * shrunk to minimal reproducers and written as replayable spec
+ * files; --replay re-runs one.  --mutate proves the oracle itself:
+ * it corrupts one gate of each verified circuit and reports the
+ * detection rate (CI gates on >= 95%).
+ *
+ *   tqan-fuzz --iterations 500 --jobs 8          # the CI gate
+ *   tqan-fuzz --iterations 100 --mutate 4        # oracle quality
+ *   tqan-fuzz --replay fuzz-failures/case0.repro # one reproducer
+ *
+ * Seeding: --seed (or TQAN_FUZZ_SEED) fully determines every
+ * scenario, compile and oracle draw; results are identical for any
+ * --jobs value.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/backend.h"
+#include "verify/fuzz.h"
+
+using namespace tqan;
+
+namespace {
+
+int
+intFlag(const std::string &flag, const std::string &value)
+{
+    try {
+        size_t used = 0;
+        int v = std::stoi(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    std::fprintf(stderr, "tqan-fuzz: bad integer '%s' for %s\n",
+                 value.c_str(), flag.c_str());
+    std::exit(2);
+}
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: tqan-fuzz [options]\n"
+        "       tqan-fuzz --replay FILE [options]\n"
+        "\n"
+        "Randomized end-to-end correctness fuzzing: generator ->\n"
+        "every registered backend -> equivalence checker.  Exit 0\n"
+        "when every case verifies (and, with --mutate, the\n"
+        "detection rate clears --min-detection); 1 on verification\n"
+        "failures; 4 on a mutation-detection shortfall.\n"
+        "\n"
+        "options:\n"
+        "  --iterations N    scenarios to draw (default 100)\n"
+        "  --seed S          base seed (default $TQAN_FUZZ_SEED or 1)\n"
+        "  --jobs N          scenario-parallel workers (default 1;\n"
+        "                    results identical for any value)\n"
+        "  --backends CSV    comma-separated backend subset\n"
+        "                    (default: all registered)\n"
+        "  --max-qubits N    circuit-size ceiling (default 9)\n"
+        "  --max-device N    device-size ceiling (default 11)\n"
+        "  --trials N        oracle trials per case (default 3)\n"
+        "  --mutate M        mutation campaign: M corruptions per\n"
+        "                    verified case (default 0 = off)\n"
+        "  --min-detection P mutation detection gate in percent\n"
+        "                    (default 95)\n"
+        "  --no-shrink       keep failing scenarios unshrunk\n"
+        "  --no-decomp       skip decomposition re-verification\n"
+        "  --out DIR         write reproducers here (default\n"
+        "                    fuzz-failures/)\n"
+        "  --replay FILE     re-run one reproducer spec\n"
+        "  --dump SEED       print the scenario a seed generates as\n"
+        "                    a reproducer spec and exit\n"
+        "  --verbose         per-failure detail on stderr\n"
+        "  --help            this help\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    verify::FuzzOptions opt;
+    opt.seed = 1;
+    if (const char *env = std::getenv("TQAN_FUZZ_SEED")) {
+        try {
+            opt.seed = std::stoull(env);
+        } catch (const std::exception &) {
+            std::fprintf(stderr,
+                         "tqan-fuzz: bad TQAN_FUZZ_SEED '%s'\n",
+                         env);
+            return 2;
+        }
+    }
+    std::string outDir = "fuzz-failures";
+    std::string replayFile, dumpSeed;
+    double minDetection = 95.0;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "tqan-fuzz: missing value for %s\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            printHelp(stdout);
+            return 0;
+        } else if (a == "--iterations") {
+            opt.iterations = intFlag(a, next());
+        } else if (a == "--seed") {
+            try {
+                opt.seed = std::stoull(next());
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "tqan-fuzz: bad --seed\n");
+                return 2;
+            }
+        } else if (a == "--jobs") {
+            opt.jobs = intFlag(a, next());
+        } else if (a == "--backends") {
+            std::istringstream is(next());
+            std::string tok;
+            while (std::getline(is, tok, ','))
+                if (!tok.empty())
+                    opt.backends.push_back(tok);
+        } else if (a == "--max-qubits") {
+            opt.scenario.maxQubits = intFlag(a, next());
+        } else if (a == "--max-device") {
+            opt.scenario.maxDeviceQubits = intFlag(a, next());
+        } else if (a == "--trials") {
+            opt.check.equivalence.trials = intFlag(a, next());
+        } else if (a == "--mutate") {
+            opt.mutationsPerCase = intFlag(a, next());
+        } else if (a == "--min-detection") {
+            std::string v = next();
+            try {
+                size_t used = 0;
+                minDetection = std::stod(v, &used);
+                if (used != v.size())
+                    throw std::invalid_argument(v);
+            } catch (const std::exception &) {
+                std::fprintf(stderr,
+                             "tqan-fuzz: bad percentage '%s' for "
+                             "--min-detection\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (a == "--no-shrink") {
+            opt.shrink = false;
+        } else if (a == "--no-decomp") {
+            opt.check.checkDecompositions = false;
+        } else if (a == "--out") {
+            outDir = next();
+        } else if (a == "--replay") {
+            replayFile = next();
+        } else if (a == "--dump") {
+            dumpSeed = next();
+        } else if (a == "--verbose") {
+            verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "tqan-fuzz: unknown option '%s' (run "
+                         "'tqan-fuzz --help')\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+    if (opt.iterations < 1 || opt.jobs < 1 ||
+        opt.scenario.maxQubits < opt.scenario.minQubits) {
+        std::fprintf(stderr, "tqan-fuzz: bad option values\n");
+        return 2;
+    }
+    if (opt.scenario.maxDeviceQubits < opt.scenario.maxQubits)
+        opt.scenario.maxDeviceQubits = opt.scenario.maxQubits;
+
+    try {
+        for (const auto &b : opt.backends)
+            core::backendByName(b);  // fail fast on typos
+
+        if (!dumpSeed.empty()) {
+            testgen::Scenario s = testgen::randomScenario(
+                std::stoull(dumpSeed), opt.scenario);
+            std::fputs(testgen::toSpec(s).c_str(), stdout);
+            return 0;
+        }
+        if (!replayFile.empty()) {
+            std::ifstream f(replayFile);
+            if (!f) {
+                std::fprintf(stderr, "tqan-fuzz: cannot open %s\n",
+                             replayFile.c_str());
+                return 2;
+            }
+            testgen::Scenario s = testgen::scenarioFromSpec(f);
+            auto failures = verify::runScenario(s, opt);
+            if (failures.empty()) {
+                std::fprintf(stderr,
+                             "tqan-fuzz: reproducer %s verifies "
+                             "clean on every backend\n",
+                             replayFile.c_str());
+                return 0;
+            }
+            for (const auto &fl : failures)
+                std::fprintf(stderr, "tqan-fuzz: %s: %s\n",
+                             fl.backend.c_str(), fl.error.c_str());
+            return 1;
+        }
+
+        verify::FuzzSummary sum = verify::runFuzz(opt);
+        std::fprintf(stderr, "tqan-fuzz: %s\n",
+                     verify::summaryLine(sum).c_str());
+
+        if (!sum.failures.empty()) {
+            std::filesystem::create_directories(outDir);
+            int idx = 0;
+            for (const auto &f : sum.failures) {
+                std::string path =
+                    outDir + "/case" + std::to_string(idx++) +
+                    "_seed" + std::to_string(f.scenarioSeed) + "_" +
+                    f.backend + ".repro";
+                std::ofstream out(path);
+                out << f.reproducer;
+                std::fprintf(stderr,
+                             "tqan-fuzz: FAIL %s on %s -> %s\n",
+                             f.scenarioName.c_str(),
+                             f.backend.c_str(), path.c_str());
+                if (verbose)
+                    std::fprintf(stderr, "  %s\n",
+                                 f.error.c_str());
+            }
+            return 1;
+        }
+        if (opt.mutationsPerCase > 0 &&
+            100.0 * sum.detectionRate() < minDetection) {
+            std::fprintf(stderr,
+                         "tqan-fuzz: mutation detection %.1f%% is "
+                         "below the %.1f%% gate\n",
+                         100.0 * sum.detectionRate(), minDetection);
+            return 4;
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tqan-fuzz: error: %s\n", e.what());
+        return 1;
+    }
+}

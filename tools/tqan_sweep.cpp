@@ -75,6 +75,10 @@ printHelp(std::FILE *out)
         "  --tables          also print the Table I/II aggregate\n"
         "                    grid (each baseline vs 2qan)\n"
         "  --tables-only     print only the aggregate grid\n"
+        "  --verify          end-to-end verify every ok row\n"
+        "                    (un-map + operator multiset + unitary\n"
+        "                    oracle); mismatches fail the row.  The\n"
+        "                    'verify' preset has this on already\n"
         "  --profile         print the profiling report (wall time\n"
         "                    per pass / backend) to stderr\n"
         "  --spec-help       describe the sweep-spec format\n"
@@ -200,7 +204,7 @@ main(int argc, char **argv)
     std::string outFile = "BENCH_pr4.json", baselineFile;
     int jobs = 1, warmup = 1, repeat = 5;
     bool tables = false, tablesOnly = false, bench = false,
-         profile = false;
+         profile = false, verify = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -229,6 +233,8 @@ main(int argc, char **argv)
             tables = true;
         } else if (a == "--tables-only") {
             tables = tablesOnly = true;
+        } else if (a == "--verify") {
+            verify = true;
         } else if (a == "--bench") {
             bench = true;
         } else if (a == "--warmup") {
@@ -291,6 +297,8 @@ main(int argc, char **argv)
                 throw std::runtime_error("cannot open " + specFile);
             spec = core::parseSweepSpec(f);
         }
+        if (verify)
+            spec.verify = true;
 
         if (bench) {
             int rc = runBenchMode(spec, jobs, {warmup, repeat},
