@@ -19,6 +19,7 @@
 #include "sim/noise.h"
 #include "sim/reference.h"
 #include "sim/statevector.h"
+#include "simd/dispatch.h"
 #include "verify/check.h"
 
 namespace tqan {
@@ -121,6 +122,10 @@ prepareSimCase(const SimBenchCase &c, std::uint64_t baseSeed)
             "graph)");
     if (c.layers < 1 || c.shots < 0)
         throw std::invalid_argument("runSimCase: bad layers/shots");
+    if (c.reference && c.forceScalar)
+        throw std::invalid_argument(
+            "runSimCase: 'reference' and 'scalar' are exclusive "
+            "(the pre-engine simulator never dispatches)");
 
     // Same instance-seeding convention as the compile sweeps, so a
     // sim case and a QAOA_REG3 compile row of equal (n, instance)
@@ -168,6 +173,9 @@ double
 runSimCase(const SimBenchCase &c, std::uint64_t baseSeed, int jobs)
 {
     SimWorkload w = prepareSimCase(c, baseSeed);
+    std::unique_ptr<simd::ScopedForceIsa> force;
+    if (c.forceScalar)
+        force.reset(new simd::ScopedForceIsa(simd::Isa::Scalar));
     if (c.reference)
         return runPreparedSimCase(w, c, nullptr);
     sim::Engine eng(jobs);
@@ -371,24 +379,34 @@ parseSweepSpec(std::istream &in)
                     "sweep spec line " + std::to_string(lineno) +
                     ": verify takes on|off|1|0, got '" + v + "'");
         } else if (key == "sim" && family.empty()) {
-            // sim = LABEL N LAYERS SHOTS [INSTANCE] [reference]
+            // sim = LABEL N LAYERS SHOTS [INSTANCE]
+            //       [reference|scalar]
             // Appends one simulation bench case per line.
             SimBenchCase sc;
-            bool hasRef =
-                !vals.empty() && vals.back() == "reference";
-            size_t nvals = vals.size() - (hasRef ? 1 : 0);
+            size_t nvals = vals.size();
+            while (nvals > 0 && (vals[nvals - 1] == "reference" ||
+                                 vals[nvals - 1] == "scalar")) {
+                if (vals[nvals - 1] == "reference")
+                    sc.reference = true;
+                else
+                    sc.forceScalar = true;
+                --nvals;
+            }
             if (nvals < 4 || nvals > 5)
                 throw std::invalid_argument(
                     "sweep spec line " + std::to_string(lineno) +
                     ": sim takes LABEL N LAYERS SHOTS [INSTANCE] "
-                    "[reference]");
+                    "[reference|scalar]");
+            if (sc.reference && sc.forceScalar)
+                throw std::invalid_argument(
+                    "sweep spec line " + std::to_string(lineno) +
+                    ": 'reference' and 'scalar' are exclusive");
             sc.label = vals[0];
             sc.n = specInt(key, vals[1]);
             sc.layers = specInt(key, vals[2]);
             sc.shots = specInt(key, vals[3]);
             if (nvals == 5)
                 sc.instance = specInt(key, vals[4]);
-            sc.reference = hasRef;
             spec.simCases.push_back(std::move(sc));
         } else {
             throw std::invalid_argument(
@@ -432,12 +450,15 @@ sweepSpecHelp()
         "    sizes.QAOA_REG3 = 4 6 8\n"
         "    backends.QAOA_REG3 = 2qan qiskit_sabre ic_qaoa\n"
         "\n"
-        "  sim = LABEL N LAYERS SHOTS [INSTANCE] [reference]\n"
+        "  sim = LABEL N LAYERS SHOTS [INSTANCE]\n"
+        "        [reference|scalar]\n"
         "  appends one simulation-throughput case (--bench only):\n"
         "  p-layer QAOA on a random 3-regular graph, SHOTS noisy\n"
         "  trajectories (0 = one noiseless pass); 'reference' times\n"
-        "  the pre-engine simulator instead.  A spec may be\n"
-        "  sim-only: sim lines and no devices.\n";
+        "  the pre-engine simulator instead, 'scalar' pins the\n"
+        "  engine's SIMD dispatch to the scalar kernels (backend\n"
+        "  label 'engine-scalar').  A spec may be sim-only: sim\n"
+        "  lines and no devices.\n";
 }
 
 SweepSpec
@@ -484,6 +505,30 @@ sweepPreset(const std::string &name)
             {"qaoa_p1_traj64", 20, 1, 64, 0, true},
             {"qaoa_p1_state", 22, 1, 0, 0, false},
             {"qaoa_p1_state", 22, 1, 0, 0, true},
+        };
+        return s;
+    }
+    if (name == "simd") {
+        // Paired scalar-vs-dispatched rows, one per workload, from a
+        // single --bench invocation: the fidelity-preset engine
+        // workloads (20-qubit trajectory batch + 22-qubit noiseless
+        // pass) each timed dispatched and scalar-forced, plus a
+        // tabu-heavy sycamore compile row (the 54-qubit device at
+        // n=40 keeps the mapper's delta-scan hot) re-run scalar via
+        // simdPairedCompile.  BENCH_pr6.json is this preset's
+        // output; the PR 6 acceptance bar is engine/engine-scalar
+        // median >= 1.5x on the sim rows.
+        s.benchmarks = {Benchmark::NnnHeisenberg};
+        s.devices = {{"sycamore", ""}};
+        s.backends = {"2qan"};
+        s.sizes = {40};
+        s.trials = 3;
+        s.simdPairedCompile = true;
+        s.simCases = {
+            {"qaoa_p1_traj64", 20, 1, 64, 0, false, false},
+            {"qaoa_p1_traj64", 20, 1, 64, 0, false, true},
+            {"qaoa_p1_state", 22, 1, 0, 0, false, false},
+            {"qaoa_p1_state", 22, 1, 0, 0, false, true},
         };
         return s;
     }
@@ -534,14 +579,15 @@ sweepPreset(const std::string &name)
     }
     throw std::invalid_argument(
         "unknown sweep preset '" + name + "' (available: golden | "
-        "smoke | verify | table1_table2 | figures | fidelity)");
+        "smoke | verify | table1_table2 | figures | fidelity | "
+        "simd)");
 }
 
 std::vector<std::string>
 sweepPresetNames()
 {
     return {"golden", "smoke", "verify", "table1_table2",
-            "figures", "fidelity"};
+            "figures", "fidelity", "simd"};
 }
 
 ExpandedSweep
@@ -897,51 +943,64 @@ runBench(const SweepSpec &spec, const BatchCompiler &bc,
     // like the `fidelity` preset).
     if (!(spec.devices.empty() && !spec.simCases.empty())) {
         ExpandedSweep ex = expandSweep(spec);
-        for (int w = 0; w < opt.warmup; ++w)
-            bc.run(ex.jobs);
 
-        size_t njobs = ex.jobs.size();
-        std::vector<std::vector<double>> seconds(njobs),
-            mapping(njobs), routing(njobs), scheduling(njobs);
-        std::vector<std::string> errors(njobs);
-        for (int r = 0; r < opt.repeat; ++r) {
-            std::vector<BatchJobResult> results = bc.run(ex.jobs);
-            for (size_t i = 0; i < njobs; ++i) {
-                if (!results[i].ok()) {
-                    errors[i] = results[i].error;
-                    continue;
+        // One warmup+timed pass over the whole grid, appending one
+        // row per job with `suffix` on the backend label; run twice
+        // (dispatched, then scalar-pinned) for simdPairedCompile.
+        auto benchCompileGrid = [&](const std::string &suffix) {
+            for (int w = 0; w < opt.warmup; ++w)
+                bc.run(ex.jobs);
+
+            size_t njobs = ex.jobs.size();
+            std::vector<std::vector<double>> seconds(njobs),
+                mapping(njobs), routing(njobs), scheduling(njobs);
+            std::vector<std::string> errors(njobs);
+            for (int r = 0; r < opt.repeat; ++r) {
+                std::vector<BatchJobResult> results =
+                    bc.run(ex.jobs);
+                for (size_t i = 0; i < njobs; ++i) {
+                    if (!results[i].ok()) {
+                        errors[i] = results[i].error;
+                        continue;
+                    }
+                    seconds[i].push_back(results[i].seconds);
+                    mapping[i].push_back(
+                        results[i].result.mappingSeconds);
+                    routing[i].push_back(
+                        results[i].result.routingSeconds);
+                    scheduling[i].push_back(
+                        results[i].result.schedulingSeconds);
                 }
-                seconds[i].push_back(results[i].seconds);
-                mapping[i].push_back(
-                    results[i].result.mappingSeconds);
-                routing[i].push_back(
-                    results[i].result.routingSeconds);
-                scheduling[i].push_back(
-                    results[i].result.schedulingSeconds);
             }
-        }
 
-        rows.resize(njobs);
-        for (size_t i = 0; i < njobs; ++i) {
-            BenchRow &b = rows[i];
-            const SweepRow &meta = ex.rows[i];
-            b.benchmark = meta.benchmark;
-            b.device = meta.device;
-            b.gateset = meta.gateset;
-            b.backend = meta.backend;
-            b.nqubits = meta.nqubits;
-            b.instance = meta.instance;
-            b.error = errors[i];
-            if (!b.ok() || seconds[i].empty())
-                continue;
-            b.medianSeconds = medianOf(seconds[i]);
-            b.minSeconds = *std::min_element(seconds[i].begin(),
-                                             seconds[i].end());
-            b.maxSeconds = *std::max_element(seconds[i].begin(),
-                                             seconds[i].end());
-            b.mappingSeconds = medianOf(mapping[i]);
-            b.routingSeconds = medianOf(routing[i]);
-            b.schedulingSeconds = medianOf(scheduling[i]);
+            for (size_t i = 0; i < njobs; ++i) {
+                BenchRow b;
+                const SweepRow &meta = ex.rows[i];
+                b.benchmark = meta.benchmark;
+                b.device = meta.device;
+                b.gateset = meta.gateset;
+                b.backend = meta.backend + suffix;
+                b.nqubits = meta.nqubits;
+                b.instance = meta.instance;
+                b.error = errors[i];
+                if (b.ok() && !seconds[i].empty()) {
+                    b.medianSeconds = medianOf(seconds[i]);
+                    b.minSeconds = *std::min_element(
+                        seconds[i].begin(), seconds[i].end());
+                    b.maxSeconds = *std::max_element(
+                        seconds[i].begin(), seconds[i].end());
+                    b.mappingSeconds = medianOf(mapping[i]);
+                    b.routingSeconds = medianOf(routing[i]);
+                    b.schedulingSeconds = medianOf(scheduling[i]);
+                }
+                rows.push_back(std::move(b));
+            }
+        };
+
+        benchCompileGrid("");
+        if (spec.simdPairedCompile) {
+            simd::ScopedForceIsa force(simd::Isa::Scalar);
+            benchCompileGrid("-scalar");
         }
     }
 
@@ -955,7 +1014,10 @@ runBench(const SweepSpec &spec, const BatchCompiler &bc,
         b.benchmark = c.label;
         b.device = "simulator";
         b.gateset = "exact";
-        b.backend = c.reference ? "reference" : "engine";
+        b.backend = c.reference
+                        ? "reference"
+                        : (c.forceScalar ? "engine-scalar"
+                                         : "engine");
         b.nqubits = c.n;
         b.instance = c.instance;
         std::vector<double> secs;
@@ -965,6 +1027,10 @@ runBench(const SweepSpec &spec, const BatchCompiler &bc,
             // reduction), not graph/circuit generation or
             // thread-pool spawn.
             const SimWorkload w = prepareSimCase(c, spec.seed);
+            std::unique_ptr<simd::ScopedForceIsa> force;
+            if (c.forceScalar)
+                force.reset(
+                    new simd::ScopedForceIsa(simd::Isa::Scalar));
             std::unique_ptr<sim::Engine> eng;
             if (!c.reference)
                 eng.reset(new sim::Engine(jobs));
@@ -1000,7 +1066,11 @@ benchJson(const std::string &experiment, const BenchOptions &opt,
     os << "{\"schema\":\"tqan-bench-v1\",\"experiment\":\""
        << jsonEscaped(experiment) << "\",\"warmup\":" << opt.warmup
        << ",\"repeat\":" << opt.repeat << ",\"jobs\":" << jobs
-       << ",\"rows\":[\n";
+       // ISA the run dispatched to (rows forced to scalar carry it
+       // in their backend label); parseBenchJson() skips header
+       // lines, so older readers are unaffected.
+       << ",\"simd\":\"" << simd::activeIsaName()
+       << "\",\"rows\":[\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const BenchRow &b = rows[i];
         char nums[256];

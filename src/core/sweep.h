@@ -88,6 +88,12 @@ struct SimBenchCase
     int shots = 0;          ///< trajectories; 0 = noiseless pass
     int instance = 0;       ///< graph instance index
     bool reference = false; ///< time the pre-engine simulator
+    /** Pin the engine's SIMD dispatch to the scalar kernels for this
+     * case (backend label "engine-scalar"); pairing one dispatched
+     * and one scalar-forced row of the same workload is how
+     * BENCH_pr6.json records the SIMD speedup.  Incompatible with
+     * `reference` (the pre-engine simulator never dispatches). */
+    bool forceScalar = false;
 };
 
 /** Execute one case once and return its <C> (kept observable so the
@@ -132,6 +138,12 @@ struct SweepSpec
      * The `verify` preset is the canonical small all-backend grid
      * with this on; `tqan-sweep --verify` forces it for any spec. */
     bool verify = false;
+    /** runBench() only: after the dispatched compile-throughput
+     * pass, re-run the whole compile grid with SIMD dispatch pinned
+     * to scalar and append the rows with a "-scalar" backend suffix,
+     * so one --bench invocation emits paired scalar-vs-dispatched
+     * compile rows (the tabu scan is the SIMD-sensitive stage). */
+    bool simdPairedCompile = false;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/profile.h"
+#include "simd/dispatch.h"
 
 namespace tqan {
 namespace qap {
@@ -361,7 +362,8 @@ tabuSearchQapMatrix(const linalg::FlatMatrix &flow,
                     const linalg::FlatMatrix &dist,
                     std::mt19937_64 &rng, const TabuOptions &opt)
 {
-    core::profile::ScopedTimer prof("qap.tabu");
+    core::profile::ScopedTimer prof(
+        simd::profileLabel("qap.tabu"));
 
     int n = flow.rows();
     int nloc = dist.rows();
@@ -399,6 +401,10 @@ tabuSearchQapMatrix(const linalg::FlatMatrix &flow,
         std::max(tenure_lo, opt.tabuHighMul * nloc / 10 + 1);
     std::uniform_int_distribution<int> tenure(tenure_lo, tenure_hi);
 
+    // Resolve the dispatch once per search: the scan pointer is hot
+    // (called once per row per iteration).
+    const auto scan = simd::kernels().scanBelow;
+
     int stall = 0;
     for (int it = 0; it < opt.maxIters && stall < opt.stallLimit;
          ++it) {
@@ -409,9 +415,33 @@ tabuSearchQapMatrix(const linalg::FlatMatrix &flow,
             const double *drow = memoize ? deltas.row(a) : nullptr;
             const int *trow = tabu.data() + a * nloc;
             int pa = perm[a];
+            if (drow) {
+                // Memoized row: the cannot-beat-best skip runs as a
+                // SIMD scan for the first strictly-better delta.
+                // Strict < in left-to-right order is exactly the
+                // scalar predicate, so the selected move (and every
+                // downstream placement) is bit-identical.
+                for (int b = a + 1; b < nloc; ++b) {
+                    if (found) {
+                        b = scan(drow, b, nloc, best_delta);
+                        if (b >= nloc)
+                            break;
+                    }
+                    double dd = drow[b];
+                    bool is_tabu = trow[perm[b]] > it ||
+                                   tabu[b * nloc + pa] > it;
+                    bool aspire = cost + dd < best_cost - 1e-12;
+                    if (is_tabu && !aspire)
+                        continue;
+                    best_delta = dd;
+                    ba = a;
+                    bb = b;
+                    found = true;
+                }
+                continue;
+            }
             for (int b = a + 1; b < nloc; ++b) {
-                double dd = drow ? drow[b]
-                                 : deltas.evaluate(perm, a, b);
+                double dd = deltas.evaluate(perm, a, b);
                 // A pair that cannot beat the current best move is
                 // skipped before the (two dependent loads of the)
                 // tabu test — pure reordering of side-effect-free

@@ -14,7 +14,9 @@
 #define TQAN_SIM_ALIGNED_H
 
 #include <cstddef>
+#include <cstdint>
 #include <new>
+#include <stdexcept>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -23,11 +25,21 @@ namespace tqan {
 namespace sim {
 
 /** Minimal allocator handing out `Align`-byte-aligned blocks via the
- * C++17 aligned operator new. */
+ * C++17 aligned operator new.  The alignment is GUARANTEED, not
+ * best-effort: a replaced global operator new that ignores the
+ * align_val_t argument (pre-C++17 shims, some instrumented
+ * allocators) is caught by a runtime check that throws — the AVX-512
+ * kernels are entitled to treat the buffer base as 64-byte aligned
+ * by construction. */
 template <class T, std::size_t Align>
 struct AlignedAllocator
 {
     static_assert(Align >= alignof(T), "alignment below natural");
+    static_assert((Align & (Align - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(Align >= sizeof(void *),
+                  "aligned operator new requires at least pointer "
+                  "alignment");
     using value_type = T;
 
     AlignedAllocator() noexcept = default;
@@ -46,8 +58,18 @@ struct AlignedAllocator
     {
         if (n > static_cast<std::size_t>(-1) / sizeof(T))
             throw std::bad_alloc();
-        return static_cast<T *>(::operator new(
+        T *p = static_cast<T *>(::operator new(
             n * sizeof(T), std::align_val_t(Align)));
+        // Death-test-free guarantee check (throws instead of
+        // asserting): misalignment here means the global aligned
+        // operator new was replaced by one that drops the request.
+        if (reinterpret_cast<std::uintptr_t>(p) % Align != 0) {
+            ::operator delete(p, std::align_val_t(Align));
+            throw std::runtime_error(
+                "AlignedAllocator: operator new ignored the "
+                "alignment request");
+        }
+        return p;
     }
 
     void deallocate(T *p, std::size_t) noexcept
@@ -75,6 +97,19 @@ operator!=(const AlignedAllocator<T, A> &,
 /** The amplitude buffer: complex doubles on a 64-byte boundary. */
 using AmpBuffer =
     std::vector<linalg::Cx, AlignedAllocator<linalg::Cx, 64>>;
+
+static_assert(sizeof(linalg::Cx) == 2 * sizeof(double),
+              "std::complex<double> must be an interleaved re,im "
+              "pair (the SIMD kernels rely on the layout)");
+
+/** True when the buffer base sits on the promised 64-byte boundary
+ * (empty buffers are trivially aligned). */
+inline bool
+isAligned(const AmpBuffer &buf)
+{
+    return buf.empty() ||
+           reinterpret_cast<std::uintptr_t>(buf.data()) % 64 == 0;
+}
 
 } // namespace sim
 } // namespace tqan

@@ -161,21 +161,18 @@ apply1qSign(Cx *amp, int q, std::uint64_t kBegin, std::uint64_t kEnd)
     }
 }
 
-/** Generic dense 2q multiply over composite quartets.  Local frame:
- * q0 is bit 0 of u, matching Op::unitary4(). */
+/** apply2qGeneric with the 4x4 matrix already flattened row-major
+ * (m = 16 complex entries) — the shape the SIMD dispatch table uses.
+ * Local frame: q0 is bit 0 of m, matching Op::unitary4(). */
 inline void
-apply2qGeneric(Cx *amp, int q0, int q1, const linalg::Mat4 &u,
-               std::uint64_t kBegin, std::uint64_t kEnd)
+apply2qGenericFlat(Cx *amp, int q0, int q1, const Cx *m,
+                   std::uint64_t kBegin, std::uint64_t kEnd)
 {
     const std::uint64_t b0 = std::uint64_t(1) << q0;
     const std::uint64_t b1 = std::uint64_t(1) << q1;
     const int qlo = q0 < q1 ? q0 : q1;
     const int qhi = q0 < q1 ? q1 : q0;
     const std::uint64_t bLo = std::uint64_t(1) << qlo;
-    Cx m[16];
-    for (int r = 0; r < 4; ++r)
-        for (int c = 0; c < 4; ++c)
-            m[r * 4 + c] = u.at(r, c);
     std::uint64_t k = kBegin;
     while (k < kEnd) {
         const std::uint64_t lo = k & (bLo - 1);
@@ -195,6 +192,19 @@ apply2qGeneric(Cx *amp, int q0, int q1, const linalg::Mat4 &u,
             }
         }
     }
+}
+
+/** Generic dense 2q multiply over composite quartets.  Local frame:
+ * q0 is bit 0 of u, matching Op::unitary4(). */
+inline void
+apply2qGeneric(Cx *amp, int q0, int q1, const linalg::Mat4 &u,
+               std::uint64_t kBegin, std::uint64_t kEnd)
+{
+    Cx m[16];
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            m[r * 4 + c] = u.at(r, c);
+    apply2qGenericFlat(amp, q0, q1, m, kBegin, kEnd);
 }
 
 /** One diagonal two-qubit gate: the four phases in the local frame

@@ -7,6 +7,7 @@
 
 #include "core/profile.h"
 #include "sim/engine.h"
+#include "simd/dispatch.h"
 
 namespace tqan {
 namespace sim {
@@ -16,6 +17,21 @@ using linalg::Mat2;
 using linalg::Mat4;
 
 namespace {
+
+/** The SIMD dispatch table works on raw interleaved doubles
+ * (std::complex<double> is layout-compatible, see simd/dispatch.h);
+ * these casts are the bridge at the five dispatched call sites. */
+inline double *
+raw(Cx *p)
+{
+    return reinterpret_cast<double *>(p);
+}
+
+inline const double *
+raw(const Cx *p)
+{
+    return reinterpret_cast<const double *>(p);
+}
 
 const Cx kZero(0.0, 0.0);
 const Cx kOne(1.0, 0.0);
@@ -120,12 +136,14 @@ Statevector::apply1q(int q, const Mat2 &u)
                           kern::apply1qSign(amp, q, lo, hi);
                       });
         } else {
-            forBlocks(
-                eng_, live,
-                [amp, q, u00, u11](std::uint64_t lo,
-                                   std::uint64_t hi) {
-                    kern::apply1qDiag(amp, q, u00, u11, lo, hi);
-                });
+            const double d01[4] = {u00.real(), u00.imag(),
+                                   u11.real(), u11.imag()};
+            const auto &kt = simd::kernels();
+            forBlocks(eng_, live,
+                      [amp, q, &d01, &kt](std::uint64_t lo,
+                                          std::uint64_t hi) {
+                          kt.apply1qDiag(raw(amp), q, d01, lo, hi);
+                      });
         }
         return;
     }
@@ -172,10 +190,12 @@ Statevector::apply2q(int q0, int q1, const Mat4 &u)
         // not grow.
         const Cx d[4] = {u.at(0, 0), u.at(1, 1), u.at(2, 2),
                          u.at(3, 3)};
+        const auto &kt = simd::kernels();
         forBlocks(eng_, live,
-                  [amp, q0, q1, &d](std::uint64_t lo,
-                                    std::uint64_t hi) {
-                      kern::apply2qDiag(amp, q0, q1, d, lo, hi);
+                  [amp, q0, q1, &d, &kt](std::uint64_t lo,
+                                         std::uint64_t hi) {
+                      kt.apply2qDiag(raw(amp), q0, q1, raw(d), lo,
+                                     hi);
                   });
         return;
     }
@@ -219,9 +239,16 @@ Statevector::apply2q(int q0, int q1, const Mat4 &u)
         return;
     }
 
+    Cx m[16];
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            m[r * 4 + c] = u.at(r, c);
+    const auto &kt = simd::kernels();
     forBlocks(eng_, quads,
-              [amp, q0, q1, &u](std::uint64_t lo, std::uint64_t hi) {
-                  kern::apply2qGeneric(amp, q0, q1, u, lo, hi);
+              [amp, q0, q1, &m, &kt](std::uint64_t lo,
+                                     std::uint64_t hi) {
+                  kt.apply2qGeneric(raw(amp), q0, q1, raw(m), lo,
+                                    hi);
               });
 }
 
@@ -234,10 +261,12 @@ Statevector::applyDiagRun(const std::vector<kern::DiagGate> &run)
     const std::uint64_t live = std::uint64_t(1) << liveQubits_;
     if (run.size() == 1) {
         const kern::DiagGate &g = run[0];
+        const auto &kt = simd::kernels();
         forBlocks(eng_, live,
-                  [amp, &g](std::uint64_t lo, std::uint64_t hi) {
-                      kern::apply2qDiag(amp, g.q0, g.q1, g.d, lo,
-                                        hi);
+                  [amp, &g, &kt](std::uint64_t lo,
+                                 std::uint64_t hi) {
+                      kt.apply2qDiag(raw(amp), g.q0, g.q1,
+                                     raw(g.d), lo, hi);
                   });
         return;
     }
@@ -278,11 +307,12 @@ Statevector::applyDiagRun(const std::vector<kern::DiagGate> &run)
         const std::uint64_t *pl = PL.data();
         const std::uint64_t *ph = PH.data();
         const Cx *tb = tab.data();
+        const auto &kt = simd::kernels();
         forBlocks(eng_, live,
-                  [amp, pl, ph, nlo, tb](std::uint64_t lo,
-                                         std::uint64_t hi) {
-                      kern::applyPackedPhase(amp, pl, ph, nlo, tb,
-                                             lo, hi);
+                  [amp, pl, ph, nlo, tb, &kt](std::uint64_t lo,
+                                              std::uint64_t hi) {
+                      kt.applyPackedPhase(raw(amp), pl, ph, nlo,
+                                          raw(tb), lo, hi);
                   });
         return;
     }
@@ -310,7 +340,8 @@ Statevector::applyCircuit(const qcir::Circuit &c)
 {
     if (c.numQubits() > n_)
         throw std::invalid_argument("applyCircuit: register too big");
-    core::profile::ScopedTimer timer("sim.applyCircuit");
+    core::profile::ScopedTimer timer(
+        simd::profileLabel("sim.applyCircuit"));
     GateStream gs(*this);
     for (const auto &op : c.ops())
         gs.add(op);
@@ -369,7 +400,8 @@ double
 Statevector::expectationZZ(
     const std::vector<graph::Edge> &edges) const
 {
-    core::profile::ScopedTimer timer("sim.expectationZZ");
+    core::profile::ScopedTimer timer(
+        simd::profileLabel("sim.expectationZZ"));
     std::vector<std::uint64_t> masks;
     masks.reserve(edges.size());
     for (const auto &[u, v] : edges)
@@ -384,12 +416,13 @@ Statevector::expectationZZ(
         buildParityTables(masks, n_, nlo, PL, PH);
         const std::uint64_t *pl = PL.data();
         const std::uint64_t *ph = PH.data();
+        const auto &kt = simd::kernels();
         return sumBlocks(
             eng_, std::uint64_t(1) << liveQubits_,
-            [amp, pl, ph, nlo, nedges](std::uint64_t lo,
-                                       std::uint64_t hi) {
-                return kern::sumZZPacked(amp, pl, ph, nlo, nedges,
-                                         lo, hi);
+            [amp, pl, ph, nlo, nedges, &kt](std::uint64_t lo,
+                                            std::uint64_t hi) {
+                return kt.sumZZPacked(raw(amp), pl, ph, nlo,
+                                      nedges, lo, hi);
             });
     }
 

@@ -1,0 +1,53 @@
+#include "simd/caps.h"
+
+namespace tqan {
+namespace simd {
+
+Caps
+Caps::detect()
+{
+    Caps c;
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+    c.avx2 = __builtin_cpu_supports("avx2");
+    c.avx512f = __builtin_cpu_supports("avx512f");
+    c.avx512dq = __builtin_cpu_supports("avx512dq");
+#endif
+#elif defined(__aarch64__) || defined(_M_ARM64)
+    // AdvSIMD is mandatory in AArch64; no runtime probe needed.
+#if defined(__ARM_NEON)
+    c.neon = true;
+#endif
+#endif
+    return c;
+}
+
+std::string
+Caps::str() const
+{
+    std::string s;
+    auto add = [&s](const char *name) {
+        if (!s.empty())
+            s += ' ';
+        s += name;
+    };
+    if (avx2)
+        add("avx2");
+    if (avx512f)
+        add("avx512f");
+    if (avx512dq)
+        add("avx512dq");
+    if (neon)
+        add("neon");
+    return s.empty() ? "(none)" : s;
+}
+
+const Caps &
+hostCaps()
+{
+    static const Caps caps = Caps::detect();
+    return caps;
+}
+
+} // namespace simd
+} // namespace tqan

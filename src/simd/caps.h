@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Runtime CPU-feature probe backing the SIMD dispatch decision.
+ *
+ * x86-64 uses the compiler's cpuid+xgetbv machinery
+ * (__builtin_cpu_supports), which already accounts for OS XSAVE
+ * enablement of the AVX state; AArch64 AdvSIMD is architecturally
+ * mandatory, so NEON reduces to a compile-time check.
+ */
+
+#ifndef TQAN_SIMD_CAPS_H
+#define TQAN_SIMD_CAPS_H
+
+#include <string>
+
+namespace tqan {
+namespace simd {
+
+struct Caps
+{
+    bool avx2 = false;
+    bool avx512f = false;
+    bool avx512dq = false;
+    bool neon = false;
+
+    static Caps detect();
+
+    /** Space-separated feature list, "(none)" when empty —
+     * e.g. "avx2 avx512f avx512dq". */
+    std::string str() const;
+};
+
+/** The probe result, computed once. */
+const Caps &hostCaps();
+
+} // namespace simd
+} // namespace tqan
+
+#endif // TQAN_SIMD_CAPS_H

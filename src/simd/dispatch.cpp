@@ -1,0 +1,330 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "simd/kernels_isa.h"
+
+namespace tqan {
+namespace simd {
+
+namespace {
+
+/** Per-ISA table pointer, nullptr when not compiled in or not
+ * supported by this CPU. */
+const KernelTable *
+tableFor(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return &detail::scalarTable();
+      case Isa::Avx2:
+#if defined(TQAN_SIMD_HAVE_AVX2)
+        if (hostCaps().avx2)
+            return &detail::avx2Table();
+#endif
+        return nullptr;
+      case Isa::Avx512:
+#if defined(TQAN_SIMD_HAVE_AVX512)
+        if (hostCaps().avx512f && hostCaps().avx512dq)
+            return &detail::avx512Table();
+#endif
+        return nullptr;
+      case Isa::Neon:
+#if defined(TQAN_SIMD_HAVE_NEON)
+        if (hostCaps().neon)
+            return &detail::neonTable();
+#endif
+        return nullptr;
+    }
+    return nullptr;
+}
+
+/** Merge: the chosen ISA's entries where present, otherwise fall
+ * back down the preference chain to scalar (whose entries are all
+ * non-null).  Also records the per-family winning ISA. */
+struct Resolved
+{
+    KernelTable table;
+    DispatchReport report;
+};
+
+Resolved
+resolveTable(Isa isa)
+{
+    Resolved r;
+    r.table = detail::scalarTable();
+    r.report = {Isa::Scalar, Isa::Scalar, Isa::Scalar,
+                Isa::Scalar, Isa::Scalar, Isa::Scalar};
+    // Overlay from scalar up to the chosen ISA in preference order
+    // so partially-filled tables (e.g. NEON without generic2q) land
+    // on the best available implementation per family.
+    for (Isa layer : availableIsas()) {
+        if (static_cast<int>(layer) > static_cast<int>(isa))
+            continue;
+        if (layer == Isa::Scalar)
+            continue;
+        const KernelTable *t = tableFor(layer);
+        if (!t)
+            continue;
+        if (t->apply1qDiag) {
+            r.table.apply1qDiag = t->apply1qDiag;
+            r.report.diag1q = layer;
+        }
+        if (t->apply2qDiag) {
+            r.table.apply2qDiag = t->apply2qDiag;
+            r.report.diag2q = layer;
+        }
+        if (t->applyPackedPhase) {
+            r.table.applyPackedPhase = t->applyPackedPhase;
+            r.report.packedPhase = layer;
+        }
+        if (t->apply2qGeneric) {
+            r.table.apply2qGeneric = t->apply2qGeneric;
+            r.report.generic2q = layer;
+        }
+        if (t->sumZZPacked) {
+            r.table.sumZZPacked = t->sumZZPacked;
+            r.report.sumZZ = layer;
+        }
+        if (t->scanBelow) {
+            r.table.scanBelow = t->scanBelow;
+            r.report.scan = layer;
+        }
+    }
+    return r;
+}
+
+/** One resolved slot per ISA value, built lazily; activeSlot points
+ * at the current choice so kernels() is one relaxed load. */
+struct State
+{
+    Resolved slots[4];
+    bool built[4] = {false, false, false, false};
+    std::mutex mtx;
+    std::atomic<const Resolved *> active{nullptr};
+    std::atomic<int> activeIsa{0};
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+const Resolved *
+slotFor(Isa isa)
+{
+    State &s = state();
+    int i = static_cast<int>(isa);
+    std::lock_guard<std::mutex> lock(s.mtx);
+    if (!s.built[i]) {
+        s.slots[i] = resolveTable(isa);
+        s.built[i] = true;
+    }
+    return &s.slots[i];
+}
+
+Isa
+bestIsa()
+{
+    const std::vector<Isa> &avail = availableIsas();
+    return avail.back();
+}
+
+/** First-call resolution: best supported path unless TQAN_SIMD
+ * names an available one. */
+Isa
+initialIsa()
+{
+    const char *env = std::getenv("TQAN_SIMD");
+    if (!env || !*env)
+        return bestIsa();
+    Isa want;
+    if (!parseIsa(env, &want)) {
+        std::fprintf(stderr,
+                     "tqan: TQAN_SIMD='%s' is not one of "
+                     "scalar|avx2|avx512|neon; using %s\n",
+                     env, isaName(bestIsa()));
+        return bestIsa();
+    }
+    if (!isaAvailable(want)) {
+        std::fprintf(stderr,
+                     "tqan: TQAN_SIMD=%s not available on this "
+                     "host (caps: %s); using %s\n",
+                     env, hostCaps().str().c_str(),
+                     isaName(bestIsa()));
+        return bestIsa();
+    }
+    return want;
+}
+
+const Resolved &
+activeResolved()
+{
+    State &s = state();
+    const Resolved *r = s.active.load(std::memory_order_acquire);
+    if (r)
+        return *r;
+    static std::once_flag once;
+    std::call_once(once, [&s]() {
+        Isa isa = initialIsa();
+        const Resolved *slot = slotFor(isa);
+        s.activeIsa.store(static_cast<int>(isa),
+                          std::memory_order_relaxed);
+        s.active.store(slot, std::memory_order_release);
+    });
+    return *s.active.load(std::memory_order_acquire);
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return "scalar";
+      case Isa::Avx2:
+        return "avx2";
+      case Isa::Avx512:
+        return "avx512";
+      case Isa::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+bool
+parseIsa(const std::string &name, Isa *out)
+{
+    for (Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Avx512, Isa::Neon})
+        if (name == isaName(isa)) {
+            *out = isa;
+            return true;
+        }
+    return false;
+}
+
+const std::vector<Isa> &
+availableIsas()
+{
+    static const std::vector<Isa> avail = []() {
+        std::vector<Isa> v = {Isa::Scalar};
+        // Preference order: scalar < neon < avx2 < avx512 (neon and
+        // the x86 paths never coexist on one host).
+        for (Isa isa : {Isa::Neon, Isa::Avx2, Isa::Avx512})
+            if (tableFor(isa))
+                v.push_back(isa);
+        return v;
+    }();
+    return avail;
+}
+
+bool
+isaAvailable(Isa isa)
+{
+    for (Isa a : availableIsas())
+        if (a == isa)
+            return true;
+    return false;
+}
+
+const KernelTable &
+kernels()
+{
+    return activeResolved().table;
+}
+
+Isa
+activeIsa()
+{
+    activeResolved();
+    return static_cast<Isa>(
+        state().activeIsa.load(std::memory_order_relaxed));
+}
+
+DispatchReport
+dispatchReport()
+{
+    return activeResolved().report;
+}
+
+const char *
+activeIsaName()
+{
+    return isaName(activeIsa());
+}
+
+std::string
+dispatchSummary()
+{
+    DispatchReport rep = dispatchReport();
+    std::string s;
+    s += "cpu caps:      " + hostCaps().str() + "\n";
+    s += std::string("simd dispatch: ") + activeIsaName() +
+         " (override: TQAN_SIMD=scalar|avx2|avx512|neon)\n";
+    const std::pair<const char *, Isa> fams[] = {
+        {"sim.diag1q", rep.diag1q},
+        {"sim.diag2q", rep.diag2q},
+        {"sim.packedphase", rep.packedPhase},
+        {"sim.generic2q", rep.generic2q},
+        {"sim.sumzz", rep.sumZZ},
+        {"qap.scan", rep.scan},
+    };
+    for (const auto &[name, isa] : fams) {
+        std::string line = "  ";
+        line += name;
+        line.resize(18, ' ');
+        s += line + isaName(isa) + "\n";
+    }
+    return s;
+}
+
+const char *
+profileLabel(const char *base)
+{
+    // Interned per (base, active isa) so the pointer survives for
+    // core::profile, which aggregates by const char* name.
+    static std::mutex mtx;
+    static std::map<std::string, std::unique_ptr<std::string>> pool;
+    std::string key = std::string(base) + "[" + activeIsaName() + "]";
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = pool.find(key);
+    if (it == pool.end())
+        it = pool.emplace(key, std::make_unique<std::string>(key))
+                 .first;
+    return it->second->c_str();
+}
+
+ScopedForceIsa::ScopedForceIsa(Isa isa) : prev_(activeIsa())
+{
+    if (!isaAvailable(isa))
+        throw std::invalid_argument(
+            std::string("simd: ISA '") + isaName(isa) +
+            "' not available on this host (caps: " +
+            hostCaps().str() + ")");
+    State &s = state();
+    const Resolved *slot = slotFor(isa);
+    s.activeIsa.store(static_cast<int>(isa),
+                      std::memory_order_relaxed);
+    s.active.store(slot, std::memory_order_release);
+}
+
+ScopedForceIsa::~ScopedForceIsa()
+{
+    State &s = state();
+    const Resolved *slot = slotFor(prev_);
+    s.activeIsa.store(static_cast<int>(prev_),
+                      std::memory_order_relaxed);
+    s.active.store(slot, std::memory_order_release);
+}
+
+} // namespace simd
+} // namespace tqan

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The SIMD dispatch table type — a plain aggregate of function
+ * pointers over raw interleaved-double complex arrays.
+ *
+ * Deliberately minimal: this header is included by the per-ISA
+ * translation units (compiled with -mavx2 / -mavx512f... flags), so
+ * it must not pull in anything that could emit inline COMDAT code
+ * under those flags.  <cstdint> only.  Full semantics are documented
+ * in simd/dispatch.h; argument conventions match sim/kernels.h with
+ * complex arrays passed as interleaved re,im doubles
+ * (std::complex<double> is layout-compatible per
+ * [complex.numbers.general]).
+ */
+
+#ifndef TQAN_SIMD_KERNEL_TABLE_H
+#define TQAN_SIMD_KERNEL_TABLE_H
+
+#include <cstdint>
+
+namespace tqan {
+namespace simd {
+
+struct KernelTable
+{
+    /** amp[i] *= d01[bit q of i]; d01 = {re0, im0, re1, im1}. */
+    void (*apply1qDiag)(double *amp, int q, const double *d01,
+                        std::uint64_t iBegin, std::uint64_t iEnd);
+    /** amp[i] *= d4[((i>>q0)&1) | ((i>>q1)&1)<<1]; d4 = 4 complex. */
+    void (*apply2qDiag)(double *amp, int q0, int q1, const double *d4,
+                        std::uint64_t iBegin, std::uint64_t iEnd);
+    /** amp[i] *= tab[popcount(PL[i&loMask] ^ PH[i>>nlo])]. */
+    void (*applyPackedPhase)(double *amp, const std::uint64_t *PL,
+                             const std::uint64_t *PH, int nlo,
+                             const double *tab, std::uint64_t iBegin,
+                             std::uint64_t iEnd);
+    /** Dense 4x4 multiply over composite quartets [kBegin, kEnd);
+     * m = 16 complex entries row-major (32 doubles). */
+    void (*apply2qGeneric)(double *amp, int q0, int q1,
+                           const double *m, std::uint64_t kBegin,
+                           std::uint64_t kEnd);
+    /** sum_i |amp[i]|^2 * (nedges - 2*popcount(parity(i))). */
+    double (*sumZZPacked)(const double *amp, const std::uint64_t *PL,
+                          const std::uint64_t *PH, int nlo,
+                          double nedges, std::uint64_t iBegin,
+                          std::uint64_t iEnd);
+    /** First b in [begin, end) with row[b] < bound, else end. */
+    int (*scanBelow)(const double *row, int begin, int end,
+                     double bound);
+};
+
+} // namespace simd
+} // namespace tqan
+
+#endif // TQAN_SIMD_KERNEL_TABLE_H

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * AVX2 kernels (2 complex doubles per 256-bit vector).
+ *
+ * Compiled with -mavx2 and nothing else from the project beyond the
+ * plain-C table declarations — see the fat-binary note in
+ * simd/dispatch.h.  Deliberately no -mfma and no FMA intrinsics:
+ * every lane performs exactly the scalar oracle's multiplies and
+ * adds (reordered only across commutative additions), so the
+ * elementwise kernels are bit-identical to sim/kernels.h.  The
+ * sumZZPacked reduction keeps vector-lane partial sums and is
+ * covered by the documented ulp bound instead.
+ *
+ * Complex multiply layout trick (interleaved re,im):
+ *   t0 = a * [cr,cr,...];  t1 = swap_pairs(a) * [ci,ci,...]
+ *   addsub(t0, t1) = [ar*cr - ai*ci, ai*cr + ar*ci, ...]
+ * which is the scalar (ar*cr - ai*ci, ar*ci + ai*cr) with the two
+ * products of the imaginary part added in the opposite (equal)
+ * order.
+ */
+
+#include "simd/kernels_isa.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace tqan {
+namespace simd {
+namespace detail {
+
+namespace {
+
+using std::uint64_t;
+
+inline int
+pop64(uint64_t x)
+{
+    return __builtin_popcountll(x);
+}
+
+/** In-place scalar tail step: p[0..1] *= (cr, ci), exactly
+ * sim::kern::cmul's product and sum order. */
+inline void
+cmulTail(double *p, double cr, double ci)
+{
+    const double ar = p[0], ai = p[1];
+    p[0] = ar * cr - ai * ci;
+    p[1] = ar * ci + ai * cr;
+}
+
+/** a (2 interleaved complex) times per-pair constants given as
+ * [cr,cr,cr,cr] / [ci,ci,ci,ci] (or per-pair duplicated). */
+inline __m256d
+cmulDup(__m256d a, __m256d crdup, __m256d cidup)
+{
+    const __m256d t0 = _mm256_mul_pd(a, crdup);
+    const __m256d sw = _mm256_shuffle_pd(a, a, 0x5);
+    const __m256d t1 = _mm256_mul_pd(sw, cidup);
+    return _mm256_addsub_pd(t0, t1);
+}
+
+/** a times a vector of 2 interleaved complex phases. */
+inline __m256d
+cmulVec(__m256d a, __m256d ph)
+{
+    const __m256d crdup = _mm256_movedup_pd(ph);
+    const __m256d cidup = _mm256_shuffle_pd(ph, ph, 0xF);
+    return cmulDup(a, crdup, cidup);
+}
+
+/** Constant-phase sweep over amp[2*iBegin .. 2*iEnd). */
+inline void
+sweepConst(double *amp, uint64_t iBegin, uint64_t iEnd, double cr,
+           double ci)
+{
+    const __m256d crdup = _mm256_set1_pd(cr);
+    const __m256d cidup = _mm256_set1_pd(ci);
+    double *p = amp + 2 * iBegin;
+    uint64_t i = iBegin;
+    for (; i + 2 <= iEnd; i += 2, p += 4)
+        _mm256_storeu_pd(
+            p, cmulDup(_mm256_loadu_pd(p), crdup, cidup));
+    for (; i < iEnd; ++i, p += 2)
+        cmulTail(p, cr, ci);
+}
+
+/** Even/odd alternating-phase sweep: amp[i] *= (i odd ? o : e).
+ * ph holds [er, ei, or, oi]. */
+inline void
+sweepAlt(double *amp, uint64_t iBegin, uint64_t iEnd,
+         const double *e, const double *o)
+{
+    uint64_t i = iBegin;
+    double *p = amp + 2 * i;
+    if (i < iEnd && (i & 1)) {
+        cmulTail(p, o[0], o[1]);
+        ++i;
+        p += 2;
+    }
+    const __m256d ph = _mm256_set_m128d(_mm_loadu_pd(o),
+                                        _mm_loadu_pd(e));
+    const __m256d crdup = _mm256_movedup_pd(ph);
+    const __m256d cidup = _mm256_shuffle_pd(ph, ph, 0xF);
+    for (; i + 2 <= iEnd; i += 2, p += 4)
+        _mm256_storeu_pd(
+            p, cmulDup(_mm256_loadu_pd(p), crdup, cidup));
+    for (; i < iEnd; ++i, p += 2) {
+        const double *c = (i & 1) ? o : e;
+        cmulTail(p, c[0], c[1]);
+    }
+}
+
+void
+a2_apply1qDiag(double *amp, int q, const double *d01,
+               uint64_t iBegin, uint64_t iEnd)
+{
+    if (q == 0) {
+        sweepAlt(amp, iBegin, iEnd, d01, d01 + 2);
+        return;
+    }
+    const uint64_t bit = uint64_t(1) << q;
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t segEnd =
+            (i & ~(bit - 1)) + bit < iEnd ? (i & ~(bit - 1)) + bit
+                                          : iEnd;
+        const double *d = d01 + 2 * ((i >> q) & 1);
+        sweepConst(amp, i, segEnd, d[0], d[1]);
+        i = segEnd;
+    }
+}
+
+void
+a2_apply2qDiag(double *amp, int q0, int q1, const double *d4,
+               uint64_t iBegin, uint64_t iEnd)
+{
+    const int qlo = q0 < q1 ? q0 : q1;
+    const int qhi = q0 < q1 ? q1 : q0;
+    const uint64_t bit = uint64_t(1) << (qlo == 0 ? qhi : qlo);
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t segEnd =
+            (i & ~(bit - 1)) + bit < iEnd ? (i & ~(bit - 1)) + bit
+                                          : iEnd;
+        if (qlo == 0) {
+            // Bit 0 alternates inside the segment, the high bit is
+            // fixed: an even/odd pattern sweep.
+            const int hi = static_cast<int>((i >> qhi) & 1);
+            const int e = q0 == 0 ? (hi << 1) : hi;
+            const int o = q0 == 0 ? (1 | (hi << 1)) : (hi | 2);
+            sweepAlt(amp, i, segEnd, d4 + 2 * e, d4 + 2 * o);
+        } else {
+            const int idx =
+                static_cast<int>(((i >> q0) & 1) |
+                                 (((i >> q1) & 1) << 1));
+            sweepConst(amp, i, segEnd, d4[2 * idx], d4[2 * idx + 1]);
+        }
+        i = segEnd;
+    }
+}
+
+void
+a2_applyPackedPhase(double *amp, const uint64_t *PL,
+                    const uint64_t *PH, int nlo, const double *tab,
+                    uint64_t iBegin, uint64_t iEnd)
+{
+    const uint64_t loMask = (uint64_t(1) << nlo) - 1;
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t hiBase = i & ~loMask;
+        const uint64_t segEnd =
+            hiBase + loMask + 1 < iEnd ? hiBase + loMask + 1 : iEnd;
+        const uint64_t phv = PH[i >> nlo];
+        double *p = amp + 2 * i;
+        for (; i + 2 <= segEnd; i += 2, p += 4) {
+            const int c0 = pop64(PL[i & loMask] ^ phv);
+            const int c1 = pop64(PL[(i + 1) & loMask] ^ phv);
+            const __m256d ph =
+                _mm256_set_m128d(_mm_loadu_pd(tab + 2 * c1),
+                                 _mm_loadu_pd(tab + 2 * c0));
+            _mm256_storeu_pd(p, cmulVec(_mm256_loadu_pd(p), ph));
+        }
+        for (; i < segEnd; ++i, p += 2) {
+            const int c = pop64(PL[i & loMask] ^ phv);
+            cmulTail(p, tab[2 * c], tab[2 * c + 1]);
+        }
+    }
+}
+
+/** Scalar 4x4 step for run tails, in exactly the oracle's product
+ * and accumulation order (see sim/kernels.h apply2qGenericFlat). */
+inline void
+generic2qTail(double *p0, double *p1, double *p2, double *p3,
+              const double *m)
+{
+    double *const pr[4] = {p0, p1, p2, p3};
+    double vr[4], vi[4];
+    for (int c = 0; c < 4; ++c) {
+        vr[c] = pr[c][0];
+        vi[c] = pr[c][1];
+    }
+    for (int r = 0; r < 4; ++r) {
+        const double *mr = m + 8 * r;
+        double sr = mr[0] * vr[0] - mr[1] * vi[0];
+        double si = mr[0] * vi[0] + mr[1] * vr[0];
+        for (int c = 1; c < 4; ++c) {
+            sr += mr[2 * c] * vr[c] - mr[2 * c + 1] * vi[c];
+            si += mr[2 * c] * vi[c] + mr[2 * c + 1] * vr[c];
+        }
+        pr[r][0] = sr;
+        pr[r][1] = si;
+    }
+}
+
+void
+a2_apply2qGeneric(double *amp, int q0, int q1, const double *m,
+                  uint64_t kBegin, uint64_t kEnd)
+{
+    const uint64_t b0 = uint64_t(1) << q0;
+    const uint64_t b1 = uint64_t(1) << q1;
+    const int qlo = q0 < q1 ? q0 : q1;
+    const int qhi = q0 < q1 ? q1 : q0;
+    const uint64_t bLo = uint64_t(1) << qlo;
+    const uint64_t mlo = bLo - 1;
+    const uint64_t mhi = (uint64_t(1) << (qhi - 1)) - 1;
+    uint64_t k = kBegin;
+    while (k < kEnd) {
+        const uint64_t lo = k & mlo;
+        const uint64_t runEnd =
+            k - lo + bLo < kEnd ? k - lo + bLo : kEnd;
+        const uint64_t base =
+            ((k & ~mhi) << 2) | ((k & mhi & ~mlo) << 1) | (k & mlo);
+        double *p0 = amp + 2 * base;
+        double *p1 = amp + 2 * (base | b0);
+        double *p2 = amp + 2 * (base | b1);
+        double *p3 = amp + 2 * (base | b0 | b1);
+        for (; k + 2 <= runEnd;
+             k += 2, p0 += 4, p1 += 4, p2 += 4, p3 += 4) {
+            const __m256d v[4] = {
+                _mm256_loadu_pd(p0), _mm256_loadu_pd(p1),
+                _mm256_loadu_pd(p2), _mm256_loadu_pd(p3)};
+            __m256d out[4];
+            for (int r = 0; r < 4; ++r) {
+                const double *mr = m + 8 * r;
+                __m256d s =
+                    cmulDup(v[0], _mm256_broadcast_sd(mr),
+                            _mm256_broadcast_sd(mr + 1));
+                for (int c = 1; c < 4; ++c)
+                    s = _mm256_add_pd(
+                        s, cmulDup(v[c],
+                                   _mm256_broadcast_sd(mr + 2 * c),
+                                   _mm256_broadcast_sd(mr + 2 * c +
+                                                       1)));
+                out[r] = s;
+            }
+            _mm256_storeu_pd(p0, out[0]);
+            _mm256_storeu_pd(p1, out[1]);
+            _mm256_storeu_pd(p2, out[2]);
+            _mm256_storeu_pd(p3, out[3]);
+        }
+        for (; k < runEnd;
+             ++k, p0 += 2, p1 += 2, p2 += 2, p3 += 2)
+            generic2qTail(p0, p1, p2, p3, m);
+    }
+}
+
+double
+a2_sumZZPacked(const double *amp, const uint64_t *PL,
+               const uint64_t *PH, int nlo, double nedges,
+               uint64_t iBegin, uint64_t iEnd)
+{
+    const uint64_t loMask = (uint64_t(1) << nlo) - 1;
+    __m256d acc = _mm256_setzero_pd();
+    double tail = 0.0;
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t hiBase = i & ~loMask;
+        const uint64_t segEnd =
+            hiBase + loMask + 1 < iEnd ? hiBase + loMask + 1 : iEnd;
+        const uint64_t phv = PH[i >> nlo];
+        const double *p = amp + 2 * i;
+        for (; i + 2 <= segEnd; i += 2, p += 4) {
+            const double c0 =
+                nedges - 2.0 * pop64(PL[i & loMask] ^ phv);
+            const double c1 =
+                nedges - 2.0 * pop64(PL[(i + 1) & loMask] ^ phv);
+            const __m256d a = _mm256_loadu_pd(p);
+            const __m256d coeff = _mm256_set_pd(c1, c1, c0, c0);
+            acc = _mm256_add_pd(
+                acc, _mm256_mul_pd(_mm256_mul_pd(a, a), coeff));
+        }
+        for (; i < segEnd; ++i, p += 2) {
+            const double c =
+                nedges - 2.0 * pop64(PL[i & loMask] ^ phv);
+            tail += (p[0] * p[0] + p[1] * p[1]) * c;
+        }
+    }
+    double lanes[4];
+    _mm256_storeu_pd(lanes, acc);
+    return (((lanes[0] + lanes[1]) + lanes[2]) + lanes[3]) + tail;
+}
+
+int
+a2_scanBelow(const double *row, int begin, int end, double bound)
+{
+    const __m256d vb = _mm256_set1_pd(bound);
+    int i = begin;
+    for (; i + 4 <= end; i += 4) {
+        const __m256d v = _mm256_loadu_pd(row + i);
+        const int m = _mm256_movemask_pd(
+            _mm256_cmp_pd(v, vb, _CMP_LT_OQ));
+        if (m)
+            return i + __builtin_ctz(static_cast<unsigned>(m));
+    }
+    for (; i < end; ++i)
+        if (row[i] < bound)
+            return i;
+    return end;
+}
+
+} // namespace
+
+const KernelTable &
+avx2Table()
+{
+    static const KernelTable t = {
+        a2_apply1qDiag,    a2_apply2qDiag, a2_applyPackedPhase,
+        a2_apply2qGeneric, a2_sumZZPacked, a2_scanBelow,
+    };
+    return t;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace tqan
+
+#endif // __AVX2__

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Internal declarations of the per-ISA kernel entry points.
+ *
+ * This header is included by the per-ISA translation units, which
+ * are compiled with ISA flags the rest of the binary must not see
+ * (-mavx2 / -mavx512f ...).  It therefore declares plain functions
+ * over raw doubles only and pulls in nothing that could emit inline
+ * COMDAT code — see the fat-binary note in simd/dispatch.h.
+ *
+ * A table getter returns nullptr-filled entries for kernels an ISA
+ * chooses not to implement; dispatch.cpp falls back per-entry down
+ * the preference chain (so e.g. NEON can skip generic2q and still
+ * accelerate the diagonal sweeps).
+ */
+
+#ifndef TQAN_SIMD_KERNELS_ISA_H
+#define TQAN_SIMD_KERNELS_ISA_H
+
+#include "simd/kernel_table.h"
+
+namespace tqan {
+namespace simd {
+namespace detail {
+
+/** The scalar bridge to sim/kernels.h — always compiled, the oracle
+ * every other table is validated against. */
+const KernelTable &scalarTable();
+
+#if defined(TQAN_SIMD_HAVE_AVX2)
+const KernelTable &avx2Table();
+#endif
+#if defined(TQAN_SIMD_HAVE_AVX512)
+const KernelTable &avx512Table();
+#endif
+#if defined(TQAN_SIMD_HAVE_NEON)
+const KernelTable &neonTable();
+#endif
+
+} // namespace detail
+} // namespace simd
+} // namespace tqan
+
+
+#endif // TQAN_SIMD_KERNELS_ISA_H

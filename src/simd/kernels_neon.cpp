@@ -1,0 +1,240 @@
+/**
+ * @file
+ * AArch64 NEON kernels (128-bit vectors, processed as 2 complex
+ * doubles per iteration via vld2q de-interleaved loads: val[0] holds
+ * the two real parts, val[1] the two imaginary parts, so the complex
+ * multiply is plain lane arithmetic with no shuffles).
+ *
+ * Same numerical contract as the x86 files: vmul/vadd/vsub only —
+ * never vmla/vmls, which fuse on AArch64 — so the elementwise
+ * kernels are bit-identical to the scalar oracle.  apply2qGeneric is
+ * intentionally not implemented here; the dispatcher's per-family
+ * fallback sends it to the scalar kernel (and exercises that
+ * machinery on real hardware).
+ */
+
+#include "simd/kernels_isa.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace tqan {
+namespace simd {
+namespace detail {
+
+namespace {
+
+using std::uint64_t;
+
+inline int
+pop64(uint64_t x)
+{
+    return __builtin_popcountll(x);
+}
+
+inline void
+cmulTail(double *p, double cr, double ci)
+{
+    const double ar = p[0], ai = p[1];
+    p[0] = ar * cr - ai * ci;
+    p[1] = ar * ci + ai * cr;
+}
+
+/** De-interleaved in-place multiply of 2 complex at p by per-lane
+ * phases (crv, civ): re' = re*cr - im*ci, im' = re*ci + im*cr. */
+inline void
+cmulStep(double *p, float64x2_t crv, float64x2_t civ)
+{
+    const float64x2x2_t a = vld2q_f64(p);
+    float64x2x2_t out;
+    out.val[0] = vsubq_f64(vmulq_f64(a.val[0], crv),
+                           vmulq_f64(a.val[1], civ));
+    out.val[1] = vaddq_f64(vmulq_f64(a.val[0], civ),
+                           vmulq_f64(a.val[1], crv));
+    vst2q_f64(p, out);
+}
+
+inline void
+sweepConst(double *amp, uint64_t iBegin, uint64_t iEnd, double cr,
+           double ci)
+{
+    const float64x2_t crv = vdupq_n_f64(cr);
+    const float64x2_t civ = vdupq_n_f64(ci);
+    double *p = amp + 2 * iBegin;
+    uint64_t i = iBegin;
+    for (; i + 2 <= iEnd; i += 2, p += 4)
+        cmulStep(p, crv, civ);
+    for (; i < iEnd; ++i, p += 2)
+        cmulTail(p, cr, ci);
+}
+
+/** Even/odd alternating phases: lane 0 = even index, lane 1 = odd. */
+inline void
+sweepAlt(double *amp, uint64_t iBegin, uint64_t iEnd,
+         const double *e, const double *o)
+{
+    uint64_t i = iBegin;
+    double *p = amp + 2 * i;
+    if (i < iEnd && (i & 1)) {
+        cmulTail(p, o[0], o[1]);
+        ++i;
+        p += 2;
+    }
+    const double crs[2] = {e[0], o[0]};
+    const double cis[2] = {e[1], o[1]};
+    const float64x2_t crv = vld1q_f64(crs);
+    const float64x2_t civ = vld1q_f64(cis);
+    for (; i + 2 <= iEnd; i += 2, p += 4)
+        cmulStep(p, crv, civ);
+    for (; i < iEnd; ++i, p += 2) {
+        const double *c = (i & 1) ? o : e;
+        cmulTail(p, c[0], c[1]);
+    }
+}
+
+void
+n_apply1qDiag(double *amp, int q, const double *d01,
+              uint64_t iBegin, uint64_t iEnd)
+{
+    if (q == 0) {
+        sweepAlt(amp, iBegin, iEnd, d01, d01 + 2);
+        return;
+    }
+    const uint64_t bit = uint64_t(1) << q;
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t segEnd =
+            (i & ~(bit - 1)) + bit < iEnd ? (i & ~(bit - 1)) + bit
+                                          : iEnd;
+        const double *d = d01 + 2 * ((i >> q) & 1);
+        sweepConst(amp, i, segEnd, d[0], d[1]);
+        i = segEnd;
+    }
+}
+
+void
+n_apply2qDiag(double *amp, int q0, int q1, const double *d4,
+              uint64_t iBegin, uint64_t iEnd)
+{
+    const int qlo = q0 < q1 ? q0 : q1;
+    const int qhi = q0 < q1 ? q1 : q0;
+    const uint64_t bit = uint64_t(1) << (qlo == 0 ? qhi : qlo);
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t segEnd =
+            (i & ~(bit - 1)) + bit < iEnd ? (i & ~(bit - 1)) + bit
+                                          : iEnd;
+        if (qlo == 0) {
+            const int hi = static_cast<int>((i >> qhi) & 1);
+            const int e = q0 == 0 ? (hi << 1) : hi;
+            const int o = q0 == 0 ? (1 | (hi << 1)) : (hi | 2);
+            sweepAlt(amp, i, segEnd, d4 + 2 * e, d4 + 2 * o);
+        } else {
+            const int idx =
+                static_cast<int>(((i >> q0) & 1) |
+                                 (((i >> q1) & 1) << 1));
+            sweepConst(amp, i, segEnd, d4[2 * idx], d4[2 * idx + 1]);
+        }
+        i = segEnd;
+    }
+}
+
+void
+n_applyPackedPhase(double *amp, const uint64_t *PL,
+                   const uint64_t *PH, int nlo, const double *tab,
+                   uint64_t iBegin, uint64_t iEnd)
+{
+    const uint64_t loMask = (uint64_t(1) << nlo) - 1;
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t hiBase = i & ~loMask;
+        const uint64_t segEnd =
+            hiBase + loMask + 1 < iEnd ? hiBase + loMask + 1 : iEnd;
+        const uint64_t phv = PH[i >> nlo];
+        double *p = amp + 2 * i;
+        for (; i + 2 <= segEnd; i += 2, p += 4) {
+            const int c0 = pop64(PL[i & loMask] ^ phv);
+            const int c1 = pop64(PL[(i + 1) & loMask] ^ phv);
+            const double crs[2] = {tab[2 * c0], tab[2 * c1]};
+            const double cis[2] = {tab[2 * c0 + 1],
+                                   tab[2 * c1 + 1]};
+            cmulStep(p, vld1q_f64(crs), vld1q_f64(cis));
+        }
+        for (; i < segEnd; ++i, p += 2) {
+            const int c = pop64(PL[i & loMask] ^ phv);
+            cmulTail(p, tab[2 * c], tab[2 * c + 1]);
+        }
+    }
+}
+
+double
+n_sumZZPacked(const double *amp, const uint64_t *PL,
+              const uint64_t *PH, int nlo, double nedges,
+              uint64_t iBegin, uint64_t iEnd)
+{
+    const uint64_t loMask = (uint64_t(1) << nlo) - 1;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    double tail = 0.0;
+    uint64_t i = iBegin;
+    while (i < iEnd) {
+        const uint64_t hiBase = i & ~loMask;
+        const uint64_t segEnd =
+            hiBase + loMask + 1 < iEnd ? hiBase + loMask + 1 : iEnd;
+        const uint64_t phv = PH[i >> nlo];
+        const double *p = amp + 2 * i;
+        for (; i + 2 <= segEnd; i += 2, p += 4) {
+            const double cs[2] = {
+                nedges - 2.0 * pop64(PL[i & loMask] ^ phv),
+                nedges - 2.0 * pop64(PL[(i + 1) & loMask] ^ phv)};
+            const float64x2x2_t a = vld2q_f64(p);
+            const float64x2_t norms =
+                vaddq_f64(vmulq_f64(a.val[0], a.val[0]),
+                          vmulq_f64(a.val[1], a.val[1]));
+            acc = vaddq_f64(acc,
+                            vmulq_f64(norms, vld1q_f64(cs)));
+        }
+        for (; i < segEnd; ++i, p += 2) {
+            const double c =
+                nedges - 2.0 * pop64(PL[i & loMask] ^ phv);
+            tail += (p[0] * p[0] + p[1] * p[1]) * c;
+        }
+    }
+    return (vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1)) + tail;
+}
+
+int
+n_scanBelow(const double *row, int begin, int end, double bound)
+{
+    const float64x2_t vb = vdupq_n_f64(bound);
+    int i = begin;
+    for (; i + 2 <= end; i += 2) {
+        const uint64x2_t m = vcltq_f64(vld1q_f64(row + i), vb);
+        if (vgetq_lane_u64(m, 0))
+            return i;
+        if (vgetq_lane_u64(m, 1))
+            return i + 1;
+    }
+    for (; i < end; ++i)
+        if (row[i] < bound)
+            return i;
+    return end;
+}
+
+} // namespace
+
+const KernelTable &
+neonTable()
+{
+    static const KernelTable t = {
+        n_apply1qDiag, n_apply2qDiag, n_applyPackedPhase,
+        nullptr,       n_sumZZPacked, n_scanBelow,
+    };
+    return t;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace tqan
+
+#endif // __aarch64__ && __ARM_NEON

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scalar entries of the dispatch table: thin bridges from the raw
+ * interleaved-double ABI to the sim/kernels.h oracle kernels.  This
+ * TU is compiled with the project's baseline flags, so casting back
+ * to linalg::Cx (genuinely std::complex<double> memory) is safe and
+ * instantiates inline code only at the baseline ISA.
+ */
+
+#include "simd/kernels_isa.h"
+
+#include "sim/kernels.h"
+
+namespace tqan {
+namespace simd {
+namespace detail {
+
+namespace {
+
+using linalg::Cx;
+using std::uint64_t;
+
+void
+s_apply1qDiag(double *amp, int q, const double *d01, uint64_t iBegin,
+              uint64_t iEnd)
+{
+    sim::kern::apply1qDiag(reinterpret_cast<Cx *>(amp), q,
+                           Cx(d01[0], d01[1]), Cx(d01[2], d01[3]),
+                           iBegin, iEnd);
+}
+
+void
+s_apply2qDiag(double *amp, int q0, int q1, const double *d4,
+              uint64_t iBegin, uint64_t iEnd)
+{
+    sim::kern::apply2qDiag(reinterpret_cast<Cx *>(amp), q0, q1,
+                           reinterpret_cast<const Cx *>(d4), iBegin,
+                           iEnd);
+}
+
+void
+s_applyPackedPhase(double *amp, const uint64_t *PL,
+                   const uint64_t *PH, int nlo, const double *tab,
+                   uint64_t iBegin, uint64_t iEnd)
+{
+    sim::kern::applyPackedPhase(reinterpret_cast<Cx *>(amp), PL, PH,
+                                nlo,
+                                reinterpret_cast<const Cx *>(tab),
+                                iBegin, iEnd);
+}
+
+void
+s_apply2qGeneric(double *amp, int q0, int q1, const double *m,
+                 uint64_t kBegin, uint64_t kEnd)
+{
+    sim::kern::apply2qGenericFlat(reinterpret_cast<Cx *>(amp), q0,
+                                  q1,
+                                  reinterpret_cast<const Cx *>(m),
+                                  kBegin, kEnd);
+}
+
+double
+s_sumZZPacked(const double *amp, const uint64_t *PL,
+              const uint64_t *PH, int nlo, double nedges,
+              uint64_t iBegin, uint64_t iEnd)
+{
+    return sim::kern::sumZZPacked(reinterpret_cast<const Cx *>(amp),
+                                  PL, PH, nlo, nedges, iBegin, iEnd);
+}
+
+int
+s_scanBelow(const double *row, int begin, int end, double bound)
+{
+    for (int b = begin; b < end; ++b)
+        if (row[b] < bound)
+            return b;
+    return end;
+}
+
+} // namespace
+
+const KernelTable &
+scalarTable()
+{
+    static const KernelTable t = {
+        s_apply1qDiag,      s_apply2qDiag, s_applyPackedPhase,
+        s_apply2qGeneric,   s_sumZZPacked, s_scanBelow,
+    };
+    return t;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace tqan

@@ -139,6 +139,83 @@ TEST(Bench, SpecParserReadsSimLines)
     EXPECT_THROW(parseSweepSpec(bad), std::invalid_argument);
 }
 
+TEST(Bench, SimdPresetPairsScalarAndDispatchedRows)
+{
+    SweepSpec s = sweepPreset("simd");
+    EXPECT_TRUE(s.simdPairedCompile);
+    EXPECT_FALSE(s.devices.empty());
+    ASSERT_EQ(s.simCases.size(), 4u);
+    // Each workload appears dispatched first, scalar-forced second;
+    // none use the pre-engine reference simulator.
+    for (size_t i = 0; i < s.simCases.size(); i += 2) {
+        EXPECT_EQ(s.simCases[i].label, s.simCases[i + 1].label);
+        EXPECT_FALSE(s.simCases[i].forceScalar);
+        EXPECT_TRUE(s.simCases[i + 1].forceScalar);
+        EXPECT_FALSE(s.simCases[i].reference);
+        EXPECT_FALSE(s.simCases[i + 1].reference);
+    }
+}
+
+TEST(Bench, SpecParserReadsScalarToken)
+{
+    std::istringstream in(
+        "sim = pinned 8 1 4 scalar\n"
+        "sim = inst 10 1 0 3 scalar\n");
+    SweepSpec s = parseSweepSpec(in);
+    ASSERT_EQ(s.simCases.size(), 2u);
+    EXPECT_TRUE(s.simCases[0].forceScalar);
+    EXPECT_FALSE(s.simCases[0].reference);
+    EXPECT_EQ(s.simCases[1].instance, 3);
+    EXPECT_TRUE(s.simCases[1].forceScalar);
+
+    // 'reference' and 'scalar' are exclusive (the pre-engine
+    // simulator never dispatches).
+    std::istringstream bad("sim = both 8 1 4 reference scalar\n");
+    EXPECT_THROW(parseSweepSpec(bad), std::invalid_argument);
+}
+
+TEST(Bench, ScalarForcedSimRowsCarryEngineScalarBackend)
+{
+    SweepSpec s;
+    s.experiment = "simd_pair_test";
+    s.simCases = {{"t", 6, 1, 2, 0, false, false},
+                  {"t", 6, 1, 2, 0, false, true}};
+    BatchCompiler bc({1});
+    std::vector<BenchRow> rows = runBench(s, bc, {0, 1});
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].backend, "engine");
+    EXPECT_EQ(rows[1].backend, "engine-scalar");
+    EXPECT_NE(rows[0].key(), rows[1].key());
+    for (const auto &r : rows) {
+        EXPECT_TRUE(r.ok()) << r.error;
+        EXPECT_GT(r.medianSeconds, 0.0);
+    }
+}
+
+TEST(Bench, SimdPairedCompileAppendsScalarSuffixedRows)
+{
+    SweepSpec s = tinySpec();
+    s.simdPairedCompile = true;
+    BatchCompiler bc({1});
+    std::vector<BenchRow> rows = runBench(s, bc, {0, 1});
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].backend, "2qan");
+    EXPECT_EQ(rows[1].backend, "tket_like");
+    EXPECT_EQ(rows[2].backend, "2qan-scalar");
+    EXPECT_EQ(rows[3].backend, "tket_like-scalar");
+    for (const auto &r : rows)
+        EXPECT_TRUE(r.ok()) << r.key() << ": " << r.error;
+}
+
+TEST(Bench, JsonHeaderRecordsTheDispatchedIsa)
+{
+    std::string json = benchJson("unit", {1, 1}, 1, {});
+    EXPECT_NE(json.find("\"simd\":\""), std::string::npos);
+    // Header-only fields must not confuse the row reader.
+    std::istringstream in(json);
+    EXPECT_TRUE(parseBenchJson(in).empty());
+}
+
 TEST(Bench, RejectsBadRepeatCounts)
 {
     BatchCompiler bc({1});

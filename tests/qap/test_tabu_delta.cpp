@@ -25,6 +25,7 @@
 #include "device/noise_map.h"
 #include "ham/models.h"
 #include "qap/tabu.h"
+#include "simd/dispatch.h"
 
 using namespace tqan;
 using namespace tqan::qap;
@@ -312,6 +313,59 @@ TEST(TabuBitIdentity, AsymmetricFlowFallsBackToRescan)
     std::mt19937_64 r1(99), r2(99);
     EXPECT_EQ(tabuSearchQapMatrix(flow, dist, r1),
               referenceTabu(flow, dist, r2));
+}
+
+TEST(TabuBitIdentitySimd, EveryIsaScanMatchesForcedScalar)
+{
+    // The vectorized cannot-beat-best scan (scanBelow) evaluates a
+    // strict `<` against integral delta-table entries — an exact
+    // predicate — so placements must be bit-identical on every
+    // host-supported ISA, including the same tie-breaking (first
+    // index left to right).
+    std::mt19937_64 gen(31337);
+    for (int inst = 0; inst < 3; ++inst) {
+        auto flow = randomFlow(8 + inst, gen);
+        auto dist = hopDistanceMatrix(device::montreal27());
+        std::uint64_t seed = gen();
+
+        Placement scalarP = [&]() {
+            simd::ScopedForceIsa force(simd::Isa::Scalar);
+            std::mt19937_64 r(seed);
+            return tabuSearchQapMatrix(flow, dist, r);
+        }();
+        for (simd::Isa isa : simd::availableIsas()) {
+            simd::ScopedForceIsa force(isa);
+            std::mt19937_64 r(seed);
+            EXPECT_EQ(tabuSearchQapMatrix(flow, dist, r), scalarP)
+                << simd::isaName(isa) << " inst=" << inst;
+        }
+    }
+}
+
+TEST(TabuBitIdentitySimd, NoiseAwareDistancesMatchAcrossIsas)
+{
+    // Non-integral (noise-aware) deltas still go through the same
+    // exact < predicate; selection stays bit-identical even though
+    // the values themselves are irrational.
+    std::mt19937_64 gen(31338);
+    device::Topology topo = device::montreal27();
+    std::mt19937_64 nrng(gen());
+    auto nm = device::NoiseMap::synthetic(topo, nrng);
+    auto dist = nm.noiseAwareDistances(1.5);
+    auto flow = randomFlow(9, gen);
+    std::uint64_t seed = gen();
+
+    Placement scalarP = [&]() {
+        simd::ScopedForceIsa force(simd::Isa::Scalar);
+        std::mt19937_64 r(seed);
+        return tabuSearchQapMatrix(flow, dist, r);
+    }();
+    for (simd::Isa isa : simd::availableIsas()) {
+        simd::ScopedForceIsa force(isa);
+        std::mt19937_64 r(seed);
+        EXPECT_EQ(tabuSearchQapMatrix(flow, dist, r), scalarP)
+            << simd::isaName(isa);
+    }
 }
 
 TEST(TabuBitIdentityJobs, ParallelTrialsMatchSequential)

@@ -11,10 +11,13 @@
 #include <cmath>
 #include <random>
 
+#include <cstring>
+
 #include "graph/random_graph.h"
 #include "ham/qaoa.h"
 #include "sim/reference.h"
 #include "sim/statevector.h"
+#include "simd/dispatch.h"
 
 using namespace tqan;
 using namespace tqan::sim;
@@ -116,6 +119,31 @@ expectCircuitMatches(const Circuit &c, int n, double tol = 1e-12)
     psi.applyCircuit(c);
     refPsi.applyCircuit(c);
     EXPECT_LT(maxAmpDiff(psi, refPsi), tol);
+}
+
+/** All amplitudes of one circuit run under a pinned SIMD path. */
+std::vector<linalg::Cx>
+ampsUnderIsa(const Circuit &c, int n, simd::Isa isa)
+{
+    simd::ScopedForceIsa force(isa);
+    Statevector psi(n);
+    psi.applyCircuit(c);
+    std::vector<linalg::Cx> amps(psi.dim());
+    for (std::uint64_t i = 0; i < psi.dim(); ++i)
+        amps[i] = psi.amplitude(i);
+    return amps;
+}
+
+/** Bitwise equality (memcmp, so -0.0 != +0.0 and NaNs count):
+ * the contract for every elementwise SIMD kernel. */
+bool
+bitIdentical(const std::vector<linalg::Cx> &a,
+             const std::vector<linalg::Cx> &b)
+{
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(),
+                        a.size() * sizeof(linalg::Cx)) == 0);
 }
 
 } // namespace
@@ -271,6 +299,78 @@ TEST(Kernels, ExpectationZZBranchlessMatchesOldImplementation)
             EXPECT_NEAR(psi.expectationZZ(g.edges()),
                         refPsi.expectationZZ(g.edges()), 1e-12)
                 << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, EveryIsaPathBitIdenticalToScalarOnRandomCircuits)
+{
+    // The tentpole contract: the elementwise vector kernels
+    // (diagonal 1q/2q, packed phase, generic 4x4) perform exactly
+    // the scalar oracle's products and sums per amplitude, so every
+    // host-supported ISA must reproduce the forced-scalar
+    // amplitudes bit for bit — not within a tolerance.
+    std::mt19937_64 rng(4096);
+    for (int n = 1; n <= 12; ++n) {
+        for (int rep = 0; rep < 3; ++rep) {
+            Circuit c = randomCircuit(n, 8 + 4 * n, rng);
+            auto scalar = ampsUnderIsa(c, n, simd::Isa::Scalar);
+            for (simd::Isa isa : simd::availableIsas()) {
+                if (isa == simd::Isa::Scalar)
+                    continue;
+                EXPECT_TRUE(
+                    bitIdentical(ampsUnderIsa(c, n, isa), scalar))
+                    << simd::isaName(isa) << " n=" << n
+                    << " rep=" << rep;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, EveryIsaPathBitIdenticalOnQaoaLayers)
+{
+    // QAOA layer shapes drive the packed-parity phase sweep and the
+    // uniform-diagonal fast paths the random-circuit mix reaches
+    // only rarely.
+    std::mt19937_64 rng(4097);
+    for (int n : {4, 8, 10, 12}) {
+        graph::Graph g = graph::randomRegularGraph(n, 3, rng);
+        Circuit c =
+            ham::qaoaStateCircuit(g, ham::qaoaFixedAngles(2));
+        auto scalar = ampsUnderIsa(c, n, simd::Isa::Scalar);
+        for (simd::Isa isa : simd::availableIsas()) {
+            if (isa == simd::Isa::Scalar)
+                continue;
+            EXPECT_TRUE(
+                bitIdentical(ampsUnderIsa(c, n, isa), scalar))
+                << simd::isaName(isa) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdKernels, ExpectationZZAcrossIsasWithinDocumentedBound)
+{
+    // sumZZPacked reassociates the reduction across vector lanes,
+    // so exact equality is NOT required; the documented bound is
+    // 1e-12 absolute (see simd/dispatch.h).
+    std::mt19937_64 rng(4098);
+    for (int n : {2, 5, 9, 12}) {
+        Circuit prep = randomCircuit(n, 6 * n, rng);
+        graph::Graph g = graph::erdosRenyi(n, 0.5, rng);
+        double scalar;
+        {
+            simd::ScopedForceIsa force(simd::Isa::Scalar);
+            Statevector psi(n);
+            psi.applyCircuit(prep);
+            scalar = psi.expectationZZ(g.edges());
+        }
+        for (simd::Isa isa : simd::availableIsas()) {
+            simd::ScopedForceIsa force(isa);
+            Statevector psi(n);
+            psi.applyCircuit(prep);
+            EXPECT_NEAR(psi.expectationZZ(g.edges()), scalar,
+                        1e-12)
+                << simd::isaName(isa) << " n=" << n;
         }
     }
 }

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Entry point of tqan_simd_tests: the kernel-oracle and tabu-delta
+ * suites run once per ISA under `ctest -L simd`, each registration
+ * setting TQAN_SIMD.  CMake registers every ISA it could COMPILE;
+ * whether the executing CPU supports it is only known here, so a
+ * run whose pinned ISA the host lacks skips cleanly (exit 0 with a
+ * notice) instead of failing the matrix on older hardware.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "simd/caps.h"
+#include "simd/dispatch.h"
+
+int
+main(int argc, char **argv)
+{
+    const char *env = std::getenv("TQAN_SIMD");
+    if (env && *env) {
+        tqan::simd::Isa isa;
+        if (tqan::simd::parseIsa(env, &isa) &&
+            !tqan::simd::isaAvailable(isa)) {
+            std::printf(
+                "tqan_simd_tests: TQAN_SIMD=%s is not supported on "
+                "this host (caps: %s); skipping\n",
+                env, tqan::simd::hostCaps().str().c_str());
+            return 0;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

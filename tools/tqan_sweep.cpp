@@ -24,6 +24,7 @@
 
 #include "core/profile.h"
 #include "core/sweep.h"
+#include "simd/dispatch.h"
 
 using namespace tqan;
 
@@ -81,6 +82,9 @@ printHelp(std::FILE *out)
         "                    'verify' preset has this on already\n"
         "  --profile         print the profiling report (wall time\n"
         "                    per pass / backend) to stderr\n"
+        "  --version         print the version, detected CPU caps\n"
+        "                    and per-kernel SIMD dispatch, then "
+        "exit\n"
         "  --spec-help       describe the sweep-spec format\n"
         "  --help            show this help and exit\n"
         "\n"
@@ -93,7 +97,9 @@ printHelp(std::FILE *out)
         "                    lines; the `fidelity` preset is\n"
         "                    sim-only and times the QAOA trajectory\n"
         "                    batch on the engine and the pre-engine\n"
-        "                    reference simulator)\n"
+        "                    reference simulator; the `simd` preset\n"
+        "                    pairs dispatched vs scalar-forced rows\n"
+        "                    for the SIMD speedup record)\n"
         "  --warmup N        un-timed warmup runs (default 1)\n"
         "  --repeat N        timed runs (default 5)\n"
         "  --out FILE        bench JSON path (default\n"
@@ -220,6 +226,10 @@ main(int argc, char **argv)
         if (a == "--help" || a == "-h") {
             printHelp(stdout);
             return 0;
+        } else if (a == "--version") {
+            std::fprintf(stdout, "tqan-sweep %s\n%s", TQAN_VERSION,
+                         simd::dispatchSummary().c_str());
+            return 0;
         } else if (a == "--spec-help") {
             std::fputs(core::sweepSpecHelp().c_str(), stdout);
             return 0;
@@ -303,8 +313,14 @@ main(int argc, char **argv)
         if (bench) {
             int rc = runBenchMode(spec, jobs, {warmup, repeat},
                                   outFile, baselineFile);
-            if (profile)
-                std::fputs(core::profile::report().c_str(), stderr);
+            if (profile) {
+                std::fprintf(stderr,
+                             "profile: simd=%s caps=[%s]\n",
+                             simd::activeIsaName(),
+                             simd::hostCaps().str().c_str());
+                std::fputs(core::profile::report().c_str(),
+                           stderr);
+            }
             return rc;
         }
         if (spec.devices.empty() && !spec.simCases.empty()) {
@@ -357,8 +373,12 @@ main(int argc, char **argv)
                  core::aggregateTables(rows, "2qan", baselines))
                 std::printf("%s\n", core::toCsv(t).c_str());
         }
-        if (profile)
+        if (profile) {
+            std::fprintf(stderr, "profile: simd=%s caps=[%s]\n",
+                         simd::activeIsaName(),
+                         simd::hostCaps().str().c_str());
             std::fputs(core::profile::report().c_str(), stderr);
+        }
         return failed ? 1 : 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "tqan-sweep: error: %s\n", e.what());

@@ -25,6 +25,7 @@
 #include "core/compiler.h"
 #include "core/metrics.h"
 #include "core/profile.h"
+#include "simd/dispatch.h"
 #include "decomp/pass.h"
 #include "device/devices.h"
 #include "ham/parser.h"
@@ -69,6 +70,9 @@ printHelp(std::FILE *out)
         "(CNOT/CZ only)\n"
         "  --profile         print a wall-time profile (per pass,\n"
         "                    per kernel) to stderr after compiling\n"
+        "  --version         print the version, detected CPU caps\n"
+        "                    and per-kernel SIMD dispatch, then "
+        "exit\n"
         "  --help            show this help and exit\n"
         "\n"
         "2qan-pipeline options (rejected for other backends):\n"
@@ -111,6 +115,11 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--help") == 0 ||
             std::strcmp(argv[i], "-h") == 0) {
             printHelp(stdout);
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::fprintf(stdout, "tqanc %s\n%s", TQAN_VERSION,
+                         simd::dispatchSummary().c_str());
             return 0;
         }
     }
@@ -252,8 +261,14 @@ main(int argc, char **argv)
             std::cout << qcir::toQasm(hw);
         }
 
-        if (profile)
+        if (profile) {
+            // ISA header so profile rows (labelled per ISA) are
+            // attributable to the hardware path that produced them.
+            std::fprintf(stderr, "profile: simd=%s caps=[%s]\n",
+                         simd::activeIsaName(),
+                         simd::hostCaps().str().c_str());
             std::fputs(core::profile::report().c_str(), stderr);
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "tqanc: error: %s\n", e.what());
         return 1;
