@@ -122,6 +122,12 @@ BatchCompiler::distancesFor(const device::Topology &topo) const
     return slot;
 }
 
+BatchJobResult
+BatchCompiler::runOne(const BatchJob &job) const
+{
+    return run(std::vector<BatchJob>{job}).front();
+}
+
 std::vector<BatchJobResult>
 BatchCompiler::run(const std::vector<BatchJob> &jobs) const
 {

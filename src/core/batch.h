@@ -145,6 +145,10 @@ class BatchCompiler
     std::vector<BatchJobResult> run(
         const std::vector<BatchJob> &jobs) const;
 
+    /** Compile a single job through the pool (the CompileService's
+     * synchronous cold path).  Same error convention as run(). */
+    BatchJobResult runOne(const BatchJob &job) const;
+
     /**
      * The memoized hop-distance matrix of a topology (flat,
      * row-major), shared read-only by all jobs of all batches

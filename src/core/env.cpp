@@ -1,0 +1,60 @@
+#include "core/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tqan {
+namespace core {
+
+double
+envDoubleOr(const char *name, double fallback, double minValue)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !std::isfinite(v) ||
+        v < minValue) {
+        std::fprintf(stderr,
+                     "tqan: %s='%s' is not a finite number >= %g; "
+                     "using %g\n",
+                     name, env, minValue, fallback);
+        return fallback;
+    }
+    return v;
+}
+
+std::uint64_t
+envUint64Or(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    // strtoull accepts leading whitespace, '+', '-' (wrapping) and
+    // hex; an env knob should be a plain decimal integer, nothing
+    // else.
+    bool digitsOnly = true;
+    for (const char *p = env; *p; ++p)
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            digitsOnly = false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (!digitsOnly || end == env || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "tqan: %s='%s' is not a non-negative integer; "
+                     "using %llu\n",
+                     name, env,
+                     static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
+} // namespace core
+} // namespace tqan

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strict numeric environment-variable knobs.
+ *
+ * Every numeric env override (TQAN_BENCH_TOLERANCE, TQAN_FUZZ_SEED,
+ * ...) goes through these helpers, which follow the TQAN_SIMD
+ * convention (src/simd/dispatch.cpp): a malformed or out-of-range
+ * value warns on stderr and falls back to the default instead of
+ * silently truncating ("0.25x" must not gate perf CI as 0.25) or
+ * aborting the run.  Parses are strict: the whole value must be
+ * consumed, and doubles must be finite.
+ */
+
+#ifndef TQAN_CORE_ENV_H
+#define TQAN_CORE_ENV_H
+
+#include <cstdint>
+
+namespace tqan {
+namespace core {
+
+/**
+ * Value of the env var `name` as a double, or `fallback` when the
+ * variable is unset, does not parse in full, is not finite, or is
+ * below `minValue` (warning on stderr in the malformed cases).
+ */
+double envDoubleOr(const char *name, double fallback,
+                   double minValue = 0.0);
+
+/**
+ * Value of the env var `name` as an unsigned 64-bit integer, or
+ * `fallback` when the variable is unset or does not parse in full
+ * as a non-negative integer (warning on stderr when malformed).
+ */
+std::uint64_t envUint64Or(const char *name, std::uint64_t fallback);
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_ENV_H

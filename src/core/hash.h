@@ -1,33 +1,51 @@
 /**
  * @file
- * Shared string hashing for seed-derivation conventions.
+ * Shared string hashing for seed-derivation conventions and for the
+ * compile service's content addressing.
  *
  * Both the sweep engine (per-backend compile seeds) and the fuzz
  * harness (per-backend scenario seeds) fold backend NAMES into
  * seeds, so reordering a backend list never changes a result.  They
- * must keep using the same hash — one definition lives here.
+ * must keep using the same hash — one definition lives here.  The
+ * CompileService cache keys (canonicalized request bytes) and the
+ * cache store's per-entry checksums use the byte-range form, so a
+ * cache file is portable between any two builds of the same version.
  */
 
 #ifndef TQAN_CORE_HASH_H
 #define TQAN_CORE_HASH_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace tqan {
 namespace core {
 
-/** FNV-1a, 64-bit.  The constants are part of the golden-file seed
- * convention — never change them. */
+/** FNV-1a offset basis: the state an empty input hashes from, and
+ * the `h` continuation argument's default. */
+constexpr std::uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
+
+/** FNV-1a, 64-bit, over a byte range; pass a previous result as `h`
+ * to hash discontiguous pieces as one stream.  The constants are
+ * part of the golden-file seed convention — never change them. */
 inline std::uint64_t
-fnv1a64(const std::string &s)
+fnv1a64(const void *data, std::size_t n,
+        std::uint64_t h = kFnv1a64Basis)
 {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (unsigned char c : s) {
-        h ^= c;
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
         h *= 0x100000001b3ULL;
     }
     return h;
+}
+
+/** FNV-1a, 64-bit, of a string (the seed-derivation form). */
+inline std::uint64_t
+fnv1a64(const std::string &s)
+{
+    return fnv1a64(s.data(), s.size());
 }
 
 } // namespace core

@@ -54,6 +54,16 @@ void reset();
 /** Add one sample to a scope.  No-op while disabled. */
 void record(const std::string &name, double seconds);
 
+/** Count an event without a duration (cache hits, rejected
+ * requests): one call, zero seconds.  The CompileService surfaces
+ * its hit/miss/reject tallies this way, so a profile snapshot holds
+ * them next to the timed scopes. */
+inline void
+count(const std::string &name)
+{
+    record(name, 0.0);
+}
+
 /** All collected stats, sorted by name (deterministic for tests). */
 std::vector<ScopeStats> snapshot();
 

@@ -1130,6 +1130,65 @@ jsonFieldOf(const std::string &line, const std::string &key)
                                                    : end - v);
 }
 
+/** Strict full-consumption parses for bench-json fields.  stoi/stod
+ * accept junk-tailed tokens ("12x" -> 12) and a field that survived
+ * a truncated write would silently skew a regression gate; here any
+ * unconsumed byte, non-finite value, or out-of-range value names the
+ * offending field and line instead. */
+[[noreturn]] void
+failBenchField(int lineno, const std::string &key,
+               const std::string &tok, const std::string &why)
+{
+    throw std::invalid_argument("bench json line " +
+                                std::to_string(lineno) +
+                                ": field \"" + key + "\" " + why +
+                                ": '" + tok + "'");
+}
+
+int
+benchIntField(int lineno, const std::string &key,
+              const std::string &tok, int minValue)
+{
+    int v = 0;
+    try {
+        size_t used = 0;
+        v = std::stoi(tok, &used);
+        if (used != tok.size())
+            failBenchField(lineno, key, tok,
+                           "has trailing junk after the integer");
+    } catch (const std::invalid_argument &) {
+        failBenchField(lineno, key, tok, "is not an integer");
+    } catch (const std::out_of_range &) {
+        failBenchField(lineno, key, tok, "is out of range");
+    }
+    if (v < minValue)
+        failBenchField(lineno, key, tok,
+                       "must be >= " + std::to_string(minValue));
+    return v;
+}
+
+double
+benchDoubleField(int lineno, const std::string &key,
+                 const std::string &tok)
+{
+    double v = 0.0;
+    try {
+        size_t used = 0;
+        v = std::stod(tok, &used);
+        if (used != tok.size())
+            failBenchField(lineno, key, tok,
+                           "has trailing junk after the number");
+    } catch (const std::invalid_argument &) {
+        failBenchField(lineno, key, tok, "is not a number");
+    } catch (const std::out_of_range &) {
+        failBenchField(lineno, key, tok, "is out of range");
+    }
+    if (!std::isfinite(v) || v < 0.0)
+        failBenchField(lineno, key, tok,
+                       "must be a finite time in seconds >= 0");
+    return v;
+}
+
 } // namespace
 
 std::vector<BenchRow>
@@ -1156,31 +1215,24 @@ parseBenchJson(std::istream &in)
             throw std::invalid_argument(
                 "bench json line " + std::to_string(lineno) +
                 ": missing fields in '" + line + "'");
-        try {
-            b.nqubits = std::stoi(nq);
-            b.instance = std::stoi(inst);
-            b.medianSeconds = std::stod(med);
-            std::string s;
-            if (!(s = jsonFieldOf(line, "min_seconds")).empty())
-                b.minSeconds = std::stod(s);
-            if (!(s = jsonFieldOf(line, "max_seconds")).empty())
-                b.maxSeconds = std::stod(s);
-            if (!(s = jsonFieldOf(line, "mapping_seconds")).empty())
-                b.mappingSeconds = std::stod(s);
-            if (!(s = jsonFieldOf(line, "routing_seconds")).empty())
-                b.routingSeconds = std::stod(s);
-            if (!(s = jsonFieldOf(line, "scheduling_seconds"))
-                     .empty())
-                b.schedulingSeconds = std::stod(s);
-        } catch (const std::invalid_argument &) {
-            throw std::invalid_argument(
-                "bench json line " + std::to_string(lineno) +
-                ": bad number in '" + line + "'");
-        } catch (const std::out_of_range &) {
-            throw std::invalid_argument(
-                "bench json line " + std::to_string(lineno) +
-                ": number out of range in '" + line + "'");
-        }
+        b.nqubits = benchIntField(lineno, "nqubits", nq, 1);
+        b.instance = benchIntField(lineno, "instance", inst, 0);
+        b.medianSeconds =
+            benchDoubleField(lineno, "median_seconds", med);
+        std::string s;
+        if (!(s = jsonFieldOf(line, "min_seconds")).empty())
+            b.minSeconds = benchDoubleField(lineno, "min_seconds", s);
+        if (!(s = jsonFieldOf(line, "max_seconds")).empty())
+            b.maxSeconds = benchDoubleField(lineno, "max_seconds", s);
+        if (!(s = jsonFieldOf(line, "mapping_seconds")).empty())
+            b.mappingSeconds =
+                benchDoubleField(lineno, "mapping_seconds", s);
+        if (!(s = jsonFieldOf(line, "routing_seconds")).empty())
+            b.routingSeconds =
+                benchDoubleField(lineno, "routing_seconds", s);
+        if (!(s = jsonFieldOf(line, "scheduling_seconds")).empty())
+            b.schedulingSeconds =
+                benchDoubleField(lineno, "scheduling_seconds", s);
         b.error = jsonFieldOf(line, "error");
         rows.push_back(std::move(b));
     }

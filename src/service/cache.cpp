@@ -1,0 +1,201 @@
+#include "service/cache.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include "core/hash.h"
+
+namespace tqan {
+namespace service {
+
+constexpr char CompileCache::kMagic[9];
+constexpr std::uint32_t CompileCache::kVersion;
+constexpr std::uint32_t CompileCache::kMaxBlob;
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8 + 4 + 4;
+constexpr std::size_t kEntryHead = 8 + 4 + 4 + 8;
+
+void
+putU32(std::string &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+putU64(std::string &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::string
+headerBytes()
+{
+    std::string h(CompileCache::kMagic, 8);
+    putU32(h, CompileCache::kVersion);
+    putU32(h, 0);
+    return h;
+}
+
+} // namespace
+
+CompileCache::CompileCache(std::string path) : path_(std::move(path))
+{
+    if (!path_.empty())
+        openStore();
+}
+
+void
+CompileCache::openStore()
+{
+    std::ifstream in(path_, std::ios::binary);
+    std::string data;
+    if (in) {
+        data.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+        in.close();
+    }
+
+    std::size_t good = 0;  // verified prefix length
+    if (data.size() >= kHeaderSize &&
+        std::memcmp(data.data(), kMagic, 8) == 0 &&
+        getU32(reinterpret_cast<const unsigned char *>(data.data()) +
+               8) == kVersion) {
+        good = kHeaderSize;
+        std::size_t at = kHeaderSize;
+        while (at + kEntryHead <= data.size()) {
+            const unsigned char *p =
+                reinterpret_cast<const unsigned char *>(data.data()) +
+                at;
+            std::uint64_t key = getU64(p);
+            std::uint32_t reqLen = getU32(p + 8);
+            std::uint32_t payLen = getU32(p + 12);
+            std::uint64_t sum = getU64(p + 16);
+            if (reqLen > kMaxBlob || payLen > kMaxBlob)
+                break;
+            std::size_t need =
+                kEntryHead + std::size_t(reqLen) + payLen;
+            if (at + need > data.size())
+                break;  // truncated tail
+            const char *req = data.data() + at + kEntryHead;
+            const char *pay = req + reqLen;
+            std::uint64_t want = core::fnv1a64(
+                pay, payLen, core::fnv1a64(req, reqLen));
+            if (want != sum)
+                break;  // corrupt entry
+            std::string reqStr(req, reqLen);
+            if (core::fnv1a64(reqStr) != key)
+                break;  // key is not the content address
+            map_[key] = Entry{std::move(reqStr),
+                              std::string(pay, payLen)};
+            at += need;
+            good = at;
+            ++load_.loadedEntries;
+        }
+        load_.droppedBytes = data.size() - good;
+    } else if (!data.empty()) {
+        load_.rebuilt = true;  // foreign or torn header: start over
+        map_.clear();
+        load_.loadedEntries = 0;
+    }
+
+    if (good == 0) {
+        // Fresh or rebuilt store: write a clean header.
+        std::ofstream fresh(path_,
+                            std::ios::binary | std::ios::trunc);
+        fresh << headerBytes();
+        fresh.close();
+    } else if (good < data.size()) {
+        // Drop the unverifiable tail so it can never resurface.
+        if (::truncate(path_.c_str(),
+                       static_cast<off_t>(good)) != 0) {
+            // Could not truncate (read-only fs?): rewrite the
+            // verified prefix instead.
+            std::ofstream rw(path_,
+                             std::ios::binary | std::ios::trunc);
+            rw.write(data.data(), static_cast<std::streamsize>(good));
+        }
+    }
+
+    out_.open(path_, std::ios::binary | std::ios::app);
+}
+
+bool
+CompileCache::lookup(std::uint64_t key, const std::string &request,
+                     std::string *payload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second.request != request)
+        return false;
+    *payload = it->second.payload;
+    return true;
+}
+
+void
+CompileCache::insert(std::uint64_t key, const std::string &request,
+                     const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end() && it->second.request == request &&
+        it->second.payload == payload)
+        return;
+    Entry e{request, payload};
+    if (out_.is_open())
+        appendLocked(key, e);
+    map_[key] = std::move(e);
+}
+
+void
+CompileCache::appendLocked(std::uint64_t key, const Entry &e)
+{
+    std::string buf;
+    buf.reserve(kEntryHead + e.request.size() + e.payload.size());
+    putU64(buf, key);
+    putU32(buf, static_cast<std::uint32_t>(e.request.size()));
+    putU32(buf, static_cast<std::uint32_t>(e.payload.size()));
+    putU64(buf, core::fnv1a64(e.payload.data(), e.payload.size(),
+                              core::fnv1a64(e.request.data(),
+                                            e.request.size())));
+    buf += e.request;
+    buf += e.payload;
+    // One write + flush per entry: an interrupted append leaves a
+    // short tail that the next open verifies away.
+    out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out_.flush();
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+} // namespace service
+} // namespace tqan

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Content-addressed compile cache with an append-only on-disk store.
+ *
+ * The CompileService keys each compile result by the FNV-1a hash of
+ * its canonicalized request (service.h); this class holds the
+ * key -> (request, payload) map and, when given a path, persists it
+ * across restarts.  The on-disk format follows the c-blosc2
+ * super-chunk discipline (append-only persisted chunks, verify on
+ * open, one lock per context under multithreaded load):
+ *
+ *   header  8 B magic "TQANCSv1", u32 version (1), u32 reserved (0)
+ *   entry   u64 key, u32 reqLen, u32 payLen,
+ *           u64 checksum = fnv1a64(request bytes || payload bytes),
+ *           reqLen request bytes, payLen payload bytes
+ *
+ * All integers little-endian.  Entries are only ever appended; a
+ * later entry for the same key wins on load.  The store is
+ * UNTRUSTED on open: a bad magic/version empties the cache and
+ * rewrites the header, and the first entry whose bytes are short,
+ * whose checksum mismatches, or whose key is not the hash of its
+ * request ends the load — everything from that offset on is dropped
+ * and the file truncated back to the verified prefix (a torn append
+ * from a crash must never be served).  Collisions cannot be served
+ * either: lookup compares the stored request bytes, not just the
+ * key.
+ *
+ * Thread-safe: one mutex guards the map and the append stream.
+ */
+
+#ifndef TQAN_SERVICE_CACHE_H
+#define TQAN_SERVICE_CACHE_H
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace tqan {
+namespace service {
+
+class CompileCache
+{
+  public:
+    /** Load tallies of the most recent open (for --stats and the
+     * corruption tests). */
+    struct LoadInfo
+    {
+        std::uint64_t loadedEntries = 0;
+        /** Bytes dropped from an unverifiable tail (0 on a clean
+         * open; the header of a rebuilt file does not count). */
+        std::uint64_t droppedBytes = 0;
+        /** True when the header was missing/foreign and the store
+         * was rebuilt empty. */
+        bool rebuilt = false;
+    };
+
+    /** Empty path = in-memory only.  Opening loads the verified
+     * prefix of an existing store, truncates any corrupt tail, and
+     * leaves the file ready for appends. */
+    explicit CompileCache(std::string path = "");
+
+    /** Payload for `key`, but only if the stored request bytes equal
+     * `request` (content addressing, not trust-the-hash). */
+    bool lookup(std::uint64_t key, const std::string &request,
+                std::string *payload);
+
+    /** Record a result; appends to the store when one is attached.
+     * Re-inserting an identical entry is a no-op (no duplicate
+     * appends after a reload). */
+    void insert(std::uint64_t key, const std::string &request,
+                const std::string &payload);
+
+    std::size_t size() const;
+    const std::string &path() const { return path_; }
+    const LoadInfo &loadInfo() const { return load_; }
+
+    /** On-disk format tags (shared with the tests). */
+    static constexpr char kMagic[9] = "TQANCSv1";
+    static constexpr std::uint32_t kVersion = 1;
+    /** Sanity cap on a single stored request/payload (a length field
+     * from a corrupt file must not drive a giant allocation). */
+    static constexpr std::uint32_t kMaxBlob = 1u << 28;
+
+  private:
+    struct Entry
+    {
+        std::string request;
+        std::string payload;
+    };
+
+    void openStore();  // load + truncate-to-verified + open appender
+    void appendLocked(std::uint64_t key, const Entry &e);
+
+    mutable std::mutex mu_;
+    std::string path_;
+    std::unordered_map<std::uint64_t, Entry> map_;
+    std::ofstream out_;
+    LoadInfo load_;
+};
+
+} // namespace service
+} // namespace tqan
+
+#endif // TQAN_SERVICE_CACHE_H

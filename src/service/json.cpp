@@ -1,0 +1,285 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tqan {
+namespace service {
+
+namespace {
+
+[[noreturn]] void
+fail(size_t pos, const std::string &what)
+{
+    throw std::invalid_argument("json: at byte " +
+                                std::to_string(pos) + ": " + what);
+}
+
+struct Cursor
+{
+    const std::string &s;
+    size_t i = 0;
+
+    bool done() const { return i >= s.size(); }
+    char peek() const { return s[i]; }
+
+    void skipWs()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
+                s[i] == '\n'))
+            ++i;
+    }
+
+    char expect(char c)
+    {
+        if (done() || s[i] != c)
+            fail(i, std::string("expected '") + c + "'");
+        return s[i++];
+    }
+};
+
+std::string
+parseString(Cursor &c)
+{
+    c.expect('"');
+    std::string out;
+    while (true) {
+        if (c.done())
+            fail(c.i, "unterminated string");
+        unsigned char ch = static_cast<unsigned char>(c.s[c.i]);
+        if (ch == '"') {
+            ++c.i;
+            return out;
+        }
+        if (ch < 0x20)
+            fail(c.i, "raw control character in string (escape it)");
+        if (ch >= 0x80)
+            fail(c.i, "non-ASCII byte in string");
+        if (ch != '\\') {
+            out += static_cast<char>(ch);
+            ++c.i;
+            continue;
+        }
+        ++c.i;  // consume backslash
+        if (c.done())
+            fail(c.i, "dangling escape");
+        char e = c.s[c.i++];
+        switch (e) {
+          case '"':  out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/':  out += '/'; break;
+          case 'b':  out += '\b'; break;
+          case 'f':  out += '\f'; break;
+          case 'n':  out += '\n'; break;
+          case 'r':  out += '\r'; break;
+          case 't':  out += '\t'; break;
+          case 'u': {
+            if (c.i + 4 > c.s.size())
+                fail(c.i, "truncated \\u escape");
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+                char h = c.s[c.i + k];
+                v <<= 4;
+                if (h >= '0' && h <= '9')
+                    v |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    v |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    v |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    fail(c.i + k, "bad hex digit in \\u escape");
+            }
+            if (v > 0x7f)
+                fail(c.i, "\\u escape above 0x7f unsupported "
+                          "(protocol is ASCII)");
+            c.i += 4;
+            out += static_cast<char>(v);
+            break;
+          }
+          default:
+            fail(c.i - 1, std::string("unknown escape '\\") + e +
+                              "'");
+        }
+    }
+}
+
+JsonValue
+parseValue(Cursor &c)
+{
+    if (c.done())
+        fail(c.i, "expected a value");
+    JsonValue v;
+    char ch = c.peek();
+    if (ch == '"') {
+        v.kind = JsonValue::Kind::String;
+        v.text = parseString(c);
+        return v;
+    }
+    if (ch == '{' || ch == '[')
+        fail(c.i, "nested objects/arrays are not part of the "
+                  "protocol");
+    if (c.s.compare(c.i, 4, "true") == 0) {
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+        c.i += 4;
+        return v;
+    }
+    if (c.s.compare(c.i, 5, "false") == 0) {
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = false;
+        c.i += 5;
+        return v;
+    }
+    if (c.s.compare(c.i, 4, "null") == 0) {
+        v.kind = JsonValue::Kind::Null;
+        c.i += 4;
+        return v;
+    }
+    // Number token: leading '-', digits, '.', exponent.  Collect the
+    // plausible charset, then insist the whole token converts.
+    size_t start = c.i;
+    while (!c.done()) {
+        char n = c.peek();
+        if ((n >= '0' && n <= '9') || n == '-' || n == '+' ||
+            n == '.' || n == 'e' || n == 'E')
+            ++c.i;
+        else
+            break;
+    }
+    if (c.i == start)
+        fail(start, "expected a value");
+    v.kind = JsonValue::Kind::Number;
+    v.text = c.s.substr(start, c.i - start);
+    double d;
+    if (!parseF64(v.text, &d))
+        fail(start, "bad number '" + v.text + "'");
+    return v;
+}
+
+} // namespace
+
+JsonObject
+parseJsonObject(const std::string &line)
+{
+    Cursor c{line};
+    c.skipWs();
+    c.expect('{');
+    JsonObject obj;
+    c.skipWs();
+    if (!c.done() && c.peek() == '}') {
+        ++c.i;
+    } else {
+        while (true) {
+            c.skipWs();
+            size_t keyAt = c.i;
+            std::string key = parseString(c);
+            if (obj.find(key) != obj.end())
+                fail(keyAt, "duplicate key \"" + key + "\"");
+            c.skipWs();
+            c.expect(':');
+            c.skipWs();
+            obj.emplace(std::move(key), parseValue(c));
+            c.skipWs();
+            if (c.done())
+                fail(c.i, "unterminated object");
+            if (c.peek() == ',') {
+                ++c.i;
+                continue;
+            }
+            c.expect('}');
+            break;
+        }
+    }
+    c.skipWs();
+    if (!c.done())
+        fail(c.i, "trailing bytes after object");
+    return obj;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char ch : s) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (ch < 0x20 || ch >= 0x80) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += static_cast<char>(ch);
+            }
+        }
+    }
+    return out;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    for (unsigned char ch : s)
+        if (!std::isdigit(ch))
+            return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseI32(const std::string &s, int *out)
+{
+    if (s.empty())
+        return false;
+    size_t k = (s[0] == '-') ? 1 : 0;
+    if (k == s.size())
+        return false;
+    for (size_t i = k; i < s.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(s[i])))
+            return false;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE ||
+        v < INT_MIN || v > INT_MAX)
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseF64(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace service
+} // namespace tqan

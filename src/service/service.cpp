@@ -1,0 +1,801 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+#include "core/hash.h"
+#include "core/profile.h"
+#include "decomp/pass.h"
+#include "device/noise_map.h"
+#include "ham/parser.h"
+#include "ham/trotter.h"
+#include "qcir/qasm.h"
+#include "testgen/random_topology.h"
+
+namespace tqan {
+namespace service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** A request line larger than this is hostile, not a workload. */
+constexpr std::size_t kMaxLineBytes = std::size_t(16) << 20;
+
+/** Latency ring size for the p50/p99 estimates. */
+constexpr std::size_t kLatWindow = 4096;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+/** Exact, reversible canonical form of a double: its bit pattern.
+ * Textual formatting would round, and a rounded key could collide
+ * two different times/lambdas. */
+std::string
+doubleBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+std::string
+keyHex(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+core::MapperKind
+mapperByName(const std::string &name)
+{
+    const std::pair<const char *, core::MapperKind> kinds[] = {
+        {"tabu", core::MapperKind::Tabu},
+        {"anneal", core::MapperKind::Anneal},
+        {"greedy", core::MapperKind::Greedy},
+        {"line", core::MapperKind::Line},
+        {"identity", core::MapperKind::Identity},
+    };
+    for (const auto &[n, k] : kinds)
+        if (name == n)
+            return k;
+    throw std::invalid_argument(
+        "unknown mapper '" + name +
+        "' (tabu | anneal | greedy | line | identity)");
+}
+
+/** Every CompilerOptions field, exactly once, in a fixed order.
+ * tests/service/test_cache_key.cpp asserts (a) mutating any field
+ * changes the key and (b) the struct layout is the one this list
+ * was written for — adding a CompilerOptions field without
+ * extending this function fails loudly there. */
+void
+appendCanonicalOptions(std::string &s,
+                       const core::CompilerOptions &o, int nqubits)
+{
+    if (o.sharedDistances)
+        throw std::invalid_argument(
+            "request options must not carry sharedDistances (the "
+            "service injects the memoized matrix after keying)");
+    s += "options-v1\n";
+    s += "mapper=" + core::mapperKindName(o.mapper) + "\n";
+    s += "mapper_trials=" + std::to_string(o.mapperTrials) + "\n";
+    s += "jobs=" + std::to_string(o.jobs) + "\n";
+    s += "unify_circuit=" + std::to_string(o.unifyCircuit ? 1 : 0) +
+         "\n";
+    s += "unify_swaps=" + std::to_string(o.unifySwaps ? 1 : 0) + "\n";
+    s += "hybrid_schedule=" +
+         std::to_string(o.hybridSchedule ? 1 : 0) + "\n";
+    s += "tabu.max_iters=" + std::to_string(o.tabu.maxIters) + "\n";
+    s += "tabu.low_mul=" + std::to_string(o.tabu.tabuLowMul) + "\n";
+    s += "tabu.high_mul=" + std::to_string(o.tabu.tabuHighMul) + "\n";
+    s += "tabu.stall_limit=" + std::to_string(o.tabu.stallLimit) +
+         "\n";
+    s += "noise_lambda=" + doubleBits(o.noiseLambda) + "\n";
+    if (!o.noiseMap) {
+        s += "noise_map=none\n";
+    } else {
+        s += "noise_map=edges:";
+        for (double e : o.noiseMap->edgeErrors())
+            s += doubleBits(e) + ",";
+        s += ";readout:";
+        for (int q = 0; q < nqubits; ++q)
+            s += doubleBits(o.noiseMap->readoutError(q)) + ",";
+        s += "\n";
+    }
+    s += "seed=" + std::to_string(o.seed) + "\n";
+}
+
+const JsonValue *
+field(const JsonObject &obj, const std::string &key)
+{
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string
+stringField(const JsonObject &obj, const std::string &key,
+            const std::string &fallback)
+{
+    const JsonValue *v = field(obj, key);
+    if (!v)
+        return fallback;
+    if (v->kind != JsonValue::Kind::String)
+        throw std::invalid_argument("field \"" + key +
+                                    "\" must be a string");
+    return v->text;
+}
+
+bool
+boolField(const JsonObject &obj, const std::string &key,
+          bool fallback)
+{
+    const JsonValue *v = field(obj, key);
+    if (!v)
+        return fallback;
+    if (v->kind != JsonValue::Kind::Bool)
+        throw std::invalid_argument("field \"" + key +
+                                    "\" must be true or false");
+    return v->boolean;
+}
+
+int
+intField(const JsonObject &obj, const std::string &key, int fallback,
+         int minValue)
+{
+    const JsonValue *v = field(obj, key);
+    if (!v)
+        return fallback;
+    int out = 0;
+    if (v->kind != JsonValue::Kind::Number ||
+        !parseI32(v->text, &out) || out < minValue)
+        throw std::invalid_argument(
+            "field \"" + key + "\" must be an integer >= " +
+            std::to_string(minValue));
+    return out;
+}
+
+double
+doubleField(const JsonObject &obj, const std::string &key,
+            double fallback, double minValue)
+{
+    const JsonValue *v = field(obj, key);
+    if (!v)
+        return fallback;
+    double out = 0.0;
+    if (v->kind != JsonValue::Kind::Number ||
+        !parseF64(v->text, &out) || out < minValue)
+        throw std::invalid_argument(
+            "field \"" + key + "\" must be a finite number >= " +
+            std::to_string(minValue));
+    return out;
+}
+
+std::uint64_t
+u64Field(const JsonObject &obj, const std::string &key,
+         std::uint64_t fallback)
+{
+    const JsonValue *v = field(obj, key);
+    if (!v)
+        return fallback;
+    std::uint64_t out = 0;
+    if (v->kind != JsonValue::Kind::Number ||
+        !parseU64(v->text, &out))
+        throw std::invalid_argument(
+            "field \"" + key +
+            "\" must be a non-negative integer");
+    return out;
+}
+
+} // namespace
+
+/** One fully materialized compile request: the parsed inputs the
+ * BatchJob's non-owning pointers reference, plus the canonical form
+ * and key. */
+struct CompileService::Prepared
+{
+    CompileRequest req;
+    ham::TwoLocalHamiltonian h;
+    qcir::Circuit step;
+    device::Topology topo;
+    device::GateSet gs;
+    std::uint64_t key;
+    std::string canonical;
+};
+
+struct CompileService::Slot
+{
+    bool done = false;
+    std::string response;
+};
+
+CompileService::CompileService(ServiceOptions opt)
+    : opt_(std::move(opt)), bc_({opt_.jobs < 1 ? 1 : opt_.jobs}),
+      cache_(opt_.cachePath)
+{
+    if (opt_.jobs < 1)
+        opt_.jobs = 1;
+    if (opt_.maxQueue < 1)
+        opt_.maxQueue = 1;
+    latMs_.reserve(kLatWindow);
+}
+
+CompileService::~CompileService() = default;
+
+std::string
+CompileService::canonicalRequest(const CompileRequest &req,
+                                 const device::Topology &topo)
+{
+    std::string s = "tqan-compile-v1\n";
+    s += "backend=" + req.backend + "\n";
+    s += "device=" + topo.name() + ":" +
+         std::to_string(topo.numQubits()) + ":";
+    for (const auto &e : topo.edges())
+        s += std::to_string(e.first) + "-" +
+             std::to_string(e.second) + ",";
+    s += "\n";
+    s += "gateset=" +
+         device::gateSetName(device::gateSetByName(req.gateset)) +
+         "\n";
+    s += "time=" + doubleBits(req.time) + "\n";
+    s += "ham:" + std::to_string(req.ham.size()) + ":" + req.ham +
+         "\n";
+    appendCanonicalOptions(s, req.options, topo.numQubits());
+    return s;
+}
+
+std::uint64_t
+CompileService::cacheKey(const CompileRequest &req,
+                         const device::Topology &topo)
+{
+    return core::fnv1a64(canonicalRequest(req, topo));
+}
+
+CompileRequest
+CompileService::parseCompileRequest(const JsonObject &obj)
+{
+    static const char *known[] = {
+        "type",          "id",           "ham",
+        "device",        "gateset",      "backend",
+        "time",          "seed",         "trials",
+        "jobs",          "mapper",       "unify_circuit",
+        "unify_swaps",   "hybrid_schedule", "noise_aware",
+        "noise_lambda",  "tabu_max_iters",  "tabu_low_mul",
+        "tabu_high_mul", "tabu_stall_limit", "deadline_ms",
+    };
+    for (const auto &[key, value] : obj) {
+        (void)value;
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            throw std::invalid_argument("unknown field \"" + key +
+                                        "\"");
+    }
+
+    CompileRequest req;
+    req.id = stringField(obj, "id", "");
+    req.ham = stringField(obj, "ham", "");
+    if (req.ham.empty())
+        throw std::invalid_argument(
+            "field \"ham\" (Hamiltonian text) is required");
+    req.device = stringField(obj, "device", req.device);
+    req.gateset = stringField(obj, "gateset", req.gateset);
+    req.backend = stringField(obj, "backend", req.backend);
+    req.time = doubleField(obj, "time", req.time,
+                           -1.0e300 /* any finite value */);
+    req.deadlineMs = doubleField(obj, "deadline_ms", 0.0, 0.0);
+    req.noiseAware = boolField(obj, "noise_aware", false);
+
+    core::CompilerOptions &o = req.options;
+    o.seed = u64Field(obj, "seed", o.seed);
+    o.mapperTrials = intField(obj, "trials", o.mapperTrials, 1);
+    o.jobs = intField(obj, "jobs", o.jobs, 1);
+    o.mapper = mapperByName(stringField(obj, "mapper", "tabu"));
+    o.unifyCircuit =
+        boolField(obj, "unify_circuit", o.unifyCircuit);
+    o.unifySwaps = boolField(obj, "unify_swaps", o.unifySwaps);
+    o.hybridSchedule =
+        boolField(obj, "hybrid_schedule", o.hybridSchedule);
+    o.noiseLambda =
+        doubleField(obj, "noise_lambda", o.noiseLambda, 0.0);
+    o.tabu.maxIters =
+        intField(obj, "tabu_max_iters", o.tabu.maxIters, 1);
+    o.tabu.tabuLowMul =
+        intField(obj, "tabu_low_mul", o.tabu.tabuLowMul, 0);
+    o.tabu.tabuHighMul =
+        intField(obj, "tabu_high_mul", o.tabu.tabuHighMul, 0);
+    o.tabu.stallLimit =
+        intField(obj, "tabu_stall_limit", o.tabu.stallLimit, 1);
+    return req;
+}
+
+std::unique_ptr<CompileService::Prepared>
+CompileService::materialize(CompileRequest req) const
+{
+    ham::TwoLocalHamiltonian h = ham::parseHamiltonian(req.ham);
+    device::Topology topo = testgen::topologyFromSpec(req.device);
+    device::GateSet gs = device::gateSetByName(req.gateset);
+    core::backendByName(req.backend);  // reject unknowns up front
+    qcir::Circuit step = ham::trotterStep(h, req.time);
+    auto p = std::unique_ptr<Prepared>(new Prepared{
+        std::move(req), std::move(h), std::move(step),
+        std::move(topo), gs, 0, std::string()});
+    if (p->req.noiseAware) {
+        // Same synthetic-calibration derivation as `tqanc
+        // --noise-aware` (parity is pinned by tests).  Synthesized
+        // against p->topo AFTER the move above: the NoiseMap keeps
+        // a pointer to its topology, which must be the one that
+        // stays alive for the compile.
+        std::mt19937_64 nrng(p->req.options.seed ^ 0xCA11B8A7Eull);
+        p->req.options.noiseMap =
+            std::make_shared<device::NoiseMap>(
+                device::NoiseMap::synthetic(p->topo, nrng));
+    }
+    p->canonical = canonicalRequest(p->req, p->topo);
+    p->key = core::fnv1a64(p->canonical);
+    return p;
+}
+
+core::BatchJob
+CompileService::makeBatchJob(const Prepared &p) const
+{
+    core::BatchJob bj;
+    bj.backend = p.req.backend;
+    bj.topo = &p.topo;
+    bj.gateset = p.gs;
+    bj.job.step = &p.step;
+    bj.job.hamiltonian = &p.h;
+    bj.job.time = p.req.time;
+    bj.job.options = p.req.options;
+    bj.tag = p.req.id;
+    return bj;
+}
+
+std::string
+CompileService::compilePayload(const Prepared &p) const
+{
+    return payloadFromResult(p, bc_.runOne(makeBatchJob(p)));
+}
+
+std::string
+CompileService::payloadFromResult(const Prepared &p,
+                                  const core::BatchJobResult &r) const
+{
+    if (!r.ok())
+        throw std::runtime_error(r.error);
+    core::profile::record("service.compile", r.seconds);
+
+    // The decomposed QASM `tqanc --qasm` would print for the same
+    // inputs (CZ target for the CZ gate set, CNOT otherwise).
+    qcir::Circuit hw =
+        p.gs == device::GateSet::Cz
+            ? decomp::decomposeToCz(r.result.sched.deviceCircuit)
+            : decomp::decomposeToCnot(r.result.sched.deviceCircuit);
+    std::string qasm = qcir::toQasm(hw);
+
+    const core::CompilationMetrics &m = r.metrics;
+    std::string s;
+    s += "\"backend\":\"" + jsonEscape(p.req.backend) + "\"";
+    s += ",\"device\":\"" + jsonEscape(p.topo.name()) + "\"";
+    s += ",\"gateset\":\"" + device::gateSetName(p.gs) + "\"";
+    s += ",\"nqubits\":" + std::to_string(p.h.numQubits());
+    s += ",\"swaps\":" + std::to_string(m.swaps);
+    s += ",\"dressed\":" + std::to_string(m.dressed);
+    s += ",\"native2q\":" + std::to_string(m.native2q);
+    s += ",\"native2q_nomap\":" + std::to_string(m.native2qNoMap);
+    s += ",\"depth2q\":" + std::to_string(m.depth2q);
+    s += ",\"depth2q_nomap\":" + std::to_string(m.depth2qNoMap);
+    s += ",\"depth_all\":" + std::to_string(m.depthAll);
+    s += ",\"depth_all_nomap\":" + std::to_string(m.depthAllNoMap);
+    s += ",\"qasm\":\"" + jsonEscape(qasm) + "\"";
+    return s;
+}
+
+std::string
+CompileService::okResponse(const std::string &id, bool hit,
+                           std::uint64_t key,
+                           const std::string &payload) const
+{
+    return "{\"id\":\"" + jsonEscape(id) +
+           "\",\"status\":\"ok\",\"cache\":\"" +
+           (hit ? "hit" : "miss") + "\",\"key\":\"" + keyHex(key) +
+           "\"," + payload + "}";
+}
+
+std::string
+CompileService::errorResponse(const std::string &id,
+                              const std::string &status,
+                              const std::string &what)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        if (status == "error")
+            ++st_.errors;
+        else if (status == "rejected")
+            ++st_.rejected;
+        else if (status == "expired")
+            ++st_.expired;
+    }
+    core::profile::count("service." + status);
+    return "{\"id\":\"" + jsonEscape(id) + "\",\"status\":\"" +
+           status + "\",\"error\":\"" + jsonEscape(what) + "\"}";
+}
+
+std::string
+CompileService::statsResponse(const std::string &id) const
+{
+    ServiceStats s = stats();
+    char num[64];
+    std::string out = "{\"id\":\"" + jsonEscape(id) +
+                      "\",\"status\":\"ok\",\"type\":\"stats\"";
+    auto u64 = [&](const char *k, std::uint64_t v) {
+        out += std::string(",\"") + k +
+               "\":" + std::to_string(v);
+    };
+    u64("requests", s.requests);
+    u64("hits", s.hits);
+    u64("misses", s.misses);
+    std::snprintf(num, sizeof(num), "%.4f", s.hitRate());
+    out += std::string(",\"hit_rate\":") + num;
+    u64("errors", s.errors);
+    u64("rejected", s.rejected);
+    u64("expired", s.expired);
+    u64("queue_depth", s.queueDepth);
+    u64("cache_entries", s.cacheEntries);
+    std::snprintf(num, sizeof(num), "%.3f", s.p50Ms);
+    out += std::string(",\"p50_ms\":") + num;
+    std::snprintf(num, sizeof(num), "%.3f", s.p99Ms);
+    out += std::string(",\"p99_ms\":") + num;
+    out += "}";
+    return out;
+}
+
+void
+CompileService::recordLatency(double seconds, bool hit)
+{
+    double ms = seconds * 1e3;
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        if (hit)
+            ++st_.hits;
+        else
+            ++st_.misses;
+        if (latMs_.size() < kLatWindow)
+            latMs_.push_back(ms);
+        else
+            latMs_[latNext_ % kLatWindow] = ms;
+        ++latNext_;
+    }
+    core::profile::record(hit ? "service.cache.hit"
+                              : "service.cache.miss",
+                          seconds);
+}
+
+ServiceStats
+CompileService::stats() const
+{
+    ServiceStats s;
+    std::vector<double> lat;
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        s = st_;
+        lat = latMs_;
+    }
+    s.cacheEntries = cache_.size();
+    if (!lat.empty()) {
+        std::sort(lat.begin(), lat.end());
+        auto pct = [&](double p) {
+            std::size_t idx = static_cast<std::size_t>(
+                p * static_cast<double>(lat.size() - 1) + 0.5);
+            return lat[std::min(idx, lat.size() - 1)];
+        };
+        s.p50Ms = pct(0.50);
+        s.p99Ms = pct(0.99);
+    }
+    return s;
+}
+
+std::string
+CompileService::handleLine(const std::string &line)
+{
+    Clock::time_point t0 = Clock::now();
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++st_.requests;
+    }
+    core::profile::count("service.request");
+
+    std::string id;
+    try {
+        if (line.size() > kMaxLineBytes)
+            throw std::invalid_argument(
+                "request line exceeds " +
+                std::to_string(kMaxLineBytes) + " bytes");
+        JsonObject obj = parseJsonObject(line);
+        id = stringField(obj, "id", "");
+        std::string type = stringField(obj, "type", "");
+        if (type == "stats")
+            return statsResponse(id);
+        if (type == "shutdown")
+            return "{\"id\":\"" + jsonEscape(id) +
+                   "\",\"status\":\"ok\",\"type\":\"shutdown\"}";
+        if (type != "compile")
+            throw std::invalid_argument(
+                "field \"type\" must be compile | stats | "
+                "shutdown");
+
+        CompileRequest req = parseCompileRequest(obj);
+        std::unique_ptr<Prepared> p = materialize(std::move(req));
+        std::string payload;
+        if (cache_.lookup(p->key, p->canonical, &payload)) {
+            recordLatency(msSince(t0) / 1e3, true);
+            return okResponse(p->req.id, true, p->key, payload);
+        }
+        payload = compilePayload(*p);
+        cache_.insert(p->key, p->canonical, payload);
+        recordLatency(msSince(t0) / 1e3, false);
+        return okResponse(p->req.id, false, p->key, payload);
+    } catch (const std::exception &e) {
+        return errorResponse(id, "error", e.what());
+    }
+}
+
+void
+CompileService::serve(std::istream &in, std::ostream &out)
+{
+    struct PendingItem
+    {
+        std::shared_ptr<Slot> slot;
+        std::unique_ptr<Prepared> prep;
+        Clock::time_point admitted;
+        double deadlineMs = 0.0;  // resolved; 0 = none
+    };
+
+    std::mutex mu;
+    std::condition_variable pendingCv, doneCv;
+    std::deque<std::shared_ptr<Slot>> order;
+    std::deque<PendingItem> pending;
+    bool eof = false;
+
+    auto complete = [&](const std::shared_ptr<Slot> &slot,
+                        std::string resp) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            slot->response = std::move(resp);
+            slot->done = true;
+        }
+        doneCv.notify_all();
+    };
+
+    std::size_t batchMax =
+        static_cast<std::size_t>(opt_.jobs < 1 ? 1 : opt_.jobs);
+
+    std::thread dispatcher([&]() {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            pendingCv.wait(lock, [&]() {
+                return !pending.empty() || eof;
+            });
+            if (pending.empty()) {
+                if (eof)
+                    return;
+                continue;
+            }
+            std::vector<PendingItem> batch;
+            std::size_t take =
+                std::min(pending.size(), batchMax);
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(pending.front()));
+                pending.pop_front();
+            }
+            {
+                std::lock_guard<std::mutex> slock(statsMu_);
+                st_.queueDepth = pending.size();
+            }
+            lock.unlock();
+
+            // Partition the batch: expired deadlines answer
+            // immediately, and a request whose twin completed while
+            // it queued is now a hit — only the rest compile, as
+            // ONE BatchCompiler batch.
+            std::vector<PendingItem *> toCompile;
+            for (PendingItem &item : batch) {
+                double waited = msSince(item.admitted);
+                if (item.deadlineMs > 0.0 &&
+                    waited >= item.deadlineMs) {
+                    complete(item.slot,
+                             errorResponse(
+                                 item.prep->req.id, "expired",
+                                 "deadline of " +
+                                     std::to_string(
+                                         item.deadlineMs) +
+                                     " ms exceeded in queue"));
+                    continue;
+                }
+                std::string payload;
+                if (cache_.lookup(item.prep->key,
+                                  item.prep->canonical,
+                                  &payload)) {
+                    recordLatency(waited / 1e3, true);
+                    complete(item.slot,
+                             okResponse(item.prep->req.id, true,
+                                        item.prep->key, payload));
+                    continue;
+                }
+                toCompile.push_back(&item);
+            }
+            if (!toCompile.empty()) {
+                std::vector<core::BatchJob> jobs;
+                jobs.reserve(toCompile.size());
+                for (PendingItem *item : toCompile)
+                    jobs.push_back(makeBatchJob(*item->prep));
+                std::vector<core::BatchJobResult> results =
+                    bc_.run(jobs);
+                for (std::size_t i = 0; i < toCompile.size(); ++i) {
+                    PendingItem *item = toCompile[i];
+                    try {
+                        std::string payload = payloadFromResult(
+                            *item->prep, results[i]);
+                        cache_.insert(item->prep->key,
+                                      item->prep->canonical,
+                                      payload);
+                        recordLatency(
+                            msSince(item->admitted) / 1e3, false);
+                        complete(item->slot,
+                                 okResponse(item->prep->req.id,
+                                            false, item->prep->key,
+                                            payload));
+                    } catch (const std::exception &e) {
+                        complete(item->slot,
+                                 errorResponse(item->prep->req.id,
+                                               "error", e.what()));
+                    }
+                }
+            }
+            lock.lock();
+        }
+    });
+
+    std::thread writer([&]() {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+            doneCv.wait(lock, [&]() {
+                return (!order.empty() && order.front()->done) ||
+                       (eof && order.empty());
+            });
+            while (!order.empty() && order.front()->done) {
+                std::string resp =
+                    std::move(order.front()->response);
+                order.pop_front();
+                lock.unlock();
+                out << resp << '\n';
+                out.flush();
+                lock.lock();
+            }
+            if (eof && order.empty())
+                return;
+        }
+    });
+
+    std::string line;
+    bool shuttingDown = false;
+    while (!shuttingDown && std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        Clock::time_point t0 = Clock::now();
+        {
+            std::lock_guard<std::mutex> slock(statsMu_);
+            ++st_.requests;
+        }
+        core::profile::count("service.request");
+
+        auto slot = std::make_shared<Slot>();
+        std::string immediate;
+        std::unique_ptr<Prepared> prep;
+        double deadlineMs = 0.0;
+        std::string id;
+        try {
+            if (line.size() > kMaxLineBytes)
+                throw std::invalid_argument(
+                    "request line exceeds " +
+                    std::to_string(kMaxLineBytes) + " bytes");
+            JsonObject obj = parseJsonObject(line);
+            id = stringField(obj, "id", "");
+            std::string type = stringField(obj, "type", "");
+            if (type == "stats") {
+                immediate = statsResponse(id);
+            } else if (type == "shutdown") {
+                immediate = "{\"id\":\"" + jsonEscape(id) +
+                            "\",\"status\":\"ok\",\"type\":"
+                            "\"shutdown\"}";
+                shuttingDown = true;
+            } else if (type != "compile") {
+                throw std::invalid_argument(
+                    "field \"type\" must be compile | stats | "
+                    "shutdown");
+            } else {
+                CompileRequest req = parseCompileRequest(obj);
+                deadlineMs = req.deadlineMs > 0.0
+                                 ? req.deadlineMs
+                                 : opt_.defaultDeadlineMs;
+                prep = materialize(std::move(req));
+                std::string payload;
+                if (cache_.lookup(prep->key, prep->canonical,
+                                  &payload)) {
+                    // Warm path: answered at admission, without
+                    // ever touching the queue.
+                    recordLatency(msSince(t0) / 1e3, true);
+                    immediate = okResponse(prep->req.id, true,
+                                           prep->key, payload);
+                    prep.reset();
+                }
+            }
+        } catch (const std::exception &e) {
+            immediate = errorResponse(id, "error", e.what());
+            prep.reset();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            order.push_back(slot);
+            if (prep) {
+                if (pending.size() >= opt_.maxQueue) {
+                    slot->response = errorResponse(
+                        prep->req.id, "rejected",
+                        "admission queue full (" +
+                            std::to_string(opt_.maxQueue) +
+                            " pending)");
+                    slot->done = true;
+                    prep.reset();
+                } else {
+                    pending.push_back(PendingItem{
+                        slot, std::move(prep), t0, deadlineMs});
+                    std::lock_guard<std::mutex> slock(statsMu_);
+                    st_.queueDepth = pending.size();
+                }
+            } else {
+                slot->response = std::move(immediate);
+                slot->done = true;
+            }
+        }
+        pendingCv.notify_one();
+        doneCv.notify_all();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        eof = true;
+    }
+    pendingCv.notify_all();
+    doneCv.notify_all();
+    dispatcher.join();
+    doneCv.notify_all();
+    writer.join();
+    {
+        std::lock_guard<std::mutex> slock(statsMu_);
+        st_.queueDepth = 0;
+    }
+}
+
+} // namespace service
+} // namespace tqan

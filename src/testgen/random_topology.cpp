@@ -90,17 +90,25 @@ topologyFromSpec(const std::string &spec)
         throw std::invalid_argument(
             "topologyFromSpec: expected custom:N:edges, got '" +
             spec + "'");
+    // Untrusted input (specs arrive over the service protocol too):
+    // every numeric field must be digits and nothing else.  stoi's
+    // prefix parse would accept "4junk" or " 4" silently.
+    auto parseIndex = [](const std::string &field, int *out) {
+        if (field.empty() || field.size() > 9)
+            return false;
+        for (char ch : field)
+            if (ch < '0' || ch > '9')
+                return false;
+        *out = std::stoi(field);
+        return true;
+    };
+    constexpr int kMaxQubits = 1 << 14;
     int n = 0;
-    try {
-        size_t used = 0;
-        n = std::stoi(spec.substr(7, colon - 7), &used);
-        if (used != colon - 7)
-            n = 0;
-    } catch (const std::exception &) {
-    }
-    if (n <= 0)
+    if (!parseIndex(spec.substr(7, colon - 7), &n) || n <= 0 ||
+        n > kMaxQubits)
         throw std::invalid_argument(
-            "topologyFromSpec: bad qubit count in '" + spec + "'");
+            "topologyFromSpec: bad qubit count in '" + spec +
+            "' (expected 1.." + std::to_string(kMaxQubits) + ")");
     graph::Graph g(n);
     std::string edges = spec.substr(colon + 1);
     std::istringstream es(edges);
@@ -111,14 +119,15 @@ topologyFromSpec(const std::string &spec)
         size_t dash = tok.find('-');
         if (dash == std::string::npos)
             throw std::invalid_argument(
-                "topologyFromSpec: bad edge '" + tok + "'");
+                "topologyFromSpec: bad edge '" + tok +
+                "' (expected U-V)");
         int u = -1, v = -1;
-        try {
-            u = std::stoi(tok.substr(0, dash));
-            v = std::stoi(tok.substr(dash + 1));
-        } catch (const std::exception &) {
-        }
-        if (u < 0 || v < 0 || u >= n || v >= n || u == v)
+        if (!parseIndex(tok.substr(0, dash), &u) ||
+            !parseIndex(tok.substr(dash + 1), &v))
+            throw std::invalid_argument(
+                "topologyFromSpec: edge '" + tok +
+                "' is not a pair of qubit indices (expected U-V)");
+        if (u >= n || v >= n || u == v)
             throw std::invalid_argument(
                 "topologyFromSpec: edge '" + tok +
                 "' out of range for " + std::to_string(n) +

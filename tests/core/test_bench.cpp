@@ -304,3 +304,69 @@ TEST(Bench, CompareSkipsFailedRows)
     cur[0].error = "exploded";
     EXPECT_TRUE(compareBench(base, cur, 0.25).empty());
 }
+
+namespace {
+
+/** A minimal well-formed row line with substitutable numeric
+ * tokens (parseBenchJson keys off "median_seconds"). */
+std::string
+rowLine(const std::string &nq, const std::string &inst,
+        const std::string &med)
+{
+    return "{\"benchmark\":\"X\",\"device\":\"d\","
+           "\"gateset\":\"cnot\",\"compiler\":\"2qan\","
+           "\"nqubits\":" + nq + ",\"instance\":" + inst +
+           ",\"median_seconds\":" + med + "}\n";
+}
+
+} // namespace
+
+TEST(Bench, ParseRejectsJunkTailedNumbers)
+{
+    // stoi/stod prefix parses used to accept these silently; a
+    // junk-tailed token must fail, never truncate.
+    for (const char *bad : {"4x", "4.5", "0x4", ""}) {
+        std::istringstream in(rowLine(bad, "0", "0.5"));
+        EXPECT_THROW(parseBenchJson(in), std::invalid_argument)
+            << "nqubits token '" << bad << "' was accepted";
+    }
+    for (const char *bad : {"0.5s", "1e", "nan", "inf", "-0.5"}) {
+        std::istringstream in(rowLine("4", "0", bad));
+        EXPECT_THROW(parseBenchJson(in), std::invalid_argument)
+            << "median token '" << bad << "' was accepted";
+    }
+}
+
+TEST(Bench, ParseRejectsOutOfDomainValues)
+{
+    for (const char *bad : {"0", "-3"}) {  // nqubits >= 1
+        std::istringstream in(rowLine(bad, "0", "0.5"));
+        EXPECT_THROW(parseBenchJson(in), std::invalid_argument);
+    }
+    std::istringstream in(rowLine("4", "-1", "0.5"));  // inst >= 0
+    EXPECT_THROW(parseBenchJson(in), std::invalid_argument);
+}
+
+TEST(Bench, ParseErrorNamesTheFieldAndLine)
+{
+    std::istringstream in("{\"rows\":[\n" +
+                          rowLine("4", "0", "0.5junk") + "]}\n");
+    try {
+        parseBenchJson(in);
+        FAIL() << "junk-tailed median_seconds was accepted";
+    } catch (const std::invalid_argument &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("median_seconds"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    }
+}
+
+TEST(Bench, ParseStillAcceptsValidOptionalFields)
+{
+    std::istringstream in(rowLine("4", "0", "0.5"));
+    std::vector<BenchRow> rows = parseBenchJson(in);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].nqubits, 4);
+    EXPECT_NEAR(rows[0].medianSeconds, 0.5, 1e-12);
+}

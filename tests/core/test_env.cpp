@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests of the strict env-var numeric parsing (core/env.h): a
+ * malformed TQAN_BENCH_TOLERANCE / TQAN_FUZZ_SEED must warn and fall
+ * back to the default — the TQAN_SIMD convention — never silently
+ * truncate ("7junk" is not 7) and never abort the run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/env.h"
+
+using namespace tqan;
+
+namespace {
+
+struct EnvGuard
+{
+    const char *name;
+    explicit EnvGuard(const char *n) : name(n) {}
+    ~EnvGuard() { ::unsetenv(name); }
+    void set(const char *value) { ::setenv(name, value, 1); }
+};
+
+} // namespace
+
+TEST(Env, DoubleUnsetReturnsFallback)
+{
+    EnvGuard g("TQAN_TEST_ENV_D");
+    EXPECT_DOUBLE_EQ(core::envDoubleOr("TQAN_TEST_ENV_D", 0.25),
+                     0.25);
+}
+
+TEST(Env, DoubleParsesCleanValues)
+{
+    EnvGuard g("TQAN_TEST_ENV_D");
+    g.set("0.5");
+    EXPECT_DOUBLE_EQ(core::envDoubleOr("TQAN_TEST_ENV_D", 0.25),
+                     0.5);
+    g.set("1e-3");
+    EXPECT_DOUBLE_EQ(core::envDoubleOr("TQAN_TEST_ENV_D", 0.25),
+                     1e-3);
+}
+
+TEST(Env, DoubleFallsBackOnJunk)
+{
+    EnvGuard g("TQAN_TEST_ENV_D");
+    for (const char *bad :
+         {"0.5junk", "junk", "", "nan", "inf", "0.5 "}) {
+        g.set(bad);
+        EXPECT_DOUBLE_EQ(core::envDoubleOr("TQAN_TEST_ENV_D", 0.25),
+                         0.25)
+            << "value '" << bad << "' did not fall back";
+    }
+}
+
+TEST(Env, DoubleFallsBackBelowMinimum)
+{
+    EnvGuard g("TQAN_TEST_ENV_D");
+    g.set("-0.5");
+    EXPECT_DOUBLE_EQ(core::envDoubleOr("TQAN_TEST_ENV_D", 0.25),
+                     0.25);
+}
+
+TEST(Env, Uint64ParsesCleanValues)
+{
+    EnvGuard g("TQAN_TEST_ENV_U");
+    g.set("12345");
+    EXPECT_EQ(core::envUint64Or("TQAN_TEST_ENV_U", 1u), 12345u);
+    g.set("0");
+    EXPECT_EQ(core::envUint64Or("TQAN_TEST_ENV_U", 1u), 0u);
+}
+
+TEST(Env, Uint64FallsBackOnJunk)
+{
+    EnvGuard g("TQAN_TEST_ENV_U");
+    // "7junk" is the exact failure mode the old stoull call had.
+    for (const char *bad : {"7junk", "-7", "7.5", "", " 7",
+                            "99999999999999999999999999"}) {
+        g.set(bad);
+        EXPECT_EQ(core::envUint64Or("TQAN_TEST_ENV_U", 42u), 42u)
+            << "value '" << bad << "' did not fall back";
+    }
+}

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of the content-addressed compile cache's on-disk store:
+ * round trip, restart persistence, and — the part that matters — the
+ * verified load.  A truncated tail, a flipped byte, or a foreign
+ * header must never be served back; the store is untrusted input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "core/hash.h"
+#include "service/cache.h"
+
+using namespace tqan;
+using service::CompileCache;
+
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "tqan_cache_" + name + ".bin";
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Insert a canonical (request, payload) pair keyed by content. */
+void
+put(CompileCache &c, const std::string &req, const std::string &pay)
+{
+    c.insert(core::fnv1a64(req), req, pay);
+}
+
+bool
+get(CompileCache &c, const std::string &req, std::string *pay)
+{
+    return c.lookup(core::fnv1a64(req), req, pay);
+}
+
+} // namespace
+
+TEST(CompileCache, InMemoryRoundTrip)
+{
+    CompileCache c;
+    std::string pay;
+    EXPECT_FALSE(get(c, "req-a", &pay));
+    put(c, "req-a", "payload-a");
+    ASSERT_TRUE(get(c, "req-a", &pay));
+    EXPECT_EQ(pay, "payload-a");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(CompileCache, LookupComparesRequestBytesNotJustTheKey)
+{
+    CompileCache c;
+    std::string req = "req-b";
+    c.insert(core::fnv1a64(req), req, "payload-b");
+    // Same key, different request bytes: a (synthetic) collision
+    // must miss, not serve the other request's payload.
+    std::string pay;
+    EXPECT_FALSE(c.lookup(core::fnv1a64(req), "req-OTHER", &pay));
+}
+
+TEST(CompileCache, PersistsAcrossReopen)
+{
+    std::string path = tempPath("persist");
+    std::remove(path.c_str());
+    {
+        CompileCache c(path);
+        put(c, "req-1", "pay-1");
+        put(c, "req-2", "pay-2");
+    }
+    CompileCache again(path);
+    EXPECT_EQ(again.size(), 2u);
+    EXPECT_EQ(again.loadInfo().loadedEntries, 2u);
+    EXPECT_EQ(again.loadInfo().droppedBytes, 0u);
+    EXPECT_FALSE(again.loadInfo().rebuilt);
+    std::string pay;
+    ASSERT_TRUE(get(again, "req-2", &pay));
+    EXPECT_EQ(pay, "pay-2");
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, ReinsertingIdenticalEntryDoesNotGrowTheFile)
+{
+    std::string path = tempPath("reinsert");
+    std::remove(path.c_str());
+    CompileCache c(path);
+    put(c, "req-1", "pay-1");
+    std::size_t sz = fileBytes(path).size();
+    put(c, "req-1", "pay-1");
+    EXPECT_EQ(fileBytes(path).size(), sz);
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, TruncatedTailIsDroppedNotServed)
+{
+    std::string path = tempPath("truncated");
+    std::remove(path.c_str());
+    {
+        CompileCache c(path);
+        put(c, "req-1", "pay-1");
+        put(c, "req-2", "pay-2");
+    }
+    // Chop mid-entry: a torn append from a crash.
+    std::string bytes = fileBytes(path);
+    writeBytes(path, bytes.substr(0, bytes.size() - 3));
+
+    CompileCache c(path);
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_GT(c.loadInfo().droppedBytes, 0u);
+    std::string pay;
+    EXPECT_TRUE(get(c, "req-1", &pay));
+    EXPECT_FALSE(get(c, "req-2", &pay));
+    // And the file was truncated back to the verified prefix, so
+    // the torn bytes can never resurface.
+    CompileCache again(path);
+    EXPECT_EQ(again.loadInfo().droppedBytes, 0u);
+    EXPECT_EQ(again.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, CorruptPayloadByteFailsTheChecksum)
+{
+    std::string path = tempPath("corrupt");
+    std::remove(path.c_str());
+    {
+        CompileCache c(path);
+        put(c, "req-1", "pay-1");
+    }
+    std::string bytes = fileBytes(path);
+    bytes[bytes.size() - 1] ^= 0x01;  // flip one payload byte
+    writeBytes(path, bytes);
+
+    CompileCache c(path);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_GT(c.loadInfo().droppedBytes, 0u);
+    std::string pay;
+    EXPECT_FALSE(get(c, "req-1", &pay));
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, ForeignHeaderRebuildsEmpty)
+{
+    std::string path = tempPath("foreign");
+    writeBytes(path, "this is not a tqan cache file at all");
+    CompileCache c(path);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_TRUE(c.loadInfo().rebuilt);
+    // The rebuilt store must work: insert, reopen, hit.
+    put(c, "req-1", "pay-1");
+    CompileCache again(path);
+    std::string pay;
+    EXPECT_TRUE(get(again, "req-1", &pay));
+    EXPECT_FALSE(again.loadInfo().rebuilt);
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, WrongKeyForContentIsRejectedOnLoad)
+{
+    std::string path = tempPath("badkey");
+    std::remove(path.c_str());
+    {
+        CompileCache c(path);
+        put(c, "req-1", "pay-1");
+    }
+    // Flip a key bit but fix nothing else: lengths and checksum
+    // still verify, yet key != fnv1a64(request) — load must drop it
+    // (the key IS the content address).
+    std::string bytes = fileBytes(path);
+    bytes[16] ^= 0x01;  // first key byte, right after the header
+    writeBytes(path, bytes);
+    CompileCache c(path);
+    EXPECT_EQ(c.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, LaterEntryForSameKeyWinsOnLoad)
+{
+    std::string path = tempPath("laterwins");
+    std::remove(path.c_str());
+    {
+        CompileCache c(path);
+        put(c, "req-1", "pay-old");
+    }
+    {
+        // A second process run that recomputed the entry (e.g.
+        // after a payload-format change would have changed the
+        // canonical text; here we force it by hand).
+        CompileCache c(path);
+        c.insert(core::fnv1a64("req-1"), "req-1", "pay-new");
+    }
+    CompileCache c(path);
+    std::string pay;
+    ASSERT_TRUE(get(c, "req-1", &pay));
+    EXPECT_EQ(pay, "pay-new");
+    std::remove(path.c_str());
+}

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "core/backend.h"
+#include "core/env.h"
 #include "verify/fuzz.h"
 
 using namespace tqan;
@@ -94,17 +95,9 @@ int
 main(int argc, char **argv)
 {
     verify::FuzzOptions opt;
-    opt.seed = 1;
-    if (const char *env = std::getenv("TQAN_FUZZ_SEED")) {
-        try {
-            opt.seed = std::stoull(env);
-        } catch (const std::exception &) {
-            std::fprintf(stderr,
-                         "tqan-fuzz: bad TQAN_FUZZ_SEED '%s'\n",
-                         env);
-            return 2;
-        }
-    }
+    // Strict parse with warn-and-fallback (stoull would accept
+    // "7junk" as 7 silently; see core/env.h).
+    opt.seed = core::envUint64Or("TQAN_FUZZ_SEED", 1);
     std::string outDir = "fuzz-failures";
     std::string replayFile, dumpSeed;
     double minDetection = 95.0;

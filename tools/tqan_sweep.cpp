@@ -22,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/env.h"
 #include "core/profile.h"
 #include "core/sweep.h"
 #include "simd/dispatch.h"
@@ -166,16 +167,10 @@ runBenchMode(const core::SweepSpec &spec, int jobs,
             " (create it with TQAN_UPDATE_BASELINE=1)");
     std::vector<core::BenchRow> base = core::parseBenchJson(in);
 
-    double tolerance = 0.25;
-    if (const char *tol = std::getenv("TQAN_BENCH_TOLERANCE")) {
-        char *end = nullptr;
-        double parsed = std::strtod(tol, &end);
-        if (end == tol || *end != '\0' || parsed < 0.0)
-            throw std::runtime_error(
-                "bad TQAN_BENCH_TOLERANCE '" + std::string(tol) +
-                "' (want a fraction, e.g. 0.25)");
-        tolerance = parsed;
-    }
+    // Warn-and-fallback like TQAN_SIMD: a typo'd env knob must not
+    // change behavior silently, but should not kill the run either.
+    double tolerance =
+        core::envDoubleOr("TQAN_BENCH_TOLERANCE", 0.25);
     std::vector<core::BenchRegression> regressions =
         core::compareBench(base, rows, tolerance);
     for (const auto &r : regressions)
