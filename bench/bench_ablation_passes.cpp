@@ -126,7 +126,7 @@ main(int argc, char **argv)
             runConfig("mapper_identity", o4, f, n);
 
             core::CompilerOptions o5 = base;
-            o5.unifySwaps = false;
+            o5.router.unifySwaps = false;
             runConfig("no_swap_unify", o5, f, n);
 
             core::CompilerOptions o6 = base;

@@ -60,11 +60,40 @@ class TqanBackend : public CompilerBackend
 {
   public:
     std::string name() const override { return "2qan"; }
+    BackendInfo info() const override
+    {
+        BackendInfo b;
+        b.router = "greedy";
+        return b;
+    }
     CompileResult compile(const CompileJob &job,
                           const device::Topology &topo) const override
     {
         TqanCompiler comp(topo, job.options);
         return comp.compile(requireStep(job, "2qan"));
+    }
+};
+
+/** The 2QAN pipeline with the negotiated-congestion
+ * ripup-and-reroute router (src/route/) pinned as the routing
+ * strategy; everything else follows job.options like "2qan". */
+class TqanRrrBackend : public CompilerBackend
+{
+  public:
+    std::string name() const override { return "2qan_rrr"; }
+    BackendInfo info() const override
+    {
+        BackendInfo b;
+        b.router = "rrr";
+        return b;
+    }
+    CompileResult compile(const CompileJob &job,
+                          const device::Topology &topo) const override
+    {
+        CompilerOptions opt = job.options;
+        opt.router.name = "rrr";
+        TqanCompiler comp(topo, opt);
+        return comp.compile(requireStep(job, "2qan_rrr"));
     }
 };
 
@@ -112,6 +141,12 @@ class SabreBackend : public DagBaselineBackend
 {
   public:
     std::string name() const override { return "qiskit_sabre"; }
+    BackendInfo info() const override
+    {
+        BackendInfo b;
+        b.router = "sabre";
+        return b;
+    }
 
   private:
     baseline::BaselineResult
@@ -126,6 +161,13 @@ class TketLikeBackend : public DagBaselineBackend
 {
   public:
     std::string name() const override { return "tket_like"; }
+    BackendInfo info() const override
+    {
+        BackendInfo b;
+        b.seedSensitive = false;
+        b.router = "tket";
+        return b;
+    }
 
   private:
     baseline::BaselineResult
@@ -140,6 +182,14 @@ class IcQaoaBackend : public DagBaselineBackend
 {
   public:
     std::string name() const override { return "ic_qaoa"; }
+    BackendInfo info() const override
+    {
+        BackendInfo b;
+        b.diagonalOnly = true;
+        b.seedSensitive = false;
+        b.router = "ic";
+        return b;
+    }
 
   private:
     baseline::BaselineResult
@@ -154,6 +204,12 @@ class PaulihedralBackend : public CompilerBackend
 {
   public:
     std::string name() const override { return "paulihedral_like"; }
+    BackendInfo info() const override
+    {
+        BackendInfo b;
+        b.router = "sabre";
+        return b;
+    }
 
     CompileResult compile(const CompileJob &job,
                           const device::Topology &topo) const override
@@ -192,6 +248,10 @@ registry()
         auto *init = new Registry;
         init->factories["2qan"] = []() {
             return std::unique_ptr<CompilerBackend>(new TqanBackend);
+        };
+        init->factories["2qan_rrr"] = []() {
+            return std::unique_ptr<CompilerBackend>(
+                new TqanRrrBackend);
         };
         init->factories["qiskit_sabre"] = []() {
             return std::unique_ptr<CompilerBackend>(new SabreBackend);

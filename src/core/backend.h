@@ -42,15 +42,37 @@ struct CompileJob
     /** Trotter-step time (Hamiltonian-consuming backends). */
     double time = 1.0;
     /** options.seed fully determines each backend's randomness:
-     * same seed, same result, for every backend.  Only the
-     * randomized backends (2qan's mapper trials, qiskit_sabre's
-     * random initial placement, and paulihedral_like, which routes
-     * through SABRE) actually draw from it; tket_like and ic_qaoa
-     * are deterministic and ignore the seed entirely (verified by
-     * tests/core/test_backend_seed.cpp).  Every other field (mapper,
-     * trials, jobs, noise map, ablation toggles) steers the 2QAN
-     * pipeline only and is ignored by the baselines. */
+     * same seed, same result, for every backend.  Only backends
+     * whose info().seedSensitive is true (the 2qan pipelines'
+     * mapper trials, qiskit_sabre's random initial placement, and
+     * paulihedral_like, which routes through SABRE) actually draw
+     * from it; the rest are deterministic and ignore the seed
+     * entirely (verified by tests/core/test_backend_seed.cpp).
+     * Every other field (mapper, router, trials, jobs, noise map,
+     * ablation toggles) steers the 2QAN pipelines only and is
+     * ignored by the baselines. */
     CompilerOptions options;
+};
+
+/**
+ * Capability descriptor of a backend, so harnesses can filter on
+ * what a compiler supports instead of switching on its name (the
+ * ic_qaoa diagonal-only precondition used to be a hard-coded name
+ * check in verify/fuzz.cpp; now it is this API).
+ */
+struct BackendInfo
+{
+    /** Only compiles diagonal (ZZ-interaction) Hamiltonians; feed it
+     * QAOA/Ising workloads only. */
+    bool diagonalOnly = false;
+    /** Draws from options.seed (distinct seeds may produce distinct
+     * circuits); false means fully deterministic, the seed is
+     * ignored.  Pinned by tests/core/test_backend_seed.cpp. */
+    bool seedSensitive = true;
+    /** Routing strategy the backend compiles with: a core router
+     * registry name ("greedy", "rrr") for the 2QAN pipelines, a
+     * descriptive label for the baselines. */
+    std::string router;
 };
 
 class CompilerBackend
@@ -58,6 +80,10 @@ class CompilerBackend
   public:
     virtual ~CompilerBackend() = default;
     virtual std::string name() const = 0;
+
+    /** Capability descriptor; the base default is a randomized,
+     * unrestricted backend. */
+    virtual BackendInfo info() const { return BackendInfo{}; }
 
     /** Compile one job; throws std::invalid_argument when the job
      * lacks the inputs this backend needs. */

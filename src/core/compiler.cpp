@@ -32,7 +32,7 @@ TqanCompiler::buildPipeline() const
         pm.add(makeUnifyPass());
     pm.add(makeMappingPass(mapperKindName(opt_.mapper),
                            opt_.mapperTrials, opt_.tabu));
-    pm.add(makeRoutingPass(opt_.unifySwaps));
+    pm.add(makeRoutingPass(opt_.router));
     pm.add(makeSchedulingPass(opt_.hybridSchedule));
     return pm;
 }

@@ -54,11 +54,15 @@ struct CompilerOptions
     int jobs = 1;
     /** Merge same-pair Interact ops before compiling (Sec. III-C). */
     bool unifyCircuit = true;
-    /** Criterion-3 SWAP selection + dressed SWAPs (Sec. III-C). */
-    bool unifySwaps = true;
     /** Hybrid ALAP scheduler (Alg. 2) vs. generic order-respecting
      * scheduler (ablation, Fig. 6a). */
     bool hybridSchedule = true;
+    /** Routing stage: which registered router runs (router.name) and
+     * its knobs, dressed-SWAP merging (router.unifySwaps, Sec.
+     * III-C) included.  Folded in here so the service cache key
+     * canonicalizes every routing field with the rest of the
+     * options. */
+    RouterOptions router;
     qap::TabuOptions tabu;
     /**
      * Optional calibration data.  When set, the Tabu mapper solves

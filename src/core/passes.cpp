@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/router_registry.h"
 #include "qap/mapper.h"
 
 namespace tqan {
@@ -50,19 +51,22 @@ class MappingPass : public Pass
 class RoutingPass : public Pass
 {
   public:
-    explicit RoutingPass(bool unifySwaps) : unifySwaps_(unifySwaps) {}
+    explicit RoutingPass(RouterOptions opt) : opt_(std::move(opt)) {}
 
     std::string name() const override { return "routing"; }
     void run(CompileContext &ctx) const override
     {
-        RouterOptions opt;
-        opt.unifySwaps = unifySwaps_;
-        ctx.routing = routePermutationAware(
-            ctx.circuit, ctx.placement, *ctx.topo, ctx.rng, opt);
+        RouteRequest req;
+        req.circuit = &ctx.circuit;
+        req.initial = &ctx.placement;
+        req.topo = ctx.topo;
+        req.rng = &ctx.rng;
+        req.opt = opt_;
+        ctx.routing = routerByName(opt_.name).route(req);
     }
 
   private:
-    bool unifySwaps_;
+    RouterOptions opt_;
 };
 
 class SchedulingPass : public Pass
@@ -101,9 +105,9 @@ makeMappingPass(std::string mapper, int trials, qap::TabuOptions tabu)
 }
 
 std::unique_ptr<Pass>
-makeRoutingPass(bool unifySwaps)
+makeRoutingPass(RouterOptions opt)
 {
-    return std::unique_ptr<Pass>(new RoutingPass(unifySwaps));
+    return std::unique_ptr<Pass>(new RoutingPass(std::move(opt)));
 }
 
 std::unique_ptr<Pass>

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/pass.h"
+#include "core/router.h"
 #include "qap/tabu.h"
 
 namespace tqan {
@@ -43,9 +44,14 @@ std::unique_ptr<Pass>
 makeMappingPass(std::string mapper, int trials = 5,
                 qap::TabuOptions tabu = qap::TabuOptions());
 
-/** Permutation-aware routing (criterion-3 SWAP selection + dressed
- * SWAPs when `unifySwaps`). */
-std::unique_ptr<Pass> makeRoutingPass(bool unifySwaps = true);
+/**
+ * Routing through the core::Router registry strategy `opt.name`
+ * ("greedy" is the paper's Algorithm 1, "rrr" the negotiated-
+ * congestion ripup-and-reroute router, or any name registered via
+ * core::registerRouter).  Dressed-SWAP merging is applied when
+ * `opt.unifySwaps`.
+ */
+std::unique_ptr<Pass> makeRoutingPass(RouterOptions opt = {});
 
 /** Hybrid ALAP (Alg. 2) or the generic order-respecting ablation
  * scheduler. */

@@ -9,7 +9,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/backend.h"
 #include "core/hash.h"
+#include "core/router_registry.h"
 #include "device/devices.h"
 #include "graph/random_graph.h"
 #include "ham/models.h"
@@ -39,6 +41,7 @@ benchmarkName(Benchmark b)
       case Benchmark::NnnXY: return "NNN_XY";
       case Benchmark::NnnIsing: return "NNN_Ising";
       case Benchmark::QaoaReg3: return "QAOA_REG3";
+      case Benchmark::QaoaDense: return "QAOA_DENSE";
     }
     throw std::invalid_argument("benchmarkName: bad enum value");
 }
@@ -46,13 +49,17 @@ benchmarkName(Benchmark b)
 Benchmark
 benchmarkByName(const std::string &name)
 {
-    for (Benchmark b : allBenchmarks())
+    // QaoaDense resolves by name but stays out of allBenchmarks()
+    // so default grids (and the golden files) never pick it up.
+    std::vector<Benchmark> known = allBenchmarks();
+    known.push_back(Benchmark::QaoaDense);
+    for (Benchmark b : known)
         if (benchmarkName(b) == name)
             return b;
     throw std::invalid_argument(
         "unknown benchmark '" + name +
         "' (expected NNN_Heisenberg | NNN_XY | NNN_Ising | "
-        "QAOA_REG3)");
+        "QAOA_REG3 | QAOA_DENSE)");
 }
 
 std::vector<Benchmark>
@@ -201,6 +208,15 @@ buildSweepUnit(Benchmark b, int n, int instance,
             return ham::qaoaLayerHamiltonian(
                 g, ham::qaoaFixedAngles(1)[0]);
           }
+          case Benchmark::QaoaDense: {
+            // G(n, 0.5): ~n^2/4 interaction edges on n qubits —
+            // far denser than any device graph, so routing (not
+            // placement) dominates.  The adversarial workload the
+            // router preset scores greedy vs rrr on.
+            auto g = graph::erdosRenyi(n, 0.5, rng);
+            return ham::qaoaLayerHamiltonian(
+                g, ham::qaoaFixedAngles(1)[0]);
+          }
         }
         throw std::invalid_argument("buildSweepUnit: bad benchmark");
     }();
@@ -346,10 +362,18 @@ parseSweepSpec(std::istream &in)
             for (const auto &v : vals)
                 spec.devices.push_back(parsedDevice(v));
         } else if (key == "backends") {
+            // Resolve each name now: a typo'd backend fails at
+            // parse time with the registered names listed, not an
+            // hour into the batch run.
+            for (const auto &v : vals)
+                backendByName(v);
             if (family.empty())
                 spec.backends = vals;
             else
                 spec.backendsFor[benchmarkByName(family)] = vals;
+        } else if (key == "router" && family.empty()) {
+            spec.router = one();
+            routerByName(spec.router);  // parse-time validation
         } else if (key == "sizes") {
             if (family.empty())
                 spec.sizes = specInts(key, vals);
@@ -426,8 +450,13 @@ sweepSpecHelp()
         "\n"
         "  experiment = NAME          row label (default 'sweep')\n"
         "  benchmarks = FAM ...       NNN_Heisenberg | NNN_XY |\n"
-        "                             NNN_Ising | QAOA_REG3\n"
-        "                             (default: all four)\n"
+        "                             NNN_Ising | QAOA_REG3 |\n"
+        "                             QAOA_DENSE (default: the\n"
+        "                             paper's four; QAOA_DENSE — a\n"
+        "                             QAOA layer on an Erdos-Renyi\n"
+        "                             G(n,0.5) graph, a routing\n"
+        "                             stress workload — is opt-in\n"
+        "                             only)\n"
         "  devices = DEV[@GS] ...     montreal | sycamore | aspen |\n"
         "                             manhattan | line:N | ring:N |\n"
         "                             grid:RxC, optional gate set\n"
@@ -440,6 +469,10 @@ sweepSpecHelp()
         "  seed = S                   base seed; 0 = canonical grid\n"
         "  trials = K                 2QAN mapper trials (default 5)\n"
         "  mapper_jobs = N            threads inside each 2QAN job\n"
+        "  router = NAME              route every job with this\n"
+        "                             registered core router\n"
+        "                             (greedy | rrr); unset = each\n"
+        "                             backend's own default\n"
         "  verify = on|off            end-to-end verify every ok\n"
         "                             row (un-map + operator\n"
         "                             multiset + unitary oracle);\n"
@@ -539,15 +572,34 @@ sweepPreset(const std::string &name)
         // only (ZZ-only circuits, as in the paper).
         s.devices = {{"grid:3x3", ""}, {"line:8", ""},
                      {"aspen", ""}};
-        s.backends = {"2qan", "qiskit_sabre", "tket_like",
-                      "paulihedral_like"};
+        s.backends = {"2qan", "2qan_rrr", "qiskit_sabre",
+                      "tket_like", "paulihedral_like"};
         s.backendsFor[Benchmark::QaoaReg3] = {
-            "2qan", "qiskit_sabre", "tket_like", "ic_qaoa",
-            "paulihedral_like"};
+            "2qan", "2qan_rrr", "qiskit_sabre", "tket_like",
+            "ic_qaoa", "paulihedral_like"};
         s.sizes = {4, 6, 8};
         s.instances = 2;
         s.trials = 2;
         s.verify = true;
+        return s;
+    }
+    if (name == "router") {
+        // Paired greedy-vs-rrr rows (the PR 8 perf/quality gate):
+        // the same instances compiled by the 2qan pipeline with its
+        // default greedy router and by 2qan_rrr, the
+        // negotiated-congestion ripup-and-reroute router.  The
+        // QAOA_DENSE rows (Erdos-Renyi G(n,0.5)) are the routing
+        // stress case where negotiation pays off; the QAOA_REG3 rows
+        // guard against regressing the paper workloads.
+        // BENCH_pr8.json is this preset's --bench output: its swaps
+        // and depth2q columns record the quality win, its medians
+        // feed the usual timing gate.
+        s.benchmarks = {Benchmark::QaoaDense, Benchmark::QaoaReg3};
+        s.devices = {{"grid:4x4", ""}, {"sycamore", ""}};
+        s.backends = {"2qan", "2qan_rrr"};
+        s.sizes = {8, 10, 12};
+        s.instances = 2;
+        s.trials = 3;
         return s;
     }
     if (name == "table1_table2") {
@@ -579,14 +631,14 @@ sweepPreset(const std::string &name)
     }
     throw std::invalid_argument(
         "unknown sweep preset '" + name + "' (available: golden | "
-        "smoke | verify | table1_table2 | figures | fidelity | "
-        "simd)");
+        "smoke | verify | router | table1_table2 | figures | "
+        "fidelity | simd)");
 }
 
 std::vector<std::string>
 sweepPresetNames()
 {
-    return {"golden", "smoke", "verify", "table1_table2",
+    return {"golden", "smoke", "verify", "router", "table1_table2",
             "figures", "fidelity", "simd"};
 }
 
@@ -648,6 +700,14 @@ expandSweep(const SweepSpec &spec)
             if (u.n > ex.topologies[d].numQubits())
                 continue;
             for (const std::string &be : backendsOf(u.benchmark)) {
+                // Declared backend preconditions (BackendInfo), the
+                // same filter the fuzz harness applies: a
+                // diagonal-only backend is routed away from
+                // non-diagonal units instead of producing a
+                // guaranteed-error row.
+                if (backendByName(be).info().diagonalOnly &&
+                    !u.hamiltonian->isDiagonal())
+                    continue;
                 BatchJob bj;
                 bj.backend = be;
                 bj.topo = &ex.topologies[d];
@@ -659,6 +719,8 @@ expandSweep(const SweepSpec &spec)
                     u.benchmark, u.n, u.instance, be, spec.seed);
                 bj.job.options.mapperTrials = spec.trials;
                 bj.job.options.jobs = spec.mapperJobs;
+                if (!spec.router.empty())
+                    bj.job.options.router.name = spec.router;
 
                 SweepRow row;
                 row.experiment = spec.experiment;
@@ -955,6 +1017,10 @@ runBench(const SweepSpec &spec, const BatchCompiler &bc,
             std::vector<std::vector<double>> seconds(njobs),
                 mapping(njobs), routing(njobs), scheduling(njobs);
             std::vector<std::string> errors(njobs);
+            // Compiled-circuit quality (identical across repeats;
+            // the clock is the only thing that varies).
+            std::vector<CompilationMetrics> quality(njobs);
+            std::vector<bool> haveQuality(njobs, false);
             for (int r = 0; r < opt.repeat; ++r) {
                 std::vector<BatchJobResult> results =
                     bc.run(ex.jobs);
@@ -970,6 +1036,8 @@ runBench(const SweepSpec &spec, const BatchCompiler &bc,
                         results[i].result.routingSeconds);
                     scheduling[i].push_back(
                         results[i].result.schedulingSeconds);
+                    quality[i] = results[i].metrics;
+                    haveQuality[i] = true;
                 }
             }
 
@@ -992,6 +1060,10 @@ runBench(const SweepSpec &spec, const BatchCompiler &bc,
                     b.mappingSeconds = medianOf(mapping[i]);
                     b.routingSeconds = medianOf(routing[i]);
                     b.schedulingSeconds = medianOf(scheduling[i]);
+                }
+                if (b.ok() && haveQuality[i]) {
+                    b.swaps = quality[i].swaps;
+                    b.depth2q = quality[i].depth2q;
                 }
                 rows.push_back(std::move(b));
             }
@@ -1089,6 +1161,11 @@ benchJson(const std::string &experiment, const BenchOptions &opt,
            << jsonEscaped(b.backend)
            << "\",\"nqubits\":" << b.nqubits
            << ",\"instance\":" << b.instance << "," << nums
+           // Quality of the compiled circuit (-1 for sim rows);
+           // parseBenchJson() treats both as optional, so bench
+           // files written before these fields still parse.
+           << ",\"swaps\":" << b.swaps
+           << ",\"depth2q\":" << b.depth2q
            << ",\"error\":\"" << jsonEscaped(b.error) << "\"}"
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
@@ -1233,6 +1310,12 @@ parseBenchJson(std::istream &in)
         if (!(s = jsonFieldOf(line, "scheduling_seconds")).empty())
             b.schedulingSeconds =
                 benchDoubleField(lineno, "scheduling_seconds", s);
+        // Optional quality fields (absent in bench files written
+        // before PR 8; -1 = not applicable).
+        if (!(s = jsonFieldOf(line, "swaps")).empty())
+            b.swaps = benchIntField(lineno, "swaps", s, -1);
+        if (!(s = jsonFieldOf(line, "depth2q")).empty())
+            b.depth2q = benchIntField(lineno, "depth2q", s, -1);
         b.error = jsonFieldOf(line, "error");
         rows.push_back(std::move(b));
     }

@@ -36,17 +36,30 @@
 namespace tqan {
 namespace core {
 
-/** Benchmark family identifiers (paper Sec. IV). */
-enum class Benchmark { NnnHeisenberg, NnnXY, NnnIsing, QaoaReg3 };
+/** Benchmark family identifiers (paper Sec. IV), plus QaoaDense: a
+ * QAOA layer on an Erdos-Renyi G(n, 0.5) graph — an adversarial
+ * high-congestion routing workload the paper does not sweep.  It is
+ * addressable by name ("QAOA_DENSE" in specs and presets) but
+ * deliberately absent from allBenchmarks(), so default grids and the
+ * golden files never pick it up. */
+enum class Benchmark {
+    NnnHeisenberg,
+    NnnXY,
+    NnnIsing,
+    QaoaReg3,
+    QaoaDense
+};
 
-/** CSV name of a family ("NNN_Heisenberg", ..., "QAOA_REG3"). */
+/** CSV name of a family ("NNN_Heisenberg", ..., "QAOA_DENSE"). */
 std::string benchmarkName(Benchmark b);
 
-/** Inverse of benchmarkName().
+/** Inverse of benchmarkName(); also resolves the off-grid
+ * QAOA_DENSE family.
  * @throws std::invalid_argument on an unknown name. */
 Benchmark benchmarkByName(const std::string &name);
 
-/** All four families, in paper order. */
+/** The paper's four families, in paper order (QaoaDense is opt-in
+ * only and intentionally not listed here). */
 std::vector<Benchmark> allBenchmarks();
 
 /** The chain-model sizes of Fig. 7/8/9, capped at `cap` qubits. */
@@ -123,6 +136,11 @@ struct SweepSpec
     /** Base seed; 0 is the canonical grid pinned by the golden
      * files. */
     std::uint64_t seed = 0;
+    /** Router every job compiles with (a core::Router registry
+     * name).  Empty = leave each backend's own default alone, which
+     * is what the golden grid pins; backends that hard-pin a router
+     * (2qan_rrr) ignore the override by construction. */
+    std::string router;
     /** Randomized mapping trials of the 2QAN pipeline (paper: 5). */
     int trials = 5;
     /** Worker threads *inside* each 2QAN job's mapper stage.  Batch
@@ -150,8 +168,11 @@ struct SweepSpec
  * Parse a sweep spec from `key = value` lines ('#' starts a
  * comment).  Keys: experiment, benchmarks, devices (name or
  * name@gateset), backends, sizes, instances, seed, trials,
- * mapper_jobs; `sizes.FAMILY`, `instances.FAMILY` and
- * `backends.FAMILY` override per family.
+ * mapper_jobs, router; `sizes.FAMILY`, `instances.FAMILY` and
+ * `backends.FAMILY` override per family.  Backend and router names
+ * are resolved against their registries at parse time, so a typo
+ * fails here with the registered names listed — not deep inside the
+ * batch run.
  * @throws std::invalid_argument on unknown keys or bad values.
  */
 SweepSpec parseSweepSpec(std::istream &in);
@@ -296,6 +317,13 @@ struct BenchRow
     double mappingSeconds = 0.0;
     double routingSeconds = 0.0;
     double schedulingSeconds = 0.0;
+    /** Quality metrics of the (repeat-invariant) compiled circuit,
+     * so a BENCH_*.json also records routing quality — the
+     * greedy-vs-rrr preset is gated on these, not just wall time.
+     * -1 = not applicable (sim rows) or absent (bench files written
+     * before these fields existed). */
+    int swaps = -1;
+    int depth2q = -1;
     std::string error;
 
     bool ok() const { return error.empty(); }

@@ -1,0 +1,75 @@
+#include "route/cost_model.h"
+
+#include <algorithm>
+
+namespace tqan {
+namespace route {
+
+CostModel::CostModel(int numVertices, double presentWeight,
+                     double historyWeight)
+    : use_(numVertices, 0), history_(numVertices, 0.0),
+      presentW_(presentWeight), historyW_(historyWeight)
+{
+}
+
+void
+CostModel::addPath(const std::vector<int> &path)
+{
+    for (int v : path)
+        ++use_[v];
+}
+
+void
+CostModel::delPath(const std::vector<int> &path)
+{
+    for (int v : path)
+        --use_[v];
+}
+
+int
+CostModel::totalOverflow() const
+{
+    int t = 0;
+    for (size_t v = 0; v < use_.size(); ++v)
+        t += overuse(static_cast<int>(v));
+    return t;
+}
+
+bool
+CostModel::pathOverflowed(const std::vector<int> &path) const
+{
+    for (int v : path)
+        if (use_[v] > 1)
+            return true;
+    return false;
+}
+
+int
+CostModel::pathOveruse(const std::vector<int> &path) const
+{
+    int t = 0;
+    for (int v : path)
+        t += overuse(v);
+    return t;
+}
+
+void
+CostModel::chargeHistory()
+{
+    for (size_t v = 0; v < use_.size(); ++v) {
+        int over = overuse(static_cast<int>(v));
+        if (over > 0) {
+            history_[v] += historyW_ * static_cast<double>(over);
+            charged_ = true;
+        }
+    }
+}
+
+void
+CostModel::resetPresent()
+{
+    std::fill(use_.begin(), use_.end(), 0);
+}
+
+} // namespace route
+} // namespace tqan

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Congestion cost model for the negotiated-congestion router
+ * (PathFinder / VLSIGR discipline, SNIPPETS.md Snippets 2-3).
+ *
+ * The contended resource is the device *vertex*, not the edge: a
+ * committed SWAP chain owns every device qubit on its path for the
+ * epoch (the chain's SWAPs displace whatever logical qubits sit
+ * there), so two planned paths sharing any vertex — endpoints
+ * included — cannot both execute.  Each vertex therefore has unit
+ * capacity; `use` counts planned paths over it this epoch (the
+ * present congestion, maintained incrementally by addPath/delPath,
+ * the `add_cost`/`del_cost` of the VLSI router), and `history`
+ * accumulates a persistent penalty every negotiation round a vertex
+ * stays overflowed, so repeatedly contended vertices price
+ * themselves out of future routes even across epochs.
+ */
+
+#ifndef TQAN_ROUTE_COST_MODEL_H
+#define TQAN_ROUTE_COST_MODEL_H
+
+#include <vector>
+
+namespace tqan {
+namespace route {
+
+class CostModel
+{
+  public:
+    CostModel(int numVertices, double presentWeight,
+              double historyWeight);
+
+    /** add_cost: a planned path (device vertices, endpoints
+     * included) starts occupying its vertices. */
+    void addPath(const std::vector<int> &path);
+    /** del_cost: rip a planned path back out. */
+    void delPath(const std::vector<int> &path);
+
+    int use(int v) const { return use_[v]; }
+    /** Units above the unit vertex capacity. */
+    int overuse(int v) const { return use_[v] > 1 ? use_[v] - 1 : 0; }
+    int totalOverflow() const;
+    bool pathOverflowed(const std::vector<int> &path) const;
+    int pathOveruse(const std::vector<int> &path) const;
+
+    /** One negotiation round ended with overflow: every overflowed
+     * vertex gets historyWeight * overuse added permanently. */
+    void chargeHistory();
+    /** New epoch: planned paths are forgotten (committed or
+     * discarded); history persists. */
+    void resetPresent();
+    /** True when no history has accrued yet (first-epoch fast path:
+     * direct BFS equals min-cost search). */
+    bool idle() const { return !charged_; }
+
+    /** Search cost of stepping onto vertex v:
+     * 1 (base, one SWAP) + presentWeight * use(v) + history(v). */
+    double enterCost(int v) const
+    {
+        return 1.0 + presentW_ * static_cast<double>(use_[v]) +
+               history_[v];
+    }
+
+  private:
+    std::vector<int> use_;
+    std::vector<double> history_;
+    double presentW_;
+    double historyW_;
+    bool charged_ = false;
+};
+
+} // namespace route
+} // namespace tqan
+
+#endif // TQAN_ROUTE_COST_MODEL_H

@@ -14,6 +14,7 @@
 
 #include "core/hash.h"
 #include "core/profile.h"
+#include "core/router_registry.h"
 #include "decomp/pass.h"
 #include "device/noise_map.h"
 #include "ham/parser.h"
@@ -96,15 +97,25 @@ appendCanonicalOptions(std::string &s,
         throw std::invalid_argument(
             "request options must not carry sharedDistances (the "
             "service injects the memoized matrix after keying)");
-    s += "options-v1\n";
+    s += "options-v2\n";
     s += "mapper=" + core::mapperKindName(o.mapper) + "\n";
     s += "mapper_trials=" + std::to_string(o.mapperTrials) + "\n";
     s += "jobs=" + std::to_string(o.jobs) + "\n";
     s += "unify_circuit=" + std::to_string(o.unifyCircuit ? 1 : 0) +
          "\n";
-    s += "unify_swaps=" + std::to_string(o.unifySwaps ? 1 : 0) + "\n";
     s += "hybrid_schedule=" +
          std::to_string(o.hybridSchedule ? 1 : 0) + "\n";
+    s += "router.name=" + o.router.name + "\n";
+    s += "router.unify_swaps=" +
+         std::to_string(o.router.unifySwaps ? 1 : 0) + "\n";
+    s += "router.max_swap_factor=" +
+         std::to_string(o.router.maxSwapFactor) + "\n";
+    s += "router.rrr_max_rounds=" +
+         std::to_string(o.router.rrrMaxRounds) + "\n";
+    s += "router.rrr_history_weight=" +
+         doubleBits(o.router.rrrHistoryWeight) + "\n";
+    s += "router.rrr_present_weight=" +
+         doubleBits(o.router.rrrPresentWeight) + "\n";
     s += "tabu.max_iters=" + std::to_string(o.tabu.maxIters) + "\n";
     s += "tabu.low_mul=" + std::to_string(o.tabu.tabuLowMul) + "\n";
     s += "tabu.high_mul=" + std::to_string(o.tabu.tabuHighMul) + "\n";
@@ -277,7 +288,8 @@ CompileService::parseCompileRequest(const JsonObject &obj)
         "type",          "id",           "ham",
         "device",        "gateset",      "backend",
         "time",          "seed",         "trials",
-        "jobs",          "mapper",       "unify_circuit",
+        "jobs",          "mapper",       "router",
+        "unify_circuit",
         "unify_swaps",   "hybrid_schedule", "noise_aware",
         "noise_lambda",  "tabu_max_iters",  "tabu_low_mul",
         "tabu_high_mul", "tabu_stall_limit", "deadline_ms",
@@ -311,9 +323,12 @@ CompileService::parseCompileRequest(const JsonObject &obj)
     o.mapperTrials = intField(obj, "trials", o.mapperTrials, 1);
     o.jobs = intField(obj, "jobs", o.jobs, 1);
     o.mapper = mapperByName(stringField(obj, "mapper", "tabu"));
+    o.router.name = stringField(obj, "router", o.router.name);
+    core::routerByName(o.router.name);  // reject unknowns up front
     o.unifyCircuit =
         boolField(obj, "unify_circuit", o.unifyCircuit);
-    o.unifySwaps = boolField(obj, "unify_swaps", o.unifySwaps);
+    o.router.unifySwaps =
+        boolField(obj, "unify_swaps", o.router.unifySwaps);
     o.hybridSchedule =
         boolField(obj, "hybrid_schedule", o.hybridSchedule);
     o.noiseLambda =

@@ -20,15 +20,16 @@ namespace {
 constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
 
 /**
- * Documented backend preconditions: a scenario violating one is
- * routed away from the backend instead of counted as a finding
- * (matching how the sweep presets feed ic_qaoa QAOA rows only).
- * Every OTHER exception a backend throws is a crash-class bug.
+ * Declared backend preconditions (BackendInfo): a scenario violating
+ * one is routed away from the backend instead of counted as a
+ * finding (matching how the sweep grid feeds diagonal-only backends
+ * QAOA rows only).  Every OTHER exception a backend throws is a
+ * crash-class bug.
  */
 bool
 backendAccepts(const std::string &backend, const Scenario &s)
 {
-    if (backend == "ic_qaoa")
+    if (core::backendByName(backend).info().diagonalOnly)
         return s.hamiltonian->isDiagonal();
     return true;
 }

@@ -1,11 +1,12 @@
 /**
  * @file
- * Pins the seed contract documented on CompileJob: every backend is
- * reproducible (same seed -> bit-identical result), the randomized
- * backends (2qan, qiskit_sabre, paulihedral_like) actually respond
- * to the seed, and tket_like / ic_qaoa are seed-invariant.  If a
- * backend's behavior changes class, update the CompileJob comment in
- * core/backend.h together with this test.
+ * Pins the seed contract documented on CompileJob, driven by the
+ * BackendInfo capability descriptors: every backend is reproducible
+ * (same seed -> bit-identical result), backends declaring
+ * seedSensitive actually respond to the seed, and the rest are
+ * seed-invariant.  If a backend's behavior changes class, update its
+ * info() override in core/backend.cpp together with the CompileJob
+ * comment.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +15,7 @@
 #include <string>
 
 #include "core/backend.h"
+#include "core/router_registry.h"
 #include "core/sweep.h"
 #include "device/devices.h"
 
@@ -50,7 +52,9 @@ topo()
 const core::SweepUnit &
 unitFor(const std::string &backend)
 {
-    return backend == "ic_qaoa" ? qaoaUnit() : chainUnit();
+    return core::backendByName(backend).info().diagonalOnly
+               ? qaoaUnit()
+               : chainUnit();
 }
 
 /** Everything observable about a compile, as one comparable blob. */
@@ -83,35 +87,46 @@ TEST(BackendSeed, EveryBackendIsReproducible)
     }
 }
 
-TEST(BackendSeed, RandomizedBackendsRespondToTheSeed)
+TEST(BackendSeed, SeedSensitiveBackendsRespondToTheSeed)
 {
-    // One mapper trial for 2qan: best-of-5 hides the per-trial
-    // randomness on instances this small.
-    for (const std::string &be :
-         {std::string("2qan"), std::string("qiskit_sabre"),
-          std::string("paulihedral_like")}) {
+    bool any = false;
+    for (const std::string &be : core::backendNames()) {
+        if (!core::backendByName(be).info().seedSensitive)
+            continue;
+        any = true;
         SCOPED_TRACE(be);
-        int trials = be == "2qan" ? 1 : 5;
+        // One mapper trial for the 2qan pipelines (those whose
+        // info().router is a registered core router): best-of-5
+        // hides the per-trial randomness on instances this small.
+        int trials =
+            core::hasRouter(core::backendByName(be).info().router)
+                ? 1
+                : 5;
         std::set<std::string> distinct;
         for (std::uint64_t seed = 0; seed < 8; ++seed)
             distinct.insert(fingerprint(be, seed, trials));
         EXPECT_GT(distinct.size(), 1u)
             << be << " produced the same result for 8 seeds; if it "
-            << "became deterministic, update the CompileJob comment "
-            << "in core/backend.h";
+            << "became deterministic, flip seedSensitive in its "
+            << "info() override in core/backend.cpp";
     }
+    EXPECT_TRUE(any);
 }
 
-TEST(BackendSeed, TketLikeAndIcQaoaAreSeedInvariant)
+TEST(BackendSeed, SeedInvariantBackendsIgnoreTheSeed)
 {
-    for (const std::string &be :
-         {std::string("tket_like"), std::string("ic_qaoa")}) {
+    bool any = false;
+    for (const std::string &be : core::backendNames()) {
+        if (core::backendByName(be).info().seedSensitive)
+            continue;
+        any = true;
         SCOPED_TRACE(be);
         std::string ref = fingerprint(be, 0);
         for (std::uint64_t seed : {1ull, 42ull, 0xFFFFFFFFull})
             EXPECT_EQ(ref, fingerprint(be, seed))
                 << be << " changed output with the seed; if it "
-                << "gained randomization, update the CompileJob "
-                << "comment in core/backend.h";
+                << "gained randomization, flip seedSensitive in its "
+                << "info() override in core/backend.cpp";
     }
+    EXPECT_TRUE(any);
 }

@@ -76,7 +76,7 @@ TEST(Compiler, UnifyTogglesChangeDressedCounts)
     CompilerOptions on;
     on.seed = 86;
     CompilerOptions off = on;
-    off.unifySwaps = false;
+    off.router.unifySwaps = false;
 
     TqanCompiler con(device::montreal27(), on);
     TqanCompiler coff(device::montreal27(), off);

@@ -42,14 +42,23 @@ struct TabuOptionsMirror
     int tabuHighMul;
     int stallLimit;
 };
+struct RouterOptionsMirror
+{
+    std::string name;
+    bool unifySwaps;
+    int maxSwapFactor;
+    int rrrMaxRounds;
+    double rrrHistoryWeight;
+    double rrrPresentWeight;
+};
 struct CompilerOptionsMirror
 {
     core::MapperKind mapper;
     int mapperTrials;
     int jobs;
     bool unifyCircuit;
-    bool unifySwaps;
     bool hybridSchedule;
+    RouterOptionsMirror router;
     TabuOptionsMirror tabu;
     std::shared_ptr<const device::NoiseMap> noiseMap;
     double noiseLambda;
@@ -60,6 +69,10 @@ struct CompilerOptionsMirror
 };
 static_assert(sizeof(TabuOptionsMirror) == sizeof(qap::TabuOptions),
               "qap::TabuOptions changed: extend "
+              "CompileService::canonicalRequest() and this test");
+static_assert(sizeof(RouterOptionsMirror) ==
+                  sizeof(core::RouterOptions),
+              "core::RouterOptions changed: extend "
               "CompileService::canonicalRequest() and this test");
 static_assert(sizeof(CompilerOptionsMirror) ==
                   sizeof(core::CompilerOptions),
@@ -142,12 +155,32 @@ TEST(CacheKey, CoversEveryCompilerOptionsField)
     expectKeyChanges("options.unifyCircuit", r);
 
     r = baseRequest();
-    r.options.unifySwaps = !r.options.unifySwaps;
-    expectKeyChanges("options.unifySwaps", r);
-
-    r = baseRequest();
     r.options.hybridSchedule = !r.options.hybridSchedule;
     expectKeyChanges("options.hybridSchedule", r);
+
+    r = baseRequest();
+    r.options.router.name = "rrr";
+    expectKeyChanges("options.router.name", r);
+
+    r = baseRequest();
+    r.options.router.unifySwaps = !r.options.router.unifySwaps;
+    expectKeyChanges("options.router.unifySwaps", r);
+
+    r = baseRequest();
+    r.options.router.maxSwapFactor += 1;
+    expectKeyChanges("options.router.maxSwapFactor", r);
+
+    r = baseRequest();
+    r.options.router.rrrMaxRounds += 1;
+    expectKeyChanges("options.router.rrrMaxRounds", r);
+
+    r = baseRequest();
+    r.options.router.rrrHistoryWeight += 0.25;
+    expectKeyChanges("options.router.rrrHistoryWeight", r);
+
+    r = baseRequest();
+    r.options.router.rrrPresentWeight += 0.25;
+    expectKeyChanges("options.router.rrrPresentWeight", r);
 
     r = baseRequest();
     r.options.tabu.maxIters += 1;

@@ -118,7 +118,8 @@ TEST(LayoutProperty, FinalLayoutMatchesSwapTraceForAllBackends)
     for (std::uint64_t seed : {101, 202, 303, 404, 505}) {
         testgen::Scenario s = testgen::randomScenario(seed);
         for (const std::string &b : core::backendNames()) {
-            if (b == "ic_qaoa" && !s.hamiltonian->isDiagonal())
+            if (core::backendByName(b).info().diagonalOnly &&
+                !s.hamiltonian->isDiagonal())
                 continue;
             core::CompileJob job;
             job.step = s.step.get();

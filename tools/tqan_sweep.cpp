@@ -24,6 +24,7 @@
 
 #include "core/env.h"
 #include "core/profile.h"
+#include "core/router_registry.h"
 #include "core/sweep.h"
 #include "simd/dispatch.h"
 
@@ -72,6 +73,10 @@ printHelp(std::FILE *out)
         "\n"
         "options:\n"
         "  --preset NAME     built-in sweep: %s\n"
+        "  --router R        route every job with this registered\n"
+        "                    core router (%s); overrides the spec's\n"
+        "                    `router =` line.  Backends that pin a\n"
+        "                    router (2qan_rrr) are unaffected\n"
         "  --jobs N          batch worker threads (default 1)\n"
         "  --format F        csv | json (default csv)\n"
         "  --tables          also print the Table I/II aggregate\n"
@@ -112,7 +117,8 @@ printHelp(std::FILE *out)
         "                    TQAN_BENCH_TOLERANCE; rows under 0.1 ms\n"
         "                    are never gated — clock jitter).\n"
         "                    Refresh with TQAN_UPDATE_BASELINE=1.\n",
-        joined(core::sweepPresetNames(), " | ").c_str());
+        joined(core::sweepPresetNames(), " | ").c_str(),
+        joined(core::routerNames(), " | ").c_str());
 }
 
 int
@@ -201,7 +207,7 @@ runBenchMode(const core::SweepSpec &spec, int jobs,
 int
 main(int argc, char **argv)
 {
-    std::string specFile, preset, format = "csv";
+    std::string specFile, preset, format = "csv", router;
     std::string outFile = "BENCH_pr4.json", baselineFile;
     int jobs = 1, warmup = 1, repeat = 5;
     bool tables = false, tablesOnly = false, bench = false,
@@ -230,6 +236,14 @@ main(int argc, char **argv)
             return 0;
         } else if (a == "--preset") {
             preset = next();
+        } else if (a == "--router") {
+            router = next();
+            try {
+                core::routerByName(router);  // flag-parse validation
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "tqan-sweep: %s\n", e.what());
+                return 2;
+            }
         } else if (a == "--jobs") {
             jobs = intFlag(a, next());
         } else if (a == "--format") {
@@ -304,6 +318,8 @@ main(int argc, char **argv)
         }
         if (verify)
             spec.verify = true;
+        if (!router.empty())
+            spec.router = router;
 
         if (bench) {
             int rc = runBenchMode(spec, jobs, {warmup, repeat},

@@ -24,6 +24,7 @@
 #include "core/backend.h"
 #include "core/compiler.h"
 #include "core/metrics.h"
+#include "core/router_registry.h"
 #include "core/profile.h"
 #include "simd/dispatch.h"
 #include "decomp/pass.h"
@@ -79,13 +80,16 @@ printHelp(std::FILE *out)
         "  --jobs N          worker threads for the mapper trials;\n"
         "                    results are identical for every N\n"
         "  --mapper M        placement strategy: %s\n"
+        "  --router R        routing strategy: %s\n"
+        "                    (default greedy)\n"
         "  --trials K        randomized mapping trials (default 5)\n"
         "  --noise-aware     synthetic-calibration noise-aware "
         "placement\n"
         "  --no-unify        disable SWAP-unitary unifying\n"
         "  --generic-sched   use the order-respecting scheduler\n",
         joined(core::backendNames()).c_str(),
-        joined(qap::mapperNames()).c_str());
+        joined(qap::mapperNames()).c_str(),
+        joined(core::routerNames()).c_str());
 }
 
 core::MapperKind
@@ -130,7 +134,7 @@ main(int argc, char **argv)
 
     std::string input = argv[1];
     std::string dev = "montreal", gs_name = "cnot", mapper = "tabu",
-                pipeline = "2qan";
+                router = "greedy", pipeline = "2qan";
     double t = 1.0;
     std::uint64_t seed = 7;
     int jobs = 1, trials = 5;
@@ -153,9 +157,12 @@ main(int argc, char **argv)
                 dev = next();
             else if (a == "--gateset")
                 gs_name = next();
-            else if (a == "--pipeline")
+            else if (a == "--pipeline") {
+                // Validate at parse time, like unknown flags: a typo
+                // should not survive until the compile starts.
                 pipeline = next();
-            else if (a == "--time")
+                core::backendByName(pipeline);
+            } else if (a == "--time")
                 t = std::stod(next());
             else if (a == "--seed")
                 seed = std::stoull(next());
@@ -164,6 +171,10 @@ main(int argc, char **argv)
                 tqan_only.push_back(a);
             } else if (a == "--mapper") {
                 mapper = next();
+                tqan_only.push_back(a);
+            } else if (a == "--router") {
+                router = next();
+                core::routerByName(router);
                 tqan_only.push_back(a);
             } else if (a == "--trials") {
                 trials = std::stoi(next());
@@ -219,7 +230,8 @@ main(int argc, char **argv)
         job.options.seed = seed;
         job.options.jobs = jobs;
         job.options.mapperTrials = trials;
-        job.options.unifySwaps = !no_unify;
+        job.options.router.unifySwaps = !no_unify;
+        job.options.router.name = router;
         job.options.hybridSchedule = !generic_sched;
         job.options.mapper = mapperByName(mapper);
         if (noise_aware) {
