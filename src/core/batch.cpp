@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "core/profile.h"
 #include "qap/qap.h"
+#include "robust/fault.h"
 
 namespace tqan {
 namespace core {
@@ -166,6 +168,11 @@ BatchCompiler::run(const std::vector<BatchJob> &jobs) const
             const BatchJob &bj = jobs[i];
             BatchJobResult &out = results[i];
             try {
+                // An injected fault costs exactly this job (its
+                // error field), never the pool or sibling jobs.
+                if (robust::faultPoint("batch.dispatch"))
+                    throw std::runtime_error(
+                        "injected fault: batch.dispatch");
                 CompileJob job = bj.job;
                 job.options.sharedDistances = prep[i].dist;
                 auto t0 = Clock::now();

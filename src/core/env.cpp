@@ -10,6 +10,15 @@
 namespace tqan {
 namespace core {
 
+std::string
+envStringOr(const char *name, const std::string &fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    return env;
+}
+
 double
 envDoubleOr(const char *name, double fallback, double minValue)
 {

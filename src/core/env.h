@@ -15,9 +15,19 @@
 #define TQAN_CORE_ENV_H
 
 #include <cstdint>
+#include <string>
 
 namespace tqan {
 namespace core {
+
+/**
+ * Value of the env var `name`, or `fallback` when unset.  An empty
+ * value counts as unset (FOO= in a shell should behave like no FOO).
+ * String knobs with internal grammar (TQAN_FAULT) parse downstream
+ * and follow the same warn-and-fall-back rule there.
+ */
+std::string envStringOr(const char *name,
+                        const std::string &fallback);
 
 /**
  * Value of the env var `name` as a double, or `fallback` when the

@@ -11,7 +11,9 @@
 
 #include "core/backend.h"
 #include "core/hash.h"
+#include "core/profile.h"
 #include "core/router_registry.h"
+#include "robust/fault.h"
 #include "device/devices.h"
 #include "graph/random_graph.h"
 #include "ham/models.h"
@@ -745,42 +747,177 @@ expandSweep(const SweepSpec &spec)
     return ex;
 }
 
+namespace {
+
+/**
+ * Compile one grid job on the calling thread — the campaign-shard
+ * equivalent of the BatchCompiler worker body in core/batch.cpp
+ * (same seed, same shared distance matrix, same profile record), so
+ * a sharded sweep scores identically to a batch run.  bc.runOne() is
+ * NOT safe from concurrent campaign workers (ThreadPool::wait() is
+ * global); distancesFor() is.
+ */
+BatchJobResult
+compileJobDirect(const BatchJob &bj, const BatchCompiler &bc)
+{
+    using Clock = std::chrono::steady_clock;
+    BatchJobResult out;
+    out.backend = bj.backend;
+    out.tag = bj.tag;
+    try {
+        if (!bj.topo)
+            throw std::invalid_argument("sweep job.topo is null");
+        const CompilerBackend &backend = backendByName(bj.backend);
+        CompileJob job = bj.job;
+        job.options.sharedDistances = bc.distancesFor(*bj.topo);
+        auto t0 = Clock::now();
+        out.result = backend.compile(job, *bj.topo);
+        out.seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (profile::enabled())
+            profile::record("backend." + bj.backend, out.seconds);
+        if (bj.job.step)
+            out.metrics = backend.metrics(out.result, *bj.job.step,
+                                          bj.gateset);
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+    return out;
+}
+
+/** Compile + (optionally) verify one grid row in place.  A backend
+ * error lands in row->error — a scored failure row, not a shard
+ * failure; shard failures (retry, quarantine) are reserved for
+ * infrastructure faults. */
+void
+scoreSweepShard(const BatchJob &bj, const BatchCompiler &bc,
+                bool verifyRow, SweepRow *row)
+{
+    BatchJobResult res = compileJobDirect(bj, bc);
+    row->metrics = res.metrics;
+    row->seconds = res.seconds;
+    row->mappingSeconds = res.result.mappingSeconds;
+    row->routingSeconds = res.result.routingSeconds;
+    row->schedulingSeconds = res.result.schedulingSeconds;
+    row->error = res.error;
+    if (verifyRow && row->ok()) {
+        verify::CompilationCheck chk =
+            verify::checkCompilation(*bj.job.step, res.result);
+        if (!chk.ok)
+            row->error = "verification failed: " + chk.error;
+    }
+}
+
+/** Campaign identity of a spec: every knob that shapes a shard's
+ * payload, so a journal can never be resumed under a different
+ * grid. */
+std::string
+sweepConfigTag(const char *kind, const SweepSpec &spec)
+{
+    std::ostringstream os;
+    os << kind << "-v1 exp=" << spec.experiment
+       << " seed=" << spec.seed << " trials=" << spec.trials
+       << " router=" << spec.router
+       << " verify=" << (spec.verify ? 1 : 0) << " bench=";
+    for (Benchmark b : spec.benchmarks)
+        os << benchmarkName(b) << ';';
+    os << " dev=";
+    for (const auto &d : spec.devices)
+        os << d.name << '@' << d.gateset << ';';
+    os << " be=";
+    for (const auto &b : spec.backends)
+        os << b << ';';
+    os << " sizes=";
+    for (int n : spec.sizes)
+        os << n << ';';
+    os << " inst=" << spec.instances;
+    for (const auto &kv : spec.sizesFor) {
+        os << " sizes." << benchmarkName(kv.first) << '=';
+        for (int n : kv.second)
+            os << n << ';';
+    }
+    for (const auto &kv : spec.instancesFor)
+        os << " inst." << benchmarkName(kv.first) << '='
+           << kv.second;
+    for (const auto &kv : spec.backendsFor) {
+        os << " be." << benchmarkName(kv.first) << '=';
+        for (const auto &b : kv.second)
+            os << b << ';';
+    }
+    return os.str();
+}
+
+CampaignTallies
+talliesOf(const robust::CampaignResult &camp)
+{
+    CampaignTallies t;
+    t.restored = camp.restored;
+    t.retried = camp.retried;
+    t.quarantined = camp.quarantined;
+    t.skipped = camp.skipped;
+    t.interrupted = camp.interrupted;
+    return t;
+}
+
+/** Row for a shard that produced no payload. */
+std::string
+unresolvedShardError(const robust::ShardReport &rep)
+{
+    return rep.state == robust::ShardState::Quarantined
+               ? "quarantined: " + rep.error
+               : "skipped (campaign interrupted)";
+}
+
+} // namespace
+
+SweepCampaignOutcome
+runSweepCampaign(const SweepSpec &spec, const BatchCompiler &bc,
+                 const robust::CampaignOptions &opt)
+{
+    ExpandedSweep ex = expandSweep(spec);
+
+    robust::CampaignOptions co = opt;
+    if (co.workers <= 0)
+        co.workers = bc.options().jobs;
+    co.configTag = sweepConfigTag("sweep", spec);
+
+    robust::CampaignResult camp = robust::runCampaign(
+        ex.jobs.size(),
+        [&ex, &spec, &bc](std::uint64_t shard, int) {
+            if (robust::faultPoint("sweep.shard"))
+                throw std::runtime_error(
+                    "injected fault: sweep.shard");
+            SweepRow row = ex.rows[shard];
+            scoreSweepShard(ex.jobs[shard], bc, spec.verify, &row);
+            return toJson(row);
+        },
+        co);
+
+    // Rows come from payloads only, in shard order: a restored shard
+    // contributes the exact bytes its original run journaled, so a
+    // resumed sweep's rows equal an uninterrupted run's byte for
+    // byte.
+    SweepCampaignOutcome out;
+    out.rows.reserve(ex.rows.size());
+    for (size_t i = 0; i < camp.payloads.size(); ++i) {
+        if (!camp.payloads[i].empty()) {
+            out.rows.push_back(sweepRowFromJson(camp.payloads[i]));
+        } else {
+            SweepRow row = ex.rows[i];
+            row.error = unresolvedShardError(camp.shards[i]);
+            out.rows.push_back(std::move(row));
+        }
+    }
+    out.tallies = talliesOf(camp);
+    return out;
+}
+
 std::vector<SweepRow>
 runSweep(const SweepSpec &spec, const BatchCompiler &bc)
 {
-    ExpandedSweep ex = expandSweep(spec);
-    std::vector<BatchJobResult> results = bc.run(ex.jobs);
-    for (size_t i = 0; i < ex.rows.size(); ++i) {
-        ex.rows[i].metrics = results[i].metrics;
-        ex.rows[i].seconds = results[i].seconds;
-        ex.rows[i].mappingSeconds = results[i].result.mappingSeconds;
-        ex.rows[i].routingSeconds = results[i].result.routingSeconds;
-        ex.rows[i].schedulingSeconds =
-            results[i].result.schedulingSeconds;
-        ex.rows[i].error = results[i].error;
-    }
-    if (spec.verify) {
-        // Rows verify independently, so fan the (simulation-heavy)
-        // checks out over a pool of the batch's width; each task
-        // writes only its own row.
-        ThreadPool pool(bc.options().jobs);
-        for (size_t i = 0; i < ex.rows.size(); ++i) {
-            if (!ex.rows[i].ok())
-                continue;
-            SweepRow *row = &ex.rows[i];
-            const qcir::Circuit *step = ex.jobs[i].job.step;
-            const CompileResult *res = &results[i].result;
-            pool.submit([row, step, res]() {
-                verify::CompilationCheck chk =
-                    verify::checkCompilation(*step, *res);
-                if (!chk.ok)
-                    row->error =
-                        "verification failed: " + chk.error;
-            });
-        }
-        pool.wait();
-    }
-    return std::move(ex.rows);
+    robust::CampaignOptions co;
+    co.workers = bc.options().jobs;
+    return runSweepCampaign(spec, bc, co).rows;
 }
 
 std::string
@@ -990,144 +1127,251 @@ medianOf(std::vector<double> v)
 
 } // namespace
 
-std::vector<BenchRow>
-runBench(const SweepSpec &spec, const BatchCompiler &bc,
-         const BenchOptions &opt)
+namespace {
+
+/** Metadata of one sim-throughput row (shared by the shard fn and
+ * the placeholder for unresolved shards). */
+BenchRow
+simBenchMeta(const SimBenchCase &c)
+{
+    BenchRow b;
+    b.benchmark = c.label;
+    b.device = "simulator";
+    b.gateset = "exact";
+    b.backend = c.reference
+                    ? "reference"
+                    : (c.forceScalar ? "engine-scalar" : "engine");
+    b.nqubits = c.n;
+    b.instance = c.instance;
+    return b;
+}
+
+} // namespace
+
+BenchCampaignOutcome
+runBenchCampaign(const SweepSpec &spec, const BatchCompiler &bc,
+                 const BenchOptions &opt,
+                 const robust::CampaignOptions &campaign)
 {
     if (opt.repeat < 1)
         throw std::invalid_argument("runBench: repeat < 1");
     if (opt.warmup < 0)
         throw std::invalid_argument("runBench: warmup < 0");
 
-    std::vector<BenchRow> rows;
+    robust::CampaignOptions base = campaign;
+    if (base.workers <= 0)
+        base.workers = bc.options().jobs;
+    const std::string benchTag =
+        sweepConfigTag("bench", spec) + " warmup=" +
+        std::to_string(opt.warmup) + " repeat=" +
+        std::to_string(opt.repeat);
 
-    // Compile-throughput rows (skipped entirely for sim-only specs
+    BenchCampaignOutcome out;
+
+    // One supervised phase: run `shards` shard fns, append one row
+    // per shard from its payload (placeholder with `error` set for
+    // quarantined/skipped shards).  Returns false when interrupted —
+    // the caller must not start later phases.
+    auto runPhase = [&](std::uint64_t shards,
+                        const robust::ShardFn &work,
+                        const char *pathSuffix,
+                        const std::string &tagSuffix, int workers,
+                        const std::function<BenchRow(std::uint64_t)>
+                            &metaOf) {
+        robust::CampaignOptions co = base;
+        if (!co.checkpoint.empty())
+            co.checkpoint += pathSuffix;
+        co.configTag = benchTag + tagSuffix;
+        co.workers = workers;
+        robust::CampaignResult camp =
+            robust::runCampaign(shards, work, co);
+        for (std::uint64_t i = 0; i < shards; ++i) {
+            if (!camp.payloads[i].empty()) {
+                out.rows.push_back(
+                    benchRowFromJson(camp.payloads[i]));
+            } else {
+                BenchRow b = metaOf(i);
+                b.error = unresolvedShardError(camp.shards[i]);
+                out.rows.push_back(std::move(b));
+            }
+        }
+        out.tallies.restored += camp.restored;
+        out.tallies.retried += camp.retried;
+        out.tallies.quarantined += camp.quarantined;
+        out.tallies.skipped += camp.skipped;
+        out.tallies.interrupted |= camp.interrupted;
+        return !camp.interrupted;
+    };
+
+    // Compile-throughput phases (skipped entirely for sim-only specs
     // like the `fidelity` preset).
     if (!(spec.devices.empty() && !spec.simCases.empty())) {
         ExpandedSweep ex = expandSweep(spec);
 
-        // One warmup+timed pass over the whole grid, appending one
-        // row per job with `suffix` on the backend label; run twice
-        // (dispatched, then scalar-pinned) for simdPairedCompile.
-        auto benchCompileGrid = [&](const std::string &suffix) {
+        // Shard = one job: warm it up un-timed, then time `repeat`
+        // compiles and reduce to one row.  `suffix` labels the
+        // scalar-pinned second phase of simdPairedCompile.
+        auto compileShard = [&ex, &bc,
+                             &opt](std::uint64_t shard,
+                                   const std::string &suffix) {
+            const BatchJob &bj = ex.jobs[shard];
+            const SweepRow &meta = ex.rows[shard];
+            BenchRow b;
+            b.benchmark = meta.benchmark;
+            b.device = meta.device;
+            b.gateset = meta.gateset;
+            b.backend = meta.backend + suffix;
+            b.nqubits = meta.nqubits;
+            b.instance = meta.instance;
             for (int w = 0; w < opt.warmup; ++w)
-                bc.run(ex.jobs);
-
-            size_t njobs = ex.jobs.size();
-            std::vector<std::vector<double>> seconds(njobs),
-                mapping(njobs), routing(njobs), scheduling(njobs);
-            std::vector<std::string> errors(njobs);
+                compileJobDirect(bj, bc);
+            std::vector<double> secs, mapping, routing, scheduling;
             // Compiled-circuit quality (identical across repeats;
             // the clock is the only thing that varies).
-            std::vector<CompilationMetrics> quality(njobs);
-            std::vector<bool> haveQuality(njobs, false);
+            CompilationMetrics quality;
+            bool haveQuality = false;
             for (int r = 0; r < opt.repeat; ++r) {
-                std::vector<BatchJobResult> results =
-                    bc.run(ex.jobs);
-                for (size_t i = 0; i < njobs; ++i) {
-                    if (!results[i].ok()) {
-                        errors[i] = results[i].error;
-                        continue;
-                    }
-                    seconds[i].push_back(results[i].seconds);
-                    mapping[i].push_back(
-                        results[i].result.mappingSeconds);
-                    routing[i].push_back(
-                        results[i].result.routingSeconds);
-                    scheduling[i].push_back(
-                        results[i].result.schedulingSeconds);
-                    quality[i] = results[i].metrics;
-                    haveQuality[i] = true;
+                BatchJobResult res = compileJobDirect(bj, bc);
+                if (!res.ok()) {
+                    b.error = res.error;
+                    continue;
                 }
+                secs.push_back(res.seconds);
+                mapping.push_back(res.result.mappingSeconds);
+                routing.push_back(res.result.routingSeconds);
+                scheduling.push_back(
+                    res.result.schedulingSeconds);
+                quality = res.metrics;
+                haveQuality = true;
             }
-
-            for (size_t i = 0; i < njobs; ++i) {
+            if (b.ok() && !secs.empty()) {
+                b.medianSeconds = medianOf(secs);
+                b.minSeconds =
+                    *std::min_element(secs.begin(), secs.end());
+                b.maxSeconds =
+                    *std::max_element(secs.begin(), secs.end());
+                b.mappingSeconds = medianOf(mapping);
+                b.routingSeconds = medianOf(routing);
+                b.schedulingSeconds = medianOf(scheduling);
+            }
+            if (b.ok() && haveQuality) {
+                b.swaps = quality.swaps;
+                b.depth2q = quality.depth2q;
+            }
+            return b;
+        };
+        auto metaOf = [&ex](const std::string &suffix) {
+            return [&ex, suffix](std::uint64_t shard) {
+                const SweepRow &meta = ex.rows[shard];
                 BenchRow b;
-                const SweepRow &meta = ex.rows[i];
                 b.benchmark = meta.benchmark;
                 b.device = meta.device;
                 b.gateset = meta.gateset;
                 b.backend = meta.backend + suffix;
                 b.nqubits = meta.nqubits;
                 b.instance = meta.instance;
-                b.error = errors[i];
-                if (b.ok() && !seconds[i].empty()) {
-                    b.medianSeconds = medianOf(seconds[i]);
-                    b.minSeconds = *std::min_element(
-                        seconds[i].begin(), seconds[i].end());
-                    b.maxSeconds = *std::max_element(
-                        seconds[i].begin(), seconds[i].end());
-                    b.mappingSeconds = medianOf(mapping[i]);
-                    b.routingSeconds = medianOf(routing[i]);
-                    b.schedulingSeconds = medianOf(scheduling[i]);
-                }
-                if (b.ok() && haveQuality[i]) {
-                    b.swaps = quality[i].swaps;
-                    b.depth2q = quality[i].depth2q;
-                }
-                rows.push_back(std::move(b));
-            }
+                return b;
+            };
         };
 
-        benchCompileGrid("");
+        bool go = runPhase(
+            ex.jobs.size(),
+            [&compileShard](std::uint64_t shard, int) {
+                if (robust::faultPoint("sweep.shard"))
+                    throw std::runtime_error(
+                        "injected fault: sweep.shard");
+                return benchRowJson(compileShard(shard, ""));
+            },
+            "", " phase=compile", base.workers, metaOf(""));
+        if (!go)
+            return out;
+
         if (spec.simdPairedCompile) {
+            // The scalar pin is process-global, so this phase must
+            // not interleave with dispatched compiles.
             simd::ScopedForceIsa force(simd::Isa::Scalar);
-            benchCompileGrid("-scalar");
+            if (!runPhase(
+                    ex.jobs.size(),
+                    [&compileShard](std::uint64_t shard, int) {
+                        if (robust::faultPoint("sweep.shard"))
+                            throw std::runtime_error(
+                                "injected fault: sweep.shard");
+                        return benchRowJson(
+                            compileShard(shard, "-scalar"));
+                    },
+                    ".scalar", " phase=scalar", base.workers,
+                    metaOf("-scalar")))
+                return out;
         }
     }
 
-    // Simulation-throughput rows.  The engine runs with the batch's
-    // worker count; every value it produces is identical for any
-    // jobs, only the wall time moves.
-    using Clock = std::chrono::steady_clock;
-    const int jobs = std::max(1, bc.options().jobs);
-    for (const SimBenchCase &c : spec.simCases) {
-        BenchRow b;
-        b.benchmark = c.label;
-        b.device = "simulator";
-        b.gateset = "exact";
-        b.backend = c.reference
-                        ? "reference"
-                        : (c.forceScalar ? "engine-scalar"
-                                         : "engine");
-        b.nqubits = c.n;
-        b.instance = c.instance;
-        std::vector<double> secs;
-        try {
-            // Workload and engine are built once: the timed window
-            // covers only the simulation (state allocation, gates,
-            // reduction), not graph/circuit generation or
-            // thread-pool spawn.
-            const SimWorkload w = prepareSimCase(c, spec.seed);
-            std::unique_ptr<simd::ScopedForceIsa> force;
-            if (c.forceScalar)
-                force.reset(
-                    new simd::ScopedForceIsa(simd::Isa::Scalar));
-            std::unique_ptr<sim::Engine> eng;
-            if (!c.reference)
-                eng.reset(new sim::Engine(jobs));
-            for (int i = 0; i < opt.warmup; ++i)
-                runPreparedSimCase(w, c, eng.get());
-            for (int r = 0; r < opt.repeat; ++r) {
-                auto t0 = Clock::now();
-                runPreparedSimCase(w, c, eng.get());
-                secs.push_back(std::chrono::duration<double>(
-                                   Clock::now() - t0)
-                                   .count());
+    // Simulation-throughput phase, sequential (workers = 1) so the
+    // timed windows never contend: the engine already runs with the
+    // batch's worker count inside one shard.
+    if (!spec.simCases.empty()) {
+        using Clock = std::chrono::steady_clock;
+        const int jobs = std::max(1, bc.options().jobs);
+        auto simShard = [&spec, &opt, jobs](std::uint64_t shard) {
+            const SimBenchCase &c = spec.simCases[shard];
+            BenchRow b = simBenchMeta(c);
+            std::vector<double> secs;
+            try {
+                // Workload and engine are built once: the timed
+                // window covers only the simulation (state
+                // allocation, gates, reduction), not graph/circuit
+                // generation or thread-pool spawn.
+                const SimWorkload w = prepareSimCase(c, spec.seed);
+                std::unique_ptr<simd::ScopedForceIsa> force;
+                if (c.forceScalar)
+                    force.reset(new simd::ScopedForceIsa(
+                        simd::Isa::Scalar));
+                std::unique_ptr<sim::Engine> eng;
+                if (!c.reference)
+                    eng.reset(new sim::Engine(jobs));
+                for (int i = 0; i < opt.warmup; ++i)
+                    runPreparedSimCase(w, c, eng.get());
+                for (int r = 0; r < opt.repeat; ++r) {
+                    auto t0 = Clock::now();
+                    runPreparedSimCase(w, c, eng.get());
+                    secs.push_back(std::chrono::duration<double>(
+                                       Clock::now() - t0)
+                                       .count());
+                }
+            } catch (const std::exception &e) {
+                b.error = e.what();
             }
-        } catch (const std::exception &e) {
-            b.error = e.what();
-        }
-        if (b.ok() && !secs.empty()) {
-            b.medianSeconds = medianOf(secs);
-            b.minSeconds =
-                *std::min_element(secs.begin(), secs.end());
-            b.maxSeconds =
-                *std::max_element(secs.begin(), secs.end());
-        }
-        rows.push_back(std::move(b));
+            if (b.ok() && !secs.empty()) {
+                b.medianSeconds = medianOf(secs);
+                b.minSeconds =
+                    *std::min_element(secs.begin(), secs.end());
+                b.maxSeconds =
+                    *std::max_element(secs.begin(), secs.end());
+            }
+            return b;
+        };
+        runPhase(
+            spec.simCases.size(),
+            [&simShard](std::uint64_t shard, int) {
+                if (robust::faultPoint("sweep.shard"))
+                    throw std::runtime_error(
+                        "injected fault: sweep.shard");
+                return benchRowJson(simShard(shard));
+            },
+            ".sim", " phase=sim", 1,
+            [&spec](std::uint64_t shard) {
+                return simBenchMeta(spec.simCases[shard]);
+            });
     }
-    return rows;
+    return out;
+}
+
+std::vector<BenchRow>
+runBench(const SweepSpec &spec, const BatchCompiler &bc,
+         const BenchOptions &opt)
+{
+    robust::CampaignOptions co;
+    co.workers = bc.options().jobs;
+    return runBenchCampaign(spec, bc, opt, co).rows;
 }
 
 std::string
@@ -1143,33 +1387,37 @@ benchJson(const std::string &experiment, const BenchOptions &opt,
        // lines, so older readers are unaffected.
        << ",\"simd\":\"" << simd::activeIsaName()
        << "\",\"rows\":[\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const BenchRow &b = rows[i];
-        char nums[256];
-        std::snprintf(nums, sizeof(nums),
-                      "\"median_seconds\":%.9f,\"min_seconds\":%.9f,"
-                      "\"max_seconds\":%.9f,"
-                      "\"mapping_seconds\":%.9f,"
-                      "\"routing_seconds\":%.9f,"
-                      "\"scheduling_seconds\":%.9f",
-                      b.medianSeconds, b.minSeconds, b.maxSeconds,
-                      b.mappingSeconds, b.routingSeconds,
-                      b.schedulingSeconds);
-        os << "{\"benchmark\":\"" << b.benchmark
-           << "\",\"device\":\"" << b.device << "\",\"gateset\":\""
-           << b.gateset << "\",\"compiler\":\""
-           << jsonEscaped(b.backend)
-           << "\",\"nqubits\":" << b.nqubits
-           << ",\"instance\":" << b.instance << "," << nums
-           // Quality of the compiled circuit (-1 for sim rows);
-           // parseBenchJson() treats both as optional, so bench
-           // files written before these fields still parse.
-           << ",\"swaps\":" << b.swaps
-           << ",\"depth2q\":" << b.depth2q
-           << ",\"error\":\"" << jsonEscaped(b.error) << "\"}"
+    for (size_t i = 0; i < rows.size(); ++i)
+        os << benchRowJson(rows[i])
            << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
     os << "]}\n";
+    return os.str();
+}
+
+std::string
+benchRowJson(const BenchRow &b)
+{
+    std::ostringstream os;
+    char nums[256];
+    std::snprintf(nums, sizeof(nums),
+                  "\"median_seconds\":%.9f,\"min_seconds\":%.9f,"
+                  "\"max_seconds\":%.9f,"
+                  "\"mapping_seconds\":%.9f,"
+                  "\"routing_seconds\":%.9f,"
+                  "\"scheduling_seconds\":%.9f",
+                  b.medianSeconds, b.minSeconds, b.maxSeconds,
+                  b.mappingSeconds, b.routingSeconds,
+                  b.schedulingSeconds);
+    os << "{\"benchmark\":\"" << b.benchmark << "\",\"device\":\""
+       << b.device << "\",\"gateset\":\"" << b.gateset
+       << "\",\"compiler\":\"" << jsonEscaped(b.backend)
+       << "\",\"nqubits\":" << b.nqubits
+       << ",\"instance\":" << b.instance << "," << nums
+       // Quality of the compiled circuit (-1 for sim rows);
+       // parseBenchJson() treats both as optional, so bench
+       // files written before these fields still parse.
+       << ",\"swaps\":" << b.swaps << ",\"depth2q\":" << b.depth2q
+       << ",\"error\":\"" << jsonEscaped(b.error) << "\"}";
     return os.str();
 }
 
@@ -1266,7 +1514,111 @@ benchDoubleField(int lineno, const std::string &key,
     return v;
 }
 
+BenchRow
+parseBenchLine(int lineno, const std::string &line)
+{
+    BenchRow b;
+    b.benchmark = jsonFieldOf(line, "benchmark");
+    b.device = jsonFieldOf(line, "device");
+    b.gateset = jsonFieldOf(line, "gateset");
+    b.backend = jsonFieldOf(line, "compiler");
+    std::string nq = jsonFieldOf(line, "nqubits");
+    std::string inst = jsonFieldOf(line, "instance");
+    std::string med = jsonFieldOf(line, "median_seconds");
+    if (b.benchmark.empty() || b.device.empty() ||
+        b.backend.empty() || nq.empty() || inst.empty() ||
+        med.empty())
+        throw std::invalid_argument(
+            "bench json line " + std::to_string(lineno) +
+            ": missing fields in '" + line + "'");
+    b.nqubits = benchIntField(lineno, "nqubits", nq, 1);
+    b.instance = benchIntField(lineno, "instance", inst, 0);
+    b.medianSeconds =
+        benchDoubleField(lineno, "median_seconds", med);
+    std::string s;
+    if (!(s = jsonFieldOf(line, "min_seconds")).empty())
+        b.minSeconds = benchDoubleField(lineno, "min_seconds", s);
+    if (!(s = jsonFieldOf(line, "max_seconds")).empty())
+        b.maxSeconds = benchDoubleField(lineno, "max_seconds", s);
+    if (!(s = jsonFieldOf(line, "mapping_seconds")).empty())
+        b.mappingSeconds =
+            benchDoubleField(lineno, "mapping_seconds", s);
+    if (!(s = jsonFieldOf(line, "routing_seconds")).empty())
+        b.routingSeconds =
+            benchDoubleField(lineno, "routing_seconds", s);
+    if (!(s = jsonFieldOf(line, "scheduling_seconds")).empty())
+        b.schedulingSeconds =
+            benchDoubleField(lineno, "scheduling_seconds", s);
+    // Optional quality fields (absent in bench files written
+    // before PR 8; -1 = not applicable).
+    if (!(s = jsonFieldOf(line, "swaps")).empty())
+        b.swaps = benchIntField(lineno, "swaps", s, -1);
+    if (!(s = jsonFieldOf(line, "depth2q")).empty())
+        b.depth2q = benchIntField(lineno, "depth2q", s, -1);
+    b.error = jsonFieldOf(line, "error");
+    return b;
+}
+
 } // namespace
+
+BenchRow
+benchRowFromJson(const std::string &line)
+{
+    return parseBenchLine(0, line);
+}
+
+SweepRow
+sweepRowFromJson(const std::string &line)
+{
+    SweepRow r;
+    r.experiment = jsonFieldOf(line, "experiment");
+    r.benchmark = jsonFieldOf(line, "benchmark");
+    r.device = jsonFieldOf(line, "device");
+    r.gateset = jsonFieldOf(line, "gateset");
+    r.backend = jsonFieldOf(line, "compiler");
+    std::string nq = jsonFieldOf(line, "nqubits");
+    std::string inst = jsonFieldOf(line, "instance");
+    if (r.benchmark.empty() || r.device.empty() ||
+        r.backend.empty() || nq.empty() || inst.empty())
+        throw std::invalid_argument(
+            "sweep row json: missing fields in '" + line + "'");
+    r.nqubits = benchIntField(0, "nqubits", nq, 1);
+    r.instance = benchIntField(0, "instance", inst, 0);
+    // Metric fields are emitted unconditionally by toJson(); treat
+    // each as required and parse strictly (stoi junk tolerance would
+    // let a corrupt payload skew golden CSVs silently).
+    auto intField = [&line](const char *key) {
+        std::string tok = jsonFieldOf(line, key);
+        if (tok.empty())
+            throw std::invalid_argument(
+                "sweep row json: missing field \"" +
+                std::string(key) + "\" in '" + line + "'");
+        return benchIntField(0, key, tok,
+                             std::numeric_limits<int>::min());
+    };
+    auto secondsField = [&line](const char *key) {
+        std::string tok = jsonFieldOf(line, key);
+        if (tok.empty())
+            throw std::invalid_argument(
+                "sweep row json: missing field \"" +
+                std::string(key) + "\" in '" + line + "'");
+        return benchDoubleField(0, key, tok);
+    };
+    r.metrics.swaps = intField("swaps");
+    r.metrics.dressed = intField("dressed");
+    r.metrics.native2q = intField("native2q");
+    r.metrics.depth2q = intField("depth2q");
+    r.metrics.depthAll = intField("depthall");
+    r.metrics.native2qNoMap = intField("native2q_nomap");
+    r.metrics.depth2qNoMap = intField("depth2q_nomap");
+    r.metrics.depthAllNoMap = intField("depthall_nomap");
+    r.seconds = secondsField("seconds");
+    r.mappingSeconds = secondsField("mapping_seconds");
+    r.routingSeconds = secondsField("routing_seconds");
+    r.schedulingSeconds = secondsField("scheduling_seconds");
+    r.error = jsonFieldOf(line, "error");
+    return r;
+}
 
 std::vector<BenchRow>
 parseBenchJson(std::istream &in)
@@ -1278,46 +1630,7 @@ parseBenchJson(std::istream &in)
         ++lineno;
         if (line.find("\"median_seconds\"") == std::string::npos)
             continue;  // header / footer lines
-        BenchRow b;
-        b.benchmark = jsonFieldOf(line, "benchmark");
-        b.device = jsonFieldOf(line, "device");
-        b.gateset = jsonFieldOf(line, "gateset");
-        b.backend = jsonFieldOf(line, "compiler");
-        std::string nq = jsonFieldOf(line, "nqubits");
-        std::string inst = jsonFieldOf(line, "instance");
-        std::string med = jsonFieldOf(line, "median_seconds");
-        if (b.benchmark.empty() || b.device.empty() ||
-            b.backend.empty() || nq.empty() || inst.empty() ||
-            med.empty())
-            throw std::invalid_argument(
-                "bench json line " + std::to_string(lineno) +
-                ": missing fields in '" + line + "'");
-        b.nqubits = benchIntField(lineno, "nqubits", nq, 1);
-        b.instance = benchIntField(lineno, "instance", inst, 0);
-        b.medianSeconds =
-            benchDoubleField(lineno, "median_seconds", med);
-        std::string s;
-        if (!(s = jsonFieldOf(line, "min_seconds")).empty())
-            b.minSeconds = benchDoubleField(lineno, "min_seconds", s);
-        if (!(s = jsonFieldOf(line, "max_seconds")).empty())
-            b.maxSeconds = benchDoubleField(lineno, "max_seconds", s);
-        if (!(s = jsonFieldOf(line, "mapping_seconds")).empty())
-            b.mappingSeconds =
-                benchDoubleField(lineno, "mapping_seconds", s);
-        if (!(s = jsonFieldOf(line, "routing_seconds")).empty())
-            b.routingSeconds =
-                benchDoubleField(lineno, "routing_seconds", s);
-        if (!(s = jsonFieldOf(line, "scheduling_seconds")).empty())
-            b.schedulingSeconds =
-                benchDoubleField(lineno, "scheduling_seconds", s);
-        // Optional quality fields (absent in bench files written
-        // before PR 8; -1 = not applicable).
-        if (!(s = jsonFieldOf(line, "swaps")).empty())
-            b.swaps = benchIntField(lineno, "swaps", s, -1);
-        if (!(s = jsonFieldOf(line, "depth2q")).empty())
-            b.depth2q = benchIntField(lineno, "depth2q", s, -1);
-        b.error = jsonFieldOf(line, "error");
-        rows.push_back(std::move(b));
+        rows.push_back(parseBenchLine(lineno, line));
     }
     return rows;
 }

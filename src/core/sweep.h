@@ -32,6 +32,7 @@
 
 #include "core/batch.h"
 #include "ham/hamiltonian.h"
+#include "robust/runner.h"
 
 namespace tqan {
 namespace core {
@@ -242,7 +243,43 @@ struct ExpandedSweep
  *         empty grid. */
 ExpandedSweep expandSweep(const SweepSpec &spec);
 
-/** Expand, run on `bc`, and score: one row per job, in grid order. */
+/** Campaign supervision tallies shared by the sweep and bench
+ * campaign entry points (see robust/runner.h for the semantics). */
+struct CampaignTallies
+{
+    std::uint64_t restored = 0;
+    std::uint64_t retried = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t skipped = 0;
+    /** Stopped early (signal or stopAfter); resume to finish. */
+    bool interrupted = false;
+};
+
+/** runSweepCampaign() result: rows in grid order.  A quarantined or
+ * skipped shard still yields its row, with a non-empty `error`. */
+struct SweepCampaignOutcome
+{
+    std::vector<SweepRow> rows;
+    CampaignTallies tallies;
+};
+
+/**
+ * Expand and run the grid as a supervised robust::CampaignRunner
+ * campaign — one shard per row, each compiled directly on its worker
+ * (thread or forked process) and journaled to `opt.checkpoint`, so a
+ * killed sweep resumes with opt.resume to byte-identical rows.  Rows
+ * always round-trip through their journal payload (toJson ->
+ * sweepRowFromJson), fresh or restored, which is what makes the two
+ * paths indistinguishable.  `opt.workers <= 0` takes the batch's
+ * `jobs`; `opt.configTag` is derived from the spec.
+ */
+SweepCampaignOutcome
+runSweepCampaign(const SweepSpec &spec, const BatchCompiler &bc,
+                 const robust::CampaignOptions &opt);
+
+/** Expand, run on `bc`, and score: one row per job, in grid order.
+ * Equivalent to an unsupervised runSweepCampaign() (no journal, no
+ * deadline) with the batch's worker count. */
 std::vector<SweepRow> runSweep(const SweepSpec &spec,
                                const BatchCompiler &bc);
 
@@ -254,6 +291,9 @@ std::string sweepCsvHeader();
 std::string toCsv(const SweepRow &row);
 /** One JSON object (JSONL style), including `seconds` and `error`. */
 std::string toJson(const SweepRow &row);
+/** Strict inverse of toJson() — the sweep campaign's shard payload
+ * codec.  @throws std::invalid_argument on malformed lines. */
+SweepRow sweepRowFromJson(const std::string &line);
 /** @} */
 
 /** @name Table I/II style aggregation. @{ */
@@ -331,12 +371,37 @@ struct BenchRow
     std::string key() const;
 };
 
+/** runBenchCampaign() result: compile rows (then "-scalar" rows for
+ * simdPairedCompile, then sim rows), quarantined/skipped rows with a
+ * non-empty `error`. */
+struct BenchCampaignOutcome
+{
+    std::vector<BenchRow> rows;
+    CampaignTallies tallies;
+};
+
 /**
- * Expand the spec once, run the whole grid `warmup` un-timed +
- * `repeat` timed times on `bc`, and reduce each job's wall times to
- * a BenchRow (medians are per job, so a slow outlier run cannot
- * shift every row).  Compilation results are bit-identical across
- * repeats; only the clock varies.
+ * The benchmark grid as a supervised campaign: one shard per job,
+ * each shard warming up and timing its own job `warmup` + `repeat`
+ * times.  simdPairedCompile and simCases run as follow-on campaigns
+ * (the scalar pin and the sim engine are process-global, so the
+ * phases must not interleave) journaling to `campaign.checkpoint` +
+ * ".scalar" / ".sim"; an interrupted phase skips the later ones.  A
+ * resumed bench replays journaled timings verbatim rather than
+ * re-measuring.  `campaign.workers <= 0` takes the batch's `jobs`.
+ */
+BenchCampaignOutcome
+runBenchCampaign(const SweepSpec &spec, const BatchCompiler &bc,
+                 const BenchOptions &opt,
+                 const robust::CampaignOptions &campaign);
+
+/**
+ * Expand the spec once, time every job `warmup` un-timed + `repeat`
+ * timed repeats on `bc`, and reduce each job's wall times to a
+ * BenchRow (medians are per job, so a slow outlier run cannot shift
+ * every row).  Compilation results are bit-identical across repeats;
+ * only the clock varies.  Equivalent to an unsupervised
+ * runBenchCampaign().
  */
 std::vector<BenchRow> runBench(const SweepSpec &spec,
                                const BatchCompiler &bc,
@@ -350,6 +415,13 @@ std::vector<BenchRow> runBench(const SweepSpec &spec,
 std::string benchJson(const std::string &experiment,
                       const BenchOptions &opt, int jobs,
                       const std::vector<BenchRow> &rows);
+
+/** One benchJson() row object (no trailing comma/newline) — also the
+ * bench campaign's shard payload codec. */
+std::string benchRowJson(const BenchRow &row);
+/** Strict inverse of benchRowJson().
+ * @throws std::invalid_argument on malformed lines. */
+BenchRow benchRowFromJson(const std::string &line);
 
 /**
  * Read the rows back out of a benchJson() document (a minimal

@@ -1,0 +1,135 @@
+#include "robust/io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "core/profile.h"
+#include "robust/fault.h"
+
+namespace tqan {
+namespace robust {
+
+namespace {
+
+std::atomic<std::uint64_t> gIoRetries{0};
+
+void
+noteRetry()
+{
+    gIoRetries.fetch_add(1, std::memory_order_relaxed);
+    core::profile::count("robust.io.retry");
+}
+
+/** One full read of `path`; returns 0 on success, ENOENT when the
+ * file does not exist, any other errno on a (possibly transient)
+ * failure. */
+int
+readOnce(const std::string &path, std::string *out)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    while (fd < 0 && errno == EINTR)
+        fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return errno;
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n == 0)
+            break;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            int err = errno;
+            ::close(fd);
+            return err;
+        }
+        out->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return 0;
+}
+
+} // namespace
+
+std::uint64_t
+ioRetries()
+{
+    return gIoRetries.load(std::memory_order_relaxed);
+}
+
+bool
+readFileRetry(const std::string &path, std::string *out,
+              const char *faultSite, std::uint64_t *retries)
+{
+    int lastErr = 0;
+    for (int attempt = 0; attempt < kIoRetryLimit; ++attempt) {
+        if (attempt > 0) {
+            noteRetry();
+            if (retries)
+                ++*retries;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 << (attempt - 1)));
+        }
+        if (faultSite && faultPoint(faultSite)) {
+            // Injected transient failure: behave exactly like a
+            // flaky read so the backoff loop is what gets tested.
+            lastErr = EIO;
+            continue;
+        }
+        int err = readOnce(path, out);
+        if (err == 0)
+            return true;
+        if (err == ENOENT)
+            return false;
+        lastErr = err;
+    }
+    throw std::runtime_error("read " + path + " failed after " +
+                             std::to_string(kIoRetryLimit) +
+                             " attempts: " +
+                             std::strerror(lastErr));
+}
+
+void
+writeAll(int fd, const char *data, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR || errno == EAGAIN) {
+                noteRetry();
+                continue;
+            }
+            throw std::runtime_error(
+                std::string("write failed: ") +
+                std::strerror(errno));
+        }
+        done += static_cast<std::size_t>(w);
+    }
+}
+
+void
+fsyncRetry(int fd)
+{
+    while (::fsync(fd) != 0) {
+        if (errno == EINTR) {
+            noteRetry();
+            continue;
+        }
+        // A failed fsync means the acknowledged-durable contract is
+        // broken; surface it, never swallow it.
+        throw std::runtime_error(std::string("fsync failed: ") +
+                                 std::strerror(errno));
+    }
+}
+
+} // namespace robust
+} // namespace tqan

@@ -25,14 +25,25 @@
  * either: lookup compares the stored request bytes, not just the
  * key.
  *
- * Thread-safe: one mutex guards the map and the append stream.
+ * Durability: an append is written (write-all, EINTR-safe) and
+ * fsynced before insert() returns, so an acknowledged entry survives
+ * SIGKILL.  Loads ride the retrying reader in robust/io.h (EINTR /
+ * short-read / transient-error loops, counted in LoadInfo.retries).
+ * A failed append degrades to in-memory-only for that entry — the
+ * cache keeps serving; the torn tail is dropped on the next open.
+ *
+ * Fault probes: cache.open (transient load failure, retried),
+ * cache.append (fail = torn half-written entry), cache.lookup
+ * (fail = forced miss; the entry recompiles and re-inserts
+ * identically).
+ *
+ * Thread-safe: one mutex guards the map and the append fd.
  */
 
 #ifndef TQAN_SERVICE_CACHE_H
 #define TQAN_SERVICE_CACHE_H
 
 #include <cstdint>
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -54,12 +65,18 @@ class CompileCache
         /** True when the header was missing/foreign and the store
          * was rebuilt empty. */
         bool rebuilt = false;
+        /** Transient-read retries the load performed. */
+        std::uint64_t retries = 0;
     };
 
     /** Empty path = in-memory only.  Opening loads the verified
      * prefix of an existing store, truncates any corrupt tail, and
      * leaves the file ready for appends. */
     explicit CompileCache(std::string path = "");
+
+    ~CompileCache();
+    CompileCache(const CompileCache &) = delete;
+    CompileCache &operator=(const CompileCache &) = delete;
 
     /** Payload for `key`, but only if the stored request bytes equal
      * `request` (content addressing, not trust-the-hash). */
@@ -96,7 +113,7 @@ class CompileCache
     mutable std::mutex mu_;
     std::string path_;
     std::unordered_map<std::uint64_t, Entry> map_;
-    std::ofstream out_;
+    int fd_ = -1;  ///< append fd; -1 = in-memory only
     LoadInfo load_;
 };
 

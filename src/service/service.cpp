@@ -15,6 +15,8 @@
 #include "core/hash.h"
 #include "core/profile.h"
 #include "core/router_registry.h"
+#include "robust/fault.h"
+#include "robust/io.h"
 #include "decomp/pass.h"
 #include "device/noise_map.h"
 #include "ham/parser.h"
@@ -477,6 +479,7 @@ CompileService::statsResponse(const std::string &id) const
     u64("expired", s.expired);
     u64("queue_depth", s.queueDepth);
     u64("cache_entries", s.cacheEntries);
+    u64("io_retries", s.ioRetries);
     std::snprintf(num, sizeof(num), "%.3f", s.p50Ms);
     out += std::string(",\"p50_ms\":") + num;
     std::snprintf(num, sizeof(num), "%.3f", s.p99Ms);
@@ -517,6 +520,7 @@ CompileService::stats() const
         lat = latMs_;
     }
     s.cacheEntries = cache_.size();
+    s.ioRetries = robust::ioRetries();
     if (!lat.empty()) {
         std::sort(lat.begin(), lat.end());
         auto pct = [&](double p) {
@@ -548,6 +552,9 @@ CompileService::handleLine(const std::string &line)
                 std::to_string(kMaxLineBytes) + " bytes");
         JsonObject obj = parseJsonObject(line);
         id = stringField(obj, "id", "");
+        if (robust::faultPoint("service.reader"))
+            throw std::runtime_error(
+                "injected fault: service.reader");
         std::string type = stringField(obj, "type", "");
         if (type == "stats")
             return statsResponse(id);
@@ -660,6 +667,28 @@ CompileService::serve(std::istream &in, std::ostream &out)
                 toCompile.push_back(&item);
             }
             if (!toCompile.empty()) {
+                // An injected dispatch fault costs this batch (each
+                // item answers with an error), not the dispatcher
+                // thread — the daemon keeps serving.
+                bool dropped = false;
+                std::string why;
+                try {
+                    if (robust::faultPoint("service.dispatch")) {
+                        dropped = true;
+                        why = "injected fault: service.dispatch";
+                    }
+                } catch (const std::exception &e) {
+                    dropped = true;
+                    why = e.what();
+                }
+                if (dropped) {
+                    for (PendingItem *item : toCompile)
+                        complete(item->slot,
+                                 errorResponse(item->prep->req.id,
+                                               "error", why));
+                    lock.lock();
+                    continue;
+                }
                 std::vector<core::BatchJob> jobs;
                 jobs.reserve(toCompile.size());
                 for (PendingItem *item : toCompile)
@@ -703,6 +732,17 @@ CompileService::serve(std::istream &in, std::ostream &out)
                     std::move(order.front()->response);
                 order.pop_front();
                 lock.unlock();
+                // A writer fault is a transient stream hiccup:
+                // absorbed here (counted, response still written)
+                // so an in-order reply is never dropped.
+                bool hiccup = false;
+                try {
+                    hiccup = robust::faultPoint("service.writer");
+                } catch (const std::exception &) {
+                    hiccup = true;
+                }
+                if (hiccup)
+                    core::profile::count("service.writer.retry");
                 out << resp << '\n';
                 out.flush();
                 lock.lock();
@@ -736,6 +776,11 @@ CompileService::serve(std::istream &in, std::ostream &out)
                     std::to_string(kMaxLineBytes) + " bytes");
             JsonObject obj = parseJsonObject(line);
             id = stringField(obj, "id", "");
+            // An injected reader fault costs exactly this request
+            // (it becomes an error response), never the loop.
+            if (robust::faultPoint("service.reader"))
+                throw std::runtime_error(
+                    "injected fault: service.reader");
             std::string type = stringField(obj, "type", "");
             if (type == "stats") {
                 immediate = statsResponse(id);

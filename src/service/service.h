@@ -101,6 +101,9 @@ struct ServiceStats
     std::uint64_t expired = 0;   ///< deadline passed while queued
     std::size_t queueDepth = 0;  ///< pending compiles right now
     std::size_t cacheEntries = 0;
+    /** Process-wide transient-I/O retries (robust::ioRetries():
+     * cache/checkpoint loads riding the retrying reader). */
+    std::uint64_t ioRetries = 0;
     double p50Ms = 0.0;  ///< over completed compile requests
     double p99Ms = 0.0;
 

@@ -1,12 +1,14 @@
 #include "verify/fuzz.h"
 
 #include <functional>
+#include <iterator>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/backend.h"
-#include "core/batch.h"
 #include "core/hash.h"
 #include "ham/trotter.h"
+#include "robust/fault.h"
 #include "verify/mutate.h"
 #include "verify/reference.h"
 
@@ -136,7 +138,8 @@ madeFailure(const Scenario &s, const std::string &backend,
     return f;
 }
 
-/** Per-scenario work item result, filled by the pool tasks. */
+/** Per-scenario work item result — the unit one campaign shard
+ * computes, serializes, and journals. */
 struct CaseResult
 {
     std::vector<FuzzFailure> failures;
@@ -144,6 +147,189 @@ struct CaseResult
     int mutTried = 0;
     int mutDetected = 0;
 };
+
+/**
+ * Shard payload codec.  The summary is rebuilt from payloads alone
+ * (never from in-memory results), so a resumed campaign — which
+ * replays journaled payloads verbatim — aggregates byte-identically
+ * to an uninterrupted one.  Versioned, length-prefixed, all integers
+ * little-endian.
+ */
+constexpr char kPayloadMagic[] = "FZS1";
+
+void
+putU32(std::string &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+putU64(std::string &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+putStr(std::string &buf, const std::string &s)
+{
+    putU32(buf, static_cast<std::uint32_t>(s.size()));
+    buf += s;
+}
+
+struct PayloadReader
+{
+    const std::string &buf;
+    std::size_t at = 0;
+
+    void need(std::size_t n) const
+    {
+        if (at + n > buf.size())
+            throw std::runtime_error("fuzz shard payload truncated");
+    }
+    std::uint32_t u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) |
+                static_cast<unsigned char>(buf[at + i]);
+        at += 4;
+        return v;
+    }
+    std::uint64_t u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) |
+                static_cast<unsigned char>(buf[at + i]);
+        at += 8;
+        return v;
+    }
+    std::string str()
+    {
+        std::uint32_t n = u32();
+        need(n);
+        std::string s = buf.substr(at, n);
+        at += n;
+        return s;
+    }
+};
+
+std::string
+serializeShard(const CaseResult &r)
+{
+    std::string buf(kPayloadMagic, 4);
+    putU32(buf, static_cast<std::uint32_t>(r.cases));
+    putU32(buf, static_cast<std::uint32_t>(r.mutTried));
+    putU32(buf, static_cast<std::uint32_t>(r.mutDetected));
+    putU32(buf, static_cast<std::uint32_t>(r.failures.size()));
+    for (const auto &f : r.failures) {
+        putStr(buf, f.backend);
+        putStr(buf, f.scenarioName);
+        putU64(buf, f.scenarioSeed);
+        putStr(buf, f.error);
+        putStr(buf, f.reproducer);
+    }
+    return buf;
+}
+
+CaseResult
+parseShard(const std::string &payload)
+{
+    PayloadReader rd{payload};
+    rd.need(4);
+    if (payload.compare(0, 4, kPayloadMagic) != 0)
+        throw std::runtime_error("fuzz shard payload: bad magic");
+    rd.at = 4;
+    CaseResult r;
+    r.cases = static_cast<int>(rd.u32());
+    r.mutTried = static_cast<int>(rd.u32());
+    r.mutDetected = static_cast<int>(rd.u32());
+    std::uint32_t nfail = rd.u32();
+    r.failures.reserve(nfail);
+    for (std::uint32_t i = 0; i < nfail; ++i) {
+        FuzzFailure f;
+        f.backend = rd.str();
+        f.scenarioName = rd.str();
+        f.scenarioSeed = rd.u64();
+        f.error = rd.str();
+        f.reproducer = rd.str();
+        r.failures.push_back(std::move(f));
+    }
+    return r;
+}
+
+/** One fuzz iteration, shared by every execution mode (inline,
+ * threads, forked children).  Pure in (shard, backends, opt). */
+CaseResult
+fuzzShard(std::uint64_t shard,
+          const std::vector<std::string> &backends,
+          const FuzzOptions &opt)
+{
+    CaseResult slot;
+    Scenario s = testgen::randomScenario(
+        opt.seed + static_cast<std::uint64_t>(shard), opt.scenario);
+    for (const auto &b : backends) {
+        if (!backendAccepts(b, s))
+            continue;
+        core::CompileResult res;
+        std::string err = checkCase(s, b, opt, &res);
+        ++slot.cases;
+        if (!err.empty()) {
+            slot.failures.push_back(madeFailure(s, b, err, opt));
+            continue;
+        }
+        if (opt.mutationsPerCase <= 0)
+            continue;
+
+        // Mutation campaign: the checker must reject a corrupted
+        // copy of this verified-clean circuit.
+        UnmappedReference ref = unmapDeviceCircuit(
+            res.sched.deviceCircuit, res.initialLayout(),
+            s.step->numQubits());
+        if (!ref.ok)
+            continue;  // unreachable: the case verified
+        EquivalenceChecker checker(opt.check.equivalence);
+        std::mt19937_64 mrng(s.seed * kGolden + core::fnv1a64(b) +
+                             0xBADC0DEULL);
+        for (int m = 0; m < opt.mutationsPerCase; ++m) {
+            Mutation mut;
+            if (!mutateCircuit(res.sched.deviceCircuit, mrng, &mut))
+                break;  // nothing mutable (e.g. 1q-only)
+            ++slot.mutTried;
+            EquivalenceReport rep =
+                checker.check(ref.logical, mut.circuit,
+                              res.initialLayout(), res.finalLayout());
+            if (!rep.equivalent)
+                ++slot.mutDetected;
+        }
+    }
+    return slot;
+}
+
+/** Campaign identity: resuming a journal written under different
+ * fuzz options would replay shards that no fresh run could produce,
+ * so the tag pins every option that shapes a shard's payload. */
+std::string
+fuzzConfigTag(const FuzzOptions &opt,
+              const std::vector<std::string> &backends)
+{
+    std::ostringstream os;
+    os << "fuzz-v1 iter=" << opt.iterations << " seed=" << opt.seed
+       << " trials=" << opt.mapperTrials
+       << " mut=" << opt.mutationsPerCase
+       << " shrink=" << (opt.shrink ? 1 : 0)
+       << " scen=" << opt.scenario.minQubits << '-'
+       << opt.scenario.maxQubits << '/'
+       << opt.scenario.maxDeviceQubits << '/'
+       << opt.scenario.adversarialFraction << " backends=";
+    for (size_t i = 0; i < backends.size(); ++i)
+        os << (i ? "," : "") << backends[i];
+    return os.str();
+}
 
 } // namespace
 
@@ -172,64 +358,44 @@ runFuzz(const FuzzOptions &opt)
     std::vector<std::string> backends =
         opt.backends.empty() ? core::backendNames() : opt.backends;
 
-    std::vector<CaseResult> results(
-        static_cast<size_t>(opt.iterations));
-    core::ThreadPool pool(opt.jobs);
-    for (int i = 0; i < opt.iterations; ++i) {
-        pool.submit([i, &results, &backends, &opt]() {
-            CaseResult &slot = results[i];
-            Scenario s = testgen::randomScenario(opt.seed + i,
-                                                 opt.scenario);
-            for (const auto &b : backends) {
-                if (!backendAccepts(b, s))
-                    continue;
-                core::CompileResult res;
-                std::string err = checkCase(s, b, opt, &res);
-                ++slot.cases;
-                if (!err.empty()) {
-                    slot.failures.push_back(
-                        madeFailure(s, b, err, opt));
-                    continue;
-                }
-                if (opt.mutationsPerCase <= 0)
-                    continue;
+    robust::CampaignOptions co = opt.campaign;
+    co.workers = opt.jobs;
+    co.configTag = fuzzConfigTag(opt, backends);
 
-                // Mutation campaign: the checker must reject a
-                // corrupted copy of this verified-clean circuit.
-                UnmappedReference ref = unmapDeviceCircuit(
-                    res.sched.deviceCircuit, res.initialLayout(),
-                    s.step->numQubits());
-                if (!ref.ok)
-                    continue;  // unreachable: the case verified
-                EquivalenceChecker checker(opt.check.equivalence);
-                std::mt19937_64 mrng(s.seed * kGolden +
-                                     core::fnv1a64(b) + 0xBADC0DEULL);
-                for (int m = 0; m < opt.mutationsPerCase; ++m) {
-                    Mutation mut;
-                    if (!mutateCircuit(res.sched.deviceCircuit,
-                                       mrng, &mut))
-                        break;  // nothing mutable (e.g. 1q-only)
-                    ++slot.mutTried;
-                    EquivalenceReport rep = checker.check(
-                        ref.logical, mut.circuit,
-                        res.initialLayout(), res.finalLayout());
-                    if (!rep.equivalent)
-                        ++slot.mutDetected;
-                }
-            }
-        });
-    }
-    pool.wait();
+    robust::CampaignResult camp = robust::runCampaign(
+        static_cast<std::uint64_t>(
+            opt.iterations > 0 ? opt.iterations : 0),
+        [&backends, &opt](std::uint64_t shard, int) {
+            if (robust::faultPoint("fuzz.shard"))
+                throw std::runtime_error(
+                    "injected fault: fuzz.shard");
+            return serializeShard(fuzzShard(shard, backends, opt));
+        },
+        co);
 
+    // Aggregate from payloads only, in shard order: a restored shard
+    // contributes the exact bytes its original run journaled, so
+    // resumed == uninterrupted, byte for byte.
     FuzzSummary sum;
     sum.scenarios = opt.iterations;
-    for (const auto &r : results) {
+    for (const auto &payload : camp.payloads) {
+        if (payload.empty())
+            continue; // quarantined or skipped
+        CaseResult r = parseShard(payload);
         sum.cases += r.cases;
         sum.mutationsTried += r.mutTried;
         sum.mutationsDetected += r.mutDetected;
-        sum.failures.insert(sum.failures.end(), r.failures.begin(),
-                            r.failures.end());
+        sum.failures.insert(sum.failures.end(),
+                            std::make_move_iterator(
+                                r.failures.begin()),
+                            std::make_move_iterator(
+                                r.failures.end()));
     }
+    sum.restoredShards = camp.restored;
+    sum.retriedShards = camp.retried;
+    sum.quarantinedShards = camp.quarantined;
+    sum.skippedShards = camp.skipped;
+    sum.interrupted = camp.interrupted;
     return sum;
 }
 

@@ -17,10 +17,13 @@
  * failure alive) and serialized in the testgen reproducer format;
  * replayScenario() re-runs one.
  *
- * Parallelism reuses core/batch.h's ThreadPool: one task per
- * scenario, every task's randomness derived from its own seed, so
+ * The loop runs as a robust::CampaignRunner campaign: one shard per
+ * scenario, every shard's randomness derived from its own seed, so
  * results are identical for any `jobs` value — the repo-wide
- * determinism contract.
+ * determinism contract.  Shards survive worker crashes (bounded
+ * retries, then quarantine), can run in forked worker processes, and
+ * journal to a checkpoint so an interrupted campaign resumes with
+ * `--resume` to a byte-identical summary.
  *
  * The mutation campaign (mutationsPerCase > 0) closes the loop on
  * oracle quality: after a case verifies clean, it corrupts one gate
@@ -38,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/runner.h"
 #include "testgen/scenario.h"
 #include "verify/check.h"
 
@@ -64,6 +68,11 @@ struct FuzzOptions
     bool shrink = true;
     /** Mutation-campaign attempts per verified case; 0 = off. */
     int mutationsPerCase = 0;
+    /** Supervision: checkpoint/resume, forked worker processes,
+     * per-shard deadline, retry budget.  `campaign.workers` is
+     * ignored — `jobs` above is the worker count — and
+     * `campaign.configTag` is derived from these options. */
+    robust::CampaignOptions campaign;
 };
 
 /** One verified-failed (scenario, backend) case. */
@@ -86,6 +95,13 @@ struct FuzzSummary
     /** Mutation campaign tallies. */
     int mutationsTried = 0;
     int mutationsDetected = 0;
+    /** Campaign supervision tallies (see robust/runner.h). */
+    std::uint64_t restoredShards = 0;
+    std::uint64_t retriedShards = 0;
+    std::uint64_t quarantinedShards = 0;
+    std::uint64_t skippedShards = 0;
+    /** Stopped early (signal or stopAfter); resume to finish. */
+    bool interrupted = false;
 
     bool ok() const { return failures.empty(); }
     double detectionRate() const

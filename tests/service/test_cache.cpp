@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/hash.h"
+#include "robust/fault.h"
 #include "service/cache.h"
 
 using namespace tqan;
@@ -191,6 +192,81 @@ TEST(CompileCache, WrongKeyForContentIsRejectedOnLoad)
     writeBytes(path, bytes);
     CompileCache c(path);
     EXPECT_EQ(c.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, InjectedPartialAppendIsDroppedAndRecompilesIdentically)
+{
+    std::string path = tempPath("torn_append");
+    std::remove(path.c_str());
+    {
+        CompileCache c(path);
+        put(c, "req-1", "pay-1");
+
+        // Crash mid-append: half of req-2's entry reaches the disk.
+        // insert() degrades gracefully — the entry is still served
+        // from memory this run — and the torn tail must be dropped
+        // on the next open.
+        robust::setFaultPlan(
+            robust::parseFaultPlan("cache.append:1:fail"));
+        put(c, "req-2", "pay-2");
+        robust::clearFaultPlan();
+        std::string pay;
+        ASSERT_TRUE(get(c, "req-2", &pay));
+        EXPECT_EQ(pay, "pay-2");
+    }
+    {
+        CompileCache again(path);
+        EXPECT_EQ(again.size(), 1u);
+        EXPECT_GT(again.loadInfo().droppedBytes, 0u);
+        std::string pay;
+        EXPECT_FALSE(get(again, "req-2", &pay));
+        // "Recompile" the lost entry: the identical insert must land
+        // durably this time.
+        put(again, "req-2", "pay-2");
+    }
+    CompileCache third(path);
+    EXPECT_EQ(third.size(), 2u);
+    EXPECT_EQ(third.loadInfo().droppedBytes, 0u);
+    std::string pay;
+    ASSERT_TRUE(get(third, "req-2", &pay));
+    EXPECT_EQ(pay, "pay-2");
+    std::remove(path.c_str());
+}
+
+TEST(CompileCache, InjectedLookupMissForcesOneIdenticalRecompute)
+{
+    CompileCache c;
+    put(c, "req-1", "pay-1");
+    robust::setFaultPlan(
+        robust::parseFaultPlan("cache.lookup:1:fail"));
+    std::string pay;
+    EXPECT_FALSE(get(c, "req-1", &pay));  // forced miss
+    robust::clearFaultPlan();
+    // The caller recompiles and re-inserts; identical bytes, and the
+    // next lookup hits again.
+    put(c, "req-1", "pay-1");
+    EXPECT_EQ(c.size(), 1u);
+    ASSERT_TRUE(get(c, "req-1", &pay));
+    EXPECT_EQ(pay, "pay-1");
+}
+
+TEST(CompileCache, TransientOpenFaultIsRetriedAndCounted)
+{
+    std::string path = tempPath("open_retry");
+    std::remove(path.c_str());
+    {
+        CompileCache c(path);
+        put(c, "req-1", "pay-1");
+    }
+    robust::setFaultPlan(
+        robust::parseFaultPlan("cache.open:1:fail"));
+    CompileCache c(path);
+    robust::clearFaultPlan();
+    EXPECT_GE(c.loadInfo().retries, 1u);
+    std::string pay;
+    ASSERT_TRUE(get(c, "req-1", &pay));
+    EXPECT_EQ(pay, "pay-1");
     std::remove(path.c_str());
 }
 

@@ -26,6 +26,8 @@
 #include "core/profile.h"
 #include "core/router_registry.h"
 #include "core/sweep.h"
+#include "robust/fault.h"
+#include "robust/runner.h"
 #include "simd/dispatch.h"
 
 using namespace tqan;
@@ -58,6 +60,46 @@ intFlag(const std::string &flag, const std::string &value)
     std::exit(2);
 }
 
+double
+doubleFlag(const std::string &flag, const std::string &value)
+{
+    try {
+        size_t used = 0;
+        double v = std::stod(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (const std::exception &) {
+    }
+    std::fprintf(stderr, "tqan-sweep: bad number '%s' for %s\n",
+                 value.c_str(), flag.c_str());
+    std::exit(2);
+}
+
+void
+reportCampaign(const core::CampaignTallies &t,
+               const std::string &checkpoint)
+{
+    if (t.retried || t.restored)
+        std::fprintf(stderr,
+                     "tqan-sweep: campaign: %llu shards restored "
+                     "from checkpoint, %llu retries\n",
+                     static_cast<unsigned long long>(t.restored),
+                     static_cast<unsigned long long>(t.retried));
+    if (t.quarantined)
+        std::fprintf(stderr,
+                     "tqan-sweep: %llu shards quarantined after "
+                     "retries (their rows carry errors)\n",
+                     static_cast<unsigned long long>(t.quarantined));
+    if (t.interrupted)
+        std::fprintf(
+            stderr,
+            "tqan-sweep: campaign interrupted with %llu shards "
+            "left; resume with --resume %s\n",
+            static_cast<unsigned long long>(t.skipped),
+            checkpoint.empty() ? "FILE (rerun with --checkpoint)"
+                               : checkpoint.c_str());
+}
+
 void
 printHelp(std::FILE *out)
 {
@@ -88,6 +130,14 @@ printHelp(std::FILE *out)
         "                    'verify' preset has this on already\n"
         "  --profile         print the profiling report (wall time\n"
         "                    per pass / backend) to stderr\n"
+        "  --checkpoint FILE journal finished jobs here; SIGINT\n"
+        "                    stops gracefully (exit 5) and --resume\n"
+        "                    continues with byte-identical output\n"
+        "  --resume FILE     resume from (and keep journaling to)\n"
+        "                    FILE\n"
+        "  --shard-deadline S  seconds before a hung job is requeued\n"
+        "  --retries N       extra attempts before a job is\n"
+        "                    quarantined (default 2)\n"
         "  --version         print the version, detected CPU caps\n"
         "                    and per-kernel SIMD dispatch, then "
         "exit\n"
@@ -124,10 +174,17 @@ printHelp(std::FILE *out)
 int
 runBenchMode(const core::SweepSpec &spec, int jobs,
              const core::BenchOptions &bo, const std::string &outFile,
-             const std::string &baselineFile)
+             const std::string &baselineFile,
+             const robust::CampaignOptions &co)
 {
     core::BatchCompiler bc({jobs});
-    std::vector<core::BenchRow> rows = core::runBench(spec, bc, bo);
+    core::BenchCampaignOutcome outcome =
+        core::runBenchCampaign(spec, bc, bo, co);
+    reportCampaign(outcome.tallies, co.checkpoint);
+    if (outcome.tallies.interrupted)
+        // Resumable: no partial bench file, no baseline gate.
+        return robust::kInterruptedExit;
+    std::vector<core::BenchRow> &rows = outcome.rows;
     std::string json =
         core::benchJson(spec.experiment, bo, jobs, rows);
 
@@ -212,6 +269,8 @@ main(int argc, char **argv)
     int jobs = 1, warmup = 1, repeat = 5;
     bool tables = false, tablesOnly = false, bench = false,
          profile = false, verify = false;
+    robust::CampaignOptions campaign;
+    campaign.workers = 0;  // 0 = inherit --jobs (the batch width)
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -266,6 +325,15 @@ main(int argc, char **argv)
             baselineFile = next();
         } else if (a == "--profile") {
             profile = true;
+        } else if (a == "--checkpoint") {
+            campaign.checkpoint = next();
+        } else if (a == "--resume") {
+            campaign.checkpoint = next();
+            campaign.resume = true;
+        } else if (a == "--shard-deadline") {
+            campaign.shardDeadline = doubleFlag(a, next());
+        } else if (a == "--retries") {
+            campaign.retries = intFlag(a, next());
         } else if (!a.empty() && a[0] == '-' && a != "-") {
             std::fprintf(stderr,
                          "tqan-sweep: unknown option '%s' (run "
@@ -301,8 +369,18 @@ main(int argc, char **argv)
                              "--warmup >= 0\n");
         return 2;
     }
+    if (campaign.retries < 0 || campaign.shardDeadline < 0.0) {
+        std::fprintf(stderr, "tqan-sweep: --retries must be >= 0 "
+                             "and --shard-deadline >= 0\n");
+        return 2;
+    }
 
     core::profile::setEnabled(profile);
+    if (robust::faultPlanArmed())
+        std::fprintf(stderr, "tqan-sweep: fault plan armed: %s\n",
+                     robust::faultPlanSummary().c_str());
+    if (!campaign.checkpoint.empty())
+        robust::installCampaignSignalHandlers();
 
     try {
         core::SweepSpec spec;
@@ -323,7 +401,7 @@ main(int argc, char **argv)
 
         if (bench) {
             int rc = runBenchMode(spec, jobs, {warmup, repeat},
-                                  outFile, baselineFile);
+                                  outFile, baselineFile, campaign);
             if (profile) {
                 std::fprintf(stderr,
                              "profile: simd=%s caps=[%s]\n",
@@ -343,7 +421,14 @@ main(int argc, char **argv)
         }
 
         core::BatchCompiler bc({jobs});
-        std::vector<core::SweepRow> rows = core::runSweep(spec, bc);
+        core::SweepCampaignOutcome outcome =
+            core::runSweepCampaign(spec, bc, campaign);
+        reportCampaign(outcome.tallies, campaign.checkpoint);
+        if (outcome.tallies.interrupted)
+            // Resumable: print nothing partial; the journal holds
+            // every finished row.
+            return robust::kInterruptedExit;
+        std::vector<core::SweepRow> &rows = outcome.rows;
 
         if (!tablesOnly) {
             if (format == "csv")

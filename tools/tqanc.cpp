@@ -26,6 +26,7 @@
 #include "core/metrics.h"
 #include "core/router_registry.h"
 #include "core/profile.h"
+#include "robust/fault.h"
 #include "simd/dispatch.h"
 #include "decomp/pass.h"
 #include "device/devices.h"
@@ -210,6 +211,11 @@ main(int argc, char **argv)
     }
 
     core::profile::setEnabled(profile);
+    // A TQAN_FAULT plan changes behavior by design; make sure it is
+    // never active by accident.
+    if (robust::faultPlanArmed())
+        std::fprintf(stderr, "tqanc: fault plan armed: %s\n",
+                     robust::faultPlanSummary().c_str());
 
     try {
         ham::TwoLocalHamiltonian h = [&]() {

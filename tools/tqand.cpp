@@ -18,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "robust/fault.h"
 #include "service/service.h"
 #include "simd/dispatch.h"
 
@@ -117,6 +118,12 @@ main(int argc, char **argv)
         }
     }
 
+    // A TQAN_FAULT plan silently active in a production daemon would
+    // look like flaky hardware; announce it up front.
+    if (robust::faultPlanArmed())
+        std::fprintf(stderr, "tqand: fault plan armed: %s\n",
+                     robust::faultPlanSummary().c_str());
+
     service::CompileService svc(opt);
     if (!svc.options().cachePath.empty()) {
         const auto &li = svc.cacheLoadInfo();
@@ -145,7 +152,7 @@ main(int argc, char **argv)
                      "tqand: requests=%llu hits=%llu misses=%llu "
                      "hit_rate=%.4f errors=%llu rejected=%llu "
                      "expired=%llu cache_entries=%llu "
-                     "p50_ms=%.3f p99_ms=%.3f\n",
+                     "io_retries=%llu p50_ms=%.3f p99_ms=%.3f\n",
                      static_cast<unsigned long long>(s.requests),
                      static_cast<unsigned long long>(s.hits),
                      static_cast<unsigned long long>(s.misses),
@@ -155,6 +162,7 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(s.expired),
                      static_cast<unsigned long long>(
                          s.cacheEntries),
+                     static_cast<unsigned long long>(s.ioRetries),
                      s.p50Ms, s.p99Ms);
     }
     return 0;
