@@ -127,25 +127,33 @@ sabrePass(const Circuit &sub, const device::Topology &topo,
         }
 
         std::vector<int> ext = extendedLayer();
+        // phi is fixed while candidates are scored, so its inverse
+        // is too; score each candidate by translating its two
+        // device qubits on the fly instead of materializing a
+        // swapped placement (at 100+ device qubits the per-candidate
+        // invert + copy used to dominate the whole routing pass).
+        auto inv = qap::invertPlacement(phi, topo.numQubits());
         double best = 0.0;
         std::pair<int, int> best_swap{-1, -1};
         bool first = true;
         for (const auto &[p, q] : cands) {
-            Placement trial = phi;
-            auto inv = qap::invertPlacement(phi, topo.numQubits());
-            if (inv[p] >= 0)
-                trial[inv[p]] = q;
-            if (inv[q] >= 0)
-                trial[inv[q]] = p;
+            auto swapped = [&, p = p, q = q](int dq) {
+                return dq == p ? q : dq == q ? p : dq;
+            };
+            auto distSwapped = [&](int op) {
+                const Op &o = sub.op(op);
+                return topo.dist(swapped(phi[o.q0]),
+                                 swapped(phi[o.q1]));
+            };
 
             double sf = 0.0;
             for (int g : front)
-                sf += distUnder(trial, g);
+                sf += distSwapped(g);
             sf /= static_cast<double>(front.size());
             double se = 0.0;
             if (!ext.empty()) {
                 for (int g : ext)
-                    se += distUnder(trial, g);
+                    se += distSwapped(g);
                 se /= static_cast<double>(ext.size());
             }
             double score = std::max(decay[p], decay[q]) *
@@ -158,7 +166,6 @@ sabrePass(const Circuit &sub, const device::Topology &topo,
         }
 
         auto [p, q] = best_swap;
-        auto inv = qap::invertPlacement(phi, topo.numQubits());
         if (inv[p] >= 0)
             phi[inv[p]] = q;
         if (inv[q] >= 0)

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Repo-wide qubit-scale limits, in one place.
+ *
+ * Three subsystems used to carry their own divergent caps (the
+ * statevector engine, the topology spec parser and the equivalence
+ * checker), so error messages disagreed about what "too big" meant
+ * and new parsers invented a fourth number.  Every size gate now
+ * names one of these constants.
+ */
+
+#ifndef TQAN_CORE_LIMITS_H
+#define TQAN_CORE_LIMITS_H
+
+namespace tqan {
+namespace core {
+
+/** Hard statevector ceiling: 2^30 amplitudes = 16 GiB.  Nothing may
+ * construct a dense state above this; oracles that would need one
+ * must pre-check and report oracle-unavailable instead. */
+constexpr int kStatevectorMaxQubits = 30;
+
+/** Default DEVICE-size cutoff for the Full overlap oracle (two live
+ * statevectors + an O(2^n) overlap scan per trial). */
+constexpr int kDefaultFullOracleQubits = 20;
+
+/** Default ceiling for the scalar-probe oracle, which holds one
+ * device-sized statevector at a time: 2^26 amplitudes = 1 GiB.
+ * Beyond it the checker falls back to the Pauli-propagation probe
+ * rather than attempting a multi-GiB allocation. */
+constexpr int kDefaultProbeOracleQubits = 26;
+
+/** Topology parse bound shared by every device spec surface
+ * (custom:N edge lists, line:N / ring:N / grid:RxC / heavyhex:D).
+ * Far above any simulable size; it only guards untrusted input. */
+constexpr int kMaxTopologyQubits = 1 << 14;
+
+} // namespace core
+} // namespace tqan
+
+#endif // TQAN_CORE_LIMITS_H

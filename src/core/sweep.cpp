@@ -803,7 +803,10 @@ scoreSweepShard(const BatchJob &bj, const BatchCompiler &bc,
     if (verifyRow && row->ok()) {
         verify::CompilationCheck chk =
             verify::checkCompilation(*bj.job.step, res.result);
-        if (!chk.ok)
+        // skipped == oracle-unavailable: not a verdict, so the row
+        // is neither failed nor certified; only real refutations
+        // set the error.
+        if (!chk.ok && !chk.skipped)
             row->error = "verification failed: " + chk.error;
     }
 }

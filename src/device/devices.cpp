@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/limits.h"
+
 namespace tqan {
 namespace device {
 
@@ -202,6 +204,20 @@ parsedInt(const std::string &spec, const std::string &body)
     }
 }
 
+/** Parametric specs share the repo-wide topology ceiling with
+ * testgen's custom:N parser -- one bound, one header
+ * (core/limits.h), so no spec family can request an absurd
+ * allocation. */
+void
+checkTopologySize(const std::string &spec, long long qubits)
+{
+    if (qubits > core::kMaxTopologyQubits)
+        throw std::invalid_argument(
+            "deviceByName: '" + spec + "' asks for " +
+            std::to_string(qubits) + " qubits (limit " +
+            std::to_string(core::kMaxTopologyQubits) + ")");
+}
+
 } // namespace
 
 Topology
@@ -215,23 +231,38 @@ deviceByName(const std::string &name)
         return aspen16();
     if (name == "manhattan")
         return manhattan65();
-    if (name.rfind("line:", 0) == 0)
-        return line(parsedInt(name, name.substr(5)));
-    if (name.rfind("ring:", 0) == 0)
-        return ring(parsedInt(name, name.substr(5)));
+    if (name.rfind("line:", 0) == 0) {
+        int n = parsedInt(name, name.substr(5));
+        checkTopologySize(name, n);
+        return line(n);
+    }
+    if (name.rfind("ring:", 0) == 0) {
+        int n = parsedInt(name, name.substr(5));
+        checkTopologySize(name, n);
+        return ring(n);
+    }
     if (name.rfind("grid:", 0) == 0) {
         std::string body = name.substr(5);
         size_t x = body.find('x');
         if (x == std::string::npos)
             throw std::invalid_argument(
                 "deviceByName: expected grid:RxC, got '" + name + "'");
-        return grid(parsedInt(name, body.substr(0, x)),
-                    parsedInt(name, body.substr(x + 1)));
+        int rows = parsedInt(name, body.substr(0, x));
+        int cols = parsedInt(name, body.substr(x + 1));
+        checkTopologySize(name, static_cast<long long>(rows) * cols);
+        return grid(rows, cols);
+    }
+    if (name.rfind("heavyhex:", 0) == 0) {
+        int d = parsedInt(name, name.substr(9));
+        // qubit count of distance d is (5d^2 - 2d - 1) / 2-ish;
+        // bound via the generous 3d^2 envelope before building.
+        checkTopologySize(name, 3LL * d * d);
+        return heavyHex(d);
     }
     throw std::invalid_argument(
         "deviceByName: unknown device '" + name +
         "' (expected montreal | sycamore | aspen | manhattan | "
-        "line:N | ring:N | grid:RxC)");
+        "line:N | ring:N | grid:RxC | heavyhex:D)");
 }
 
 GateSet

@@ -1,0 +1,644 @@
+#include "sim/stabilizer.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/matrix.h"
+
+namespace tqan {
+namespace sim {
+
+using linalg::Mat2;
+using qcir::Circuit;
+using qcir::Op;
+using qcir::OpKind;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+inline int
+popcount64(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(v);
+#else
+    int c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+#endif
+}
+
+/** v == k * unit (mod nothing) within tol?  Writes k mod 4. */
+bool
+nearMultiple(double v, double unit, double tol, int *kOut)
+{
+    double q = v / unit;
+    double r = std::round(q);
+    if (std::abs(v - r * unit) > tol)
+        return false;
+    long long k = static_cast<long long>(r) % 4;
+    *kOut = static_cast<int>((k + 4) % 4);
+    return true;
+}
+
+/**
+ * The 24 single-qubit Clifford unitaries (up to global phase), each
+ * with its conjugation action on X / Z / Y precomputed as (new
+ * Pauli, sign).  Pauli codes: bit 0 = X component, bit 1 = Z
+ * component, so 0 = I, 1 = X, 2 = Z, 3 = Y.
+ */
+struct Clifford1Q
+{
+    Mat2 u;
+    unsigned char imgCode[4];  // [code] -> image code (index 0 unused)
+    unsigned char imgSign[4];  // [code] -> 1 iff sign flips
+};
+
+Mat2
+pauliOfCode(int code)
+{
+    switch (code) {
+      case 1: return linalg::pauliX();
+      case 2: return linalg::pauliZ();
+      case 3: return linalg::pauliY();
+    }
+    return linalg::pauliI();
+}
+
+const std::vector<Clifford1Q> &
+clifford1qTable()
+{
+    static const std::vector<Clifford1Q> table = [] {
+        // BFS closure of {I} under left-multiplication by H and S.
+        std::vector<Mat2> elems = {Mat2::identity()};
+        const Mat2 gens[] = {linalg::hadamard(), linalg::sGate()};
+        for (std::size_t i = 0; i < elems.size(); ++i) {
+            for (const Mat2 &g : gens) {
+                Mat2 cand = g * elems[i];
+                bool known = false;
+                for (const Mat2 &e : elems)
+                    if (linalg::phaseDistance(cand, e) < 1e-9) {
+                        known = true;
+                        break;
+                    }
+                if (!known)
+                    elems.push_back(cand);
+            }
+        }
+        if (elems.size() != 24)
+            throw std::logic_error(
+                "clifford1qTable: <H, S> closure != 24 elements");
+        std::vector<Clifford1Q> out(elems.size());
+        for (std::size_t i = 0; i < elems.size(); ++i) {
+            out[i].u = elems[i];
+            out[i].imgCode[0] = 0;
+            out[i].imgSign[0] = 0;
+            for (int code = 1; code <= 3; ++code) {
+                Mat2 m = elems[i] * pauliOfCode(code) *
+                         elems[i].dagger();
+                bool found = false;
+                for (int tc = 1; tc <= 3 && !found; ++tc) {
+                    Mat2 p = pauliOfCode(tc);
+                    if (m.distance(p) < 1e-9) {
+                        out[i].imgCode[code] =
+                            static_cast<unsigned char>(tc);
+                        out[i].imgSign[code] = 0;
+                        found = true;
+                    } else if (m.distance(p * linalg::Cx(-1.0, 0.0)) <
+                               1e-9) {
+                        out[i].imgCode[code] =
+                            static_cast<unsigned char>(tc);
+                        out[i].imgSign[code] = 1;
+                        found = true;
+                    }
+                }
+                if (!found)
+                    throw std::logic_error(
+                        "clifford1qTable: conjugation image is not "
+                        "a signed Pauli");
+            }
+        }
+        return out;
+    }();
+    return table;
+}
+
+/** Index into clifford1qTable() or -1. */
+int
+matchClifford1q(const Mat2 &u, double tol)
+{
+    const auto &table = clifford1qTable();
+    for (std::size_t i = 0; i < table.size(); ++i)
+        if (linalg::phaseDistance(u, table[i].u) < tol)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** Symbolic Clifford test of a TWO-qubit op; fills the pi/4 unit
+ * counts for Interact-like kinds. */
+bool
+clifford2q(const Op &op, double tol, int *kxx, int *kyy, int *kzz)
+{
+    *kxx = *kyy = *kzz = 0;
+    switch (op.kind) {
+      case OpKind::Cnot:
+      case OpKind::Cz:
+      case OpKind::ISwap:
+      case OpKind::Swap:
+        return true;
+      case OpKind::Interact:
+      case OpKind::DressedSwap:
+        return nearMultiple(op.axx, kPi / 4, tol, kxx) &&
+               nearMultiple(op.ayy, kPi / 4, tol, kyy) &&
+               nearMultiple(op.azz, kPi / 4, tol, kzz);
+      default:
+        return false;  // Syc, U2q: conservatively non-Clifford
+    }
+}
+
+/**
+ * Shared run-fusion walker: fuses maximal single-qubit runs, hands
+ * each fused run and each two-qubit gate to the sink.  Returns false
+ * (and stops) on the first unrecognized run / gate.
+ *
+ * Sink1: void(int q, int cliffordIndex).
+ * Sink2: void(const Op &op, int kxx, int kyy, int kzz).
+ */
+template <typename Sink1, typename Sink2>
+bool
+walkCliffordRuns(const Circuit &c, double tol, Sink1 &&on1q,
+                 Sink2 &&on2q)
+{
+    const int n = c.numQubits();
+    std::vector<Mat2> pending(n);
+    std::vector<char> has(n, 0);
+
+    auto flush = [&](int q) -> bool {
+        if (!has[q])
+            return true;
+        int idx = matchClifford1q(pending[q], tol);
+        if (idx < 0)
+            return false;
+        on1q(q, idx);
+        has[q] = 0;
+        return true;
+    };
+
+    for (const Op &op : c.ops()) {
+        if (!op.isTwoQubit()) {
+            Mat2 u = op.unitary2();
+            pending[op.q0] = has[op.q0] ? u * pending[op.q0] : u;
+            has[op.q0] = 1;
+            continue;
+        }
+        if (!flush(op.q0) || !flush(op.q1))
+            return false;
+        int kxx, kyy, kzz;
+        if (!clifford2q(op, tol, &kxx, &kyy, &kzz))
+            return false;
+        on2q(op, kxx, kyy, kzz);
+    }
+    for (int q = 0; q < n; ++q)
+        if (!flush(q))
+            return false;
+    return true;
+}
+
+} // namespace
+
+PauliString::PauliString(int numQubits)
+    : n(numQubits),
+      x((numQubits + 63) / 64, 0),
+      z((numQubits + 63) / 64, 0)
+{
+    if (numQubits < 1)
+        throw std::invalid_argument("PauliString: need >= 1 qubit");
+}
+
+PauliString
+PauliString::singleZ(int numQubits, int q)
+{
+    PauliString p(numQubits);
+    p.setZ(q);
+    return p;
+}
+
+PauliString
+PauliString::doubleZ(int numQubits, int u, int v)
+{
+    PauliString p(numQubits);
+    p.setZ(u);
+    p.setZ(v);
+    return p;
+}
+
+std::string
+PauliString::str() const
+{
+    std::string s(negative ? "-" : "+");
+    for (int q = 0; q < n; ++q) {
+        int code = (getX(q) ? 1 : 0) | (getZ(q) ? 2 : 0);
+        s += "IXZY"[code];
+    }
+    return s;
+}
+
+StabilizerTableau::StabilizerTableau(int n)
+    : n_(n),
+      words_((n + 63) / 64),
+      x_(static_cast<std::size_t>(2 * n) * ((n + 63) / 64), 0),
+      z_(static_cast<std::size_t>(2 * n) * ((n + 63) / 64), 0),
+      r_(2 * n, 0)
+{
+    if (n < 1)
+        throw std::invalid_argument(
+            "StabilizerTableau: need >= 1 qubit");
+    // |0...0>: destabilizer i = X_i, stabilizer i = Z_i.
+    for (int i = 0; i < n_; ++i) {
+        x_[static_cast<std::size_t>(i) * words_ + (i >> 6)] |=
+            1ULL << (i & 63);
+        z_[static_cast<std::size_t>(i + n_) * words_ + (i >> 6)] |=
+            1ULL << (i & 63);
+    }
+}
+
+void
+StabilizerTableau::h(int q)
+{
+    const int w = q >> 6;
+    const std::uint64_t m = 1ULL << (q & 63);
+    for (int row = 0; row < 2 * n_; ++row) {
+        std::uint64_t &xw = x_[static_cast<std::size_t>(row) * words_ + w];
+        std::uint64_t &zw = z_[static_cast<std::size_t>(row) * words_ + w];
+        const std::uint64_t xb = xw & m, zb = zw & m;
+        if (xb && zb)
+            r_[row] ^= 1;
+        xw = (xw & ~m) | (zb ? m : 0);
+        zw = (zw & ~m) | (xb ? m : 0);
+    }
+}
+
+void
+StabilizerTableau::s(int q)
+{
+    const int w = q >> 6;
+    const std::uint64_t m = 1ULL << (q & 63);
+    for (int row = 0; row < 2 * n_; ++row) {
+        std::uint64_t &xw = x_[static_cast<std::size_t>(row) * words_ + w];
+        std::uint64_t &zw = z_[static_cast<std::size_t>(row) * words_ + w];
+        const std::uint64_t xb = xw & m;
+        if (xb && (zw & m))
+            r_[row] ^= 1;
+        zw ^= xb;
+    }
+}
+
+void
+StabilizerTableau::sdg(int q)
+{
+    const int w = q >> 6;
+    const std::uint64_t m = 1ULL << (q & 63);
+    for (int row = 0; row < 2 * n_; ++row) {
+        std::uint64_t &xw = x_[static_cast<std::size_t>(row) * words_ + w];
+        std::uint64_t &zw = z_[static_cast<std::size_t>(row) * words_ + w];
+        const std::uint64_t xb = xw & m;
+        if (xb && !(zw & m))
+            r_[row] ^= 1;
+        zw ^= xb;
+    }
+}
+
+void
+StabilizerTableau::x(int q)
+{
+    const int w = q >> 6;
+    const std::uint64_t m = 1ULL << (q & 63);
+    for (int row = 0; row < 2 * n_; ++row)
+        if (z_[static_cast<std::size_t>(row) * words_ + w] & m)
+            r_[row] ^= 1;
+}
+
+void
+StabilizerTableau::z(int q)
+{
+    const int w = q >> 6;
+    const std::uint64_t m = 1ULL << (q & 63);
+    for (int row = 0; row < 2 * n_; ++row)
+        if (x_[static_cast<std::size_t>(row) * words_ + w] & m)
+            r_[row] ^= 1;
+}
+
+void
+StabilizerTableau::y(int q)
+{
+    const int w = q >> 6;
+    const std::uint64_t m = 1ULL << (q & 63);
+    for (int row = 0; row < 2 * n_; ++row) {
+        const bool xb =
+            x_[static_cast<std::size_t>(row) * words_ + w] & m;
+        const bool zb =
+            z_[static_cast<std::size_t>(row) * words_ + w] & m;
+        if (xb != zb)
+            r_[row] ^= 1;
+    }
+}
+
+void
+StabilizerTableau::cnot(int control, int target)
+{
+    const int wc = control >> 6, wt = target >> 6;
+    const std::uint64_t mc = 1ULL << (control & 63);
+    const std::uint64_t mt = 1ULL << (target & 63);
+    for (int row = 0; row < 2 * n_; ++row) {
+        std::uint64_t *xr = &x_[static_cast<std::size_t>(row) * words_];
+        std::uint64_t *zr = &z_[static_cast<std::size_t>(row) * words_];
+        const bool xc = xr[wc] & mc, zc = zr[wc] & mc;
+        const bool xt = xr[wt] & mt, zt = zr[wt] & mt;
+        if (xc && zt && (xt == zc))
+            r_[row] ^= 1;
+        if (xc)
+            xr[wt] ^= mt;
+        if (zt)
+            zr[wc] ^= mc;
+    }
+}
+
+void
+StabilizerTableau::cz(int a, int b)
+{
+    h(b);
+    cnot(a, b);
+    h(b);
+}
+
+void
+StabilizerTableau::swap(int a, int b)
+{
+    const int wa = a >> 6, wb = b >> 6;
+    const std::uint64_t ma = 1ULL << (a & 63);
+    const std::uint64_t mb = 1ULL << (b & 63);
+    for (int row = 0; row < 2 * n_; ++row) {
+        std::uint64_t *xr = &x_[static_cast<std::size_t>(row) * words_];
+        std::uint64_t *zr = &z_[static_cast<std::size_t>(row) * words_];
+        const bool xa = xr[wa] & ma, xb = xr[wb] & mb;
+        const bool za = zr[wa] & ma, zb = zr[wb] & mb;
+        if (xa != xb) {
+            xr[wa] ^= ma;
+            xr[wb] ^= mb;
+        }
+        if (za != zb) {
+            zr[wa] ^= ma;
+            zr[wb] ^= mb;
+        }
+    }
+}
+
+void
+StabilizerTableau::iswap(int a, int b)
+{
+    // iSWAP = SWAP . CZ . (S (x) S), applied left to right.
+    s(a);
+    s(b);
+    cz(a, b);
+    swap(a, b);
+}
+
+namespace {
+
+/** One exp(i pi/4 ZZ) unit = CZ . (Sdg (x) Sdg) up to global
+ * phase (all three factors are diagonal and commute). */
+void
+zzUnit(StabilizerTableau &t, int a, int b)
+{
+    t.sdg(a);
+    t.sdg(b);
+    t.cz(a, b);
+}
+
+/** exp(i (kxx XX + kyy YY + kzz ZZ) pi/4): the three axes commute,
+ * so apply each as conjugated ZZ units. */
+void
+applyInteractUnits(StabilizerTableau &t, int a, int b, int kxx,
+                   int kyy, int kzz)
+{
+    for (int i = 0; i < kzz; ++i)
+        zzUnit(t, a, b);
+    if (kxx > 0) {
+        t.h(a);
+        t.h(b);
+        for (int i = 0; i < kxx; ++i)
+            zzUnit(t, a, b);
+        t.h(a);
+        t.h(b);
+    }
+    if (kyy > 0) {
+        // Conjugate by C (x) C with C = S.H (C Z Cdg = Y): apply
+        // Cdg = H.Sdg (Sdg first), the units, then C (H first).
+        t.sdg(a);
+        t.sdg(b);
+        t.h(a);
+        t.h(b);
+        for (int i = 0; i < kyy; ++i)
+            zzUnit(t, a, b);
+        t.h(a);
+        t.h(b);
+        t.s(a);
+        t.s(b);
+    }
+}
+
+} // namespace
+
+void
+StabilizerTableau::applyOp(const Op &op, double tol)
+{
+    if (!op.isTwoQubit()) {
+        int idx = matchClifford1q(op.unitary2(), tol);
+        if (idx < 0)
+            throw std::invalid_argument(
+                "StabilizerTableau: non-Clifford op " + op.str());
+        const Clifford1Q &c = clifford1qTable()[idx];
+        const int q = op.q0;
+        const int w = q >> 6;
+        const std::uint64_t m = 1ULL << (q & 63);
+        for (int row = 0; row < 2 * n_; ++row) {
+            std::uint64_t &xw =
+                x_[static_cast<std::size_t>(row) * words_ + w];
+            std::uint64_t &zw =
+                z_[static_cast<std::size_t>(row) * words_ + w];
+            const int code =
+                ((xw & m) ? 1 : 0) | ((zw & m) ? 2 : 0);
+            if (code == 0)
+                continue;
+            const int img = c.imgCode[code];
+            r_[row] ^= c.imgSign[code];
+            xw = (xw & ~m) | ((img & 1) ? m : 0);
+            zw = (zw & ~m) | ((img & 2) ? m : 0);
+        }
+        return;
+    }
+    int kxx, kyy, kzz;
+    if (!clifford2q(op, tol, &kxx, &kyy, &kzz))
+        throw std::invalid_argument(
+            "StabilizerTableau: non-Clifford op " + op.str());
+    switch (op.kind) {
+      case OpKind::Cnot:
+        cnot(op.q0, op.q1);
+        break;
+      case OpKind::Cz:
+        cz(op.q0, op.q1);
+        break;
+      case OpKind::ISwap:
+        iswap(op.q0, op.q1);
+        break;
+      case OpKind::Swap:
+        swap(op.q0, op.q1);
+        break;
+      case OpKind::Interact:
+        applyInteractUnits(*this, op.q0, op.q1, kxx, kyy, kzz);
+        break;
+      case OpKind::DressedSwap:
+        // unitary4() = SWAP * exp(...): the Interact part acts
+        // first (and commutes with the SWAP anyway).
+        applyInteractUnits(*this, op.q0, op.q1, kxx, kyy, kzz);
+        swap(op.q0, op.q1);
+        break;
+      default:
+        throw std::invalid_argument(
+            "StabilizerTableau: non-Clifford op " + op.str());
+    }
+}
+
+void
+StabilizerTableau::applyCircuit(const Circuit &c, double tol)
+{
+    if (c.numQubits() > n_)
+        throw std::invalid_argument(
+            "StabilizerTableau: circuit larger than the register");
+    bool ok = walkCliffordRuns(
+        c, tol,
+        [this](int q, int idx) {
+            Op fused = Op::u1q(q, clifford1qTable()[idx].u);
+            applyOp(fused);
+        },
+        [this, tol](const Op &op, int, int, int) {
+            applyOp(op, tol);
+        });
+    if (!ok)
+        throw std::invalid_argument(
+            "StabilizerTableau: circuit is not Clifford under run "
+            "fusion");
+}
+
+void
+StabilizerTableau::rowMultiply(std::vector<std::uint64_t> &ax,
+                               std::vector<std::uint64_t> &az,
+                               int &phase, int row) const
+{
+    // Accumulated operator is i^phase X^ax Z^az; the row's Pauli is
+    // (-1)^r prod sigma = i^(2r + |x&z|) X^x Z^z.  Commuting Z^az
+    // past X^rx costs (-1)^|az & rx|.
+    const std::uint64_t *rx =
+        &x_[static_cast<std::size_t>(row) * words_];
+    const std::uint64_t *rz =
+        &z_[static_cast<std::size_t>(row) * words_];
+    int self = 0, cross = 0;
+    for (int w = 0; w < words_; ++w) {
+        self += popcount64(rx[w] & rz[w]);
+        cross += popcount64(az[w] & rx[w]);
+    }
+    phase = (phase + 2 * r_[row] + self + 2 * cross) & 3;
+    for (int w = 0; w < words_; ++w) {
+        ax[w] ^= rx[w];
+        az[w] ^= rz[w];
+    }
+}
+
+int
+StabilizerTableau::expectationPauli(const PauliString &p) const
+{
+    if (p.n != n_)
+        throw std::invalid_argument(
+            "expectationPauli: register size mismatch");
+    auto anticommutes = [&](int row) {
+        const std::uint64_t *rx =
+            &x_[static_cast<std::size_t>(row) * words_];
+        const std::uint64_t *rz =
+            &z_[static_cast<std::size_t>(row) * words_];
+        int par = 0;
+        for (int w = 0; w < words_; ++w)
+            par ^= popcount64(p.x[w] & rz[w]) ^
+                   popcount64(p.z[w] & rx[w]);
+        return (par & 1) != 0;
+    };
+    // P anticommuting with any stabilizer generator => <P> = 0.
+    for (int i = n_; i < 2 * n_; ++i)
+        if (anticommutes(i))
+            return 0;
+    // P commutes with the whole group: express it as the product of
+    // the stabilizer rows whose destabilizer partners anticommute
+    // with P, then compare phases.
+    std::vector<std::uint64_t> ax(words_, 0), az(words_, 0);
+    int phase = 0;
+    for (int i = 0; i < n_; ++i)
+        if (anticommutes(i))
+            rowMultiply(ax, az, phase, i + n_);
+    int selfP = 0;
+    for (int w = 0; w < words_; ++w) {
+        if (ax[w] != p.x[w] || az[w] != p.z[w])
+            return 0;  // only +/-(i)I reaches here; not +/-P
+        selfP += popcount64(p.x[w] & p.z[w]);
+    }
+    const int phaseP = (2 * (p.negative ? 1 : 0) + selfP) & 3;
+    if (phase == phaseP)
+        return 1;
+    if (((phase + 2) & 3) == phaseP)
+        return -1;
+    return 0;
+}
+
+int
+StabilizerTableau::expectationZ(int q) const
+{
+    return expectationPauli(PauliString::singleZ(n_, q));
+}
+
+PauliString
+StabilizerTableau::stabilizerRow(int i) const
+{
+    if (i < 0 || i >= n_)
+        throw std::invalid_argument(
+            "stabilizerRow: index out of range");
+    PauliString p(n_);
+    const int row = i + n_;
+    for (int w = 0; w < words_; ++w) {
+        p.x[w] = x_[static_cast<std::size_t>(row) * words_ + w];
+        p.z[w] = z_[static_cast<std::size_t>(row) * words_ + w];
+    }
+    p.negative = r_[row] != 0;
+    return p;
+}
+
+bool
+isCliffordOp(const Op &op, double tol)
+{
+    if (!op.isTwoQubit())
+        return matchClifford1q(op.unitary2(), tol) >= 0;
+    int kxx, kyy, kzz;
+    return clifford2q(op, tol, &kxx, &kyy, &kzz);
+}
+
+bool
+isCliffordCircuit(const Circuit &c, double tol)
+{
+    return walkCliffordRuns(
+        c, tol, [](int, int) {}, [](const Op &, int, int, int) {});
+}
+
+} // namespace sim
+} // namespace tqan

@@ -27,6 +27,7 @@
 
 #include "graph/graph.h"
 #include "qcir/circuit.h"
+#include "core/limits.h"
 #include "sim/aligned.h"
 #include "sim/kernels.h"
 
@@ -38,8 +39,9 @@ class Engine;
 class Statevector
 {
   public:
-    /** Hard qubit ceiling: 2^30 amplitudes = 16 GiB. */
-    static constexpr int kMaxQubits = 30;
+    /** Hard qubit ceiling: 2^30 amplitudes = 16 GiB.  Alias of the
+     * repo-wide limit so every oracle shares one ceiling. */
+    static constexpr int kMaxQubits = core::kStatevectorMaxQubits;
 
     /**
      * |0...0> on n qubits (1 <= n <= 30).  The amplitude buffer is

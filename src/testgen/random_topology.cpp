@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/limits.h"
 #include "device/devices.h"
 
 namespace tqan {
@@ -102,7 +103,7 @@ topologyFromSpec(const std::string &spec)
         *out = std::stoi(field);
         return true;
     };
-    constexpr int kMaxQubits = 1 << 14;
+    constexpr int kMaxQubits = core::kMaxTopologyQubits;
     int n = 0;
     if (!parseIndex(spec.substr(7, colon - 7), &n) || n <= 0 ||
         n > kMaxQubits)

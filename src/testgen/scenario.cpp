@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "device/devices.h"
 #include "graph/random_graph.h"
 #include "ham/models.h"
 #include "ham/parser.h"
@@ -78,6 +79,75 @@ qaoaInstance(int n, std::mt19937_64 &rng)
                           coeff(rng, 0.1, kPi / 2));
 }
 
+/** Multiple-of-pi/4 coefficient: Clifford under trotterStep with
+ * time = 1 (pairs use the coefficient directly, fields rotate by
+ * -2 * coeff = -k*pi/2). */
+double
+cliffordCoeff(std::mt19937_64 &rng)
+{
+    return std::uniform_int_distribution<int>(1, 3)(rng) * kPi / 4.0;
+}
+
+ham::TwoLocalHamiltonian
+cliffordChain(int n, std::mt19937_64 &rng)
+{
+    ham::TwoLocalHamiltonian h(n);
+    for (int q = 0; q + 1 < n; ++q)
+        h.addPair(q, q + 1, cliffordCoeff(rng), cliffordCoeff(rng),
+                  cliffordCoeff(rng));
+    for (int q = 0; q < n; ++q) {
+        if (q % 2 == 0)
+            h.addField(q, ham::Axis::X, cliffordCoeff(rng));
+        else
+            h.addField(q, ham::Axis::Z, cliffordCoeff(rng));
+    }
+    return h;
+}
+
+ham::TwoLocalHamiltonian
+cliffordQaoa(int n, std::mt19937_64 &rng)
+{
+    // Diagonal (isDiagonal() == true) so diagonal-only backends
+    // participate in the Clifford leg too.  Always a bounded-degree
+    // regular graph (degree 4 when n is odd, so n*degree stays
+    // even): this kind runs at 100-1000 qubits, where an
+    // Erdos-Renyi p=0.5 draw would mean O(n^2) interaction pairs
+    // and minutes-long compiles per scenario.
+    graph::Graph g = (n >= 5)
+                         ? graph::randomRegularGraph(
+                               n, (n * 3) % 2 == 0 ? 3 : 4, rng)
+                         : graph::erdosRenyi(n, 0.5, rng);
+    ham::TwoLocalHamiltonian h(n);
+    for (const auto &e : g.edges())
+        h.addPair(e.first, e.second, 0.0, 0.0, cliffordCoeff(rng));
+    for (int q = 0; q < n; ++q)
+        h.addField(q, ham::Axis::X, cliffordCoeff(rng));
+    return h;
+}
+
+/** Smallest structured device (grid or heavy-hex) fitting n
+ * qubits. */
+device::Topology
+structuredTopology(int n, std::mt19937_64 &rng)
+{
+    if ((rng() & 1) == 0) {
+        // Near-square grid, occasionally one column wider.
+        int cols = 1;
+        while (cols * cols < n)
+            ++cols;
+        cols += static_cast<int>(rng() % 2);
+        int rows = (n + cols - 1) / cols;
+        if (rows < 2) rows = 2;
+        if (cols < 2) cols = 2;
+        return device::grid(rows, cols);
+    }
+    for (int d = 3;; d += 2) {
+        device::Topology t = device::heavyHex(d);
+        if (t.numQubits() >= n)
+            return t;
+    }
+}
+
 } // namespace
 
 std::string
@@ -92,6 +162,8 @@ scenarioKindName(ScenarioKind k)
       case ScenarioKind::DisconnectedHam: return "disconnected";
       case ScenarioKind::SingleQubitOnly: return "single_qubit_only";
       case ScenarioKind::FullDevice: return "full_device";
+      case ScenarioKind::CliffordChain: return "clifford_chain";
+      case ScenarioKind::CliffordQaoa: return "clifford_qaoa";
     }
     return "?";
 }
@@ -112,7 +184,16 @@ randomScenario(std::uint64_t seed, const ScenarioOptions &opt)
     Scenario s;
     s.seed = seed;
 
+    // Draw-order contract: with every new option at its default the
+    // rng consumption below is identical to the legacy generator, so
+    // historical seeds (and checked-in reproducers) replay
+    // byte-for-byte.  New options only consume draws when enabled.
     std::uniform_real_distribution<double> u01(0.0, 1.0);
+    if (opt.cliffordOnly) {
+        s.kind = std::uniform_int_distribution<int>(0, 1)(rng) == 0
+                     ? ScenarioKind::CliffordChain
+                     : ScenarioKind::CliffordQaoa;
+    } else {
     bool adversarial = u01(rng) < opt.adversarialFraction;
     if (adversarial) {
         static const ScenarioKind kinds[] = {
@@ -131,19 +212,29 @@ randomScenario(std::uint64_t seed, const ScenarioOptions &opt)
         };
         s.kind = kinds[std::uniform_int_distribution<int>(0, 4)(rng)];
     }
+    }
 
     std::uniform_int_distribution<int> nd(opt.minQubits,
                                           opt.maxQubits);
     int n = nd(rng);
 
     // Device: random connected topology at least as big as the
-    // circuit; FullDevice pins the size to n exactly.
-    TopologyOptions topt = opt.topology;
-    topt.minQubits = n;
-    topt.maxQubits = (s.kind == ScenarioKind::FullDevice)
-                         ? n
-                         : std::max(n, opt.maxDeviceQubits);
-    s.topo = randomConnectedTopology(rng, topt);
+    // circuit; FullDevice pins the size to n exactly.  When
+    // structuredFraction is enabled a slice of scenarios lands on
+    // grid / heavy-hex devices instead (real-machine shapes).
+    bool structured = opt.structuredFraction > 0.0 &&
+                      s.kind != ScenarioKind::FullDevice &&
+                      u01(rng) < opt.structuredFraction;
+    if (structured) {
+        s.topo = structuredTopology(n, rng);
+    } else {
+        TopologyOptions topt = opt.topology;
+        topt.minQubits = n;
+        topt.maxQubits = (s.kind == ScenarioKind::FullDevice)
+                             ? n
+                             : std::max(n, opt.maxDeviceQubits);
+        s.topo = randomConnectedTopology(rng, topt);
+    }
 
     ham::TwoLocalHamiltonian h(n);
     switch (s.kind) {
@@ -173,10 +264,29 @@ randomScenario(std::uint64_t seed, const ScenarioOptions &opt)
         // qubit is used; zero placement slack).
         h = ham::nnnHeisenberg(n, rng);
         break;
+      case ScenarioKind::CliffordChain:
+        h = cliffordChain(n, rng);
+        break;
+      case ScenarioKind::CliffordQaoa:
+        h = cliffordQaoa(n, rng);
+        break;
     }
 
-    std::uniform_real_distribution<double> td(0.2, 1.0);
-    s.time = td(rng);
+    if (s.kind == ScenarioKind::CliffordChain ||
+        s.kind == ScenarioKind::CliffordQaoa) {
+        // time = 1 keeps every gate angle on the k*pi/4 lattice:
+        // the whole Trotter step stays Clifford.
+        s.time = 1.0;
+    } else {
+        std::uniform_real_distribution<double> td(0.2, 1.0);
+        s.time = td(rng);
+    }
+
+    if (opt.withNoise) {
+        s.withNoise = true;
+        s.noiseSeed = rng();
+        s.noiseLambda = 0.25 + 0.75 * u01(rng);
+    }
     s.hamiltonian =
         std::make_shared<ham::TwoLocalHamiltonian>(std::move(h));
     s.step = std::make_shared<qcir::Circuit>(
@@ -200,6 +310,9 @@ toSpec(const Scenario &s)
     os << "seed = " << s.seed << "\n";
     os << "time = " << s.time << "\n";
     os << "device = " << topologySpec(s.topo) << "\n";
+    if (s.withNoise)
+        os << "noise = " << s.noiseSeed << " " << s.noiseLambda
+           << "\n";
     os << "hamiltonian:\n";
     os << ham::formatHamiltonian(*s.hamiltonian);
     return os.str();
@@ -252,6 +365,18 @@ scenarioFromSpec(std::istream &in)
         } else if (key == "device") {
             s.topo = topologyFromSpec(val);
             haveDevice = true;
+        } else if (key == "noise") {
+            std::istringstream ns(val);
+            std::uint64_t nseed = 0;
+            double lambda = 1.0;
+            if (!(ns >> nseed >> lambda))
+                throw std::invalid_argument(
+                    "scenarioFromSpec: line " +
+                    std::to_string(lineNo) +
+                    ": expected 'noise = <seed> <lambda>'");
+            s.withNoise = true;
+            s.noiseSeed = nseed;
+            s.noiseLambda = lambda;
         } else {
             throw std::invalid_argument(
                 "scenarioFromSpec: line " + std::to_string(lineNo) +

@@ -45,6 +45,12 @@ enum class ScenarioKind {
     DisconnectedHam,   ///< interaction graph with >= 2 components
     SingleQubitOnly,   ///< field terms only, no two-qubit ops
     FullDevice,        ///< circuit qubits == device qubits
+    /** Clifford-restricted kinds (cliffordOnly draws): every
+     * coefficient is a multiple of pi/4 and time = 1, so the Trotter
+     * step is a Clifford circuit the stabilizer oracle verifies
+     * EXACTLY at any qubit count. */
+    CliffordChain,     ///< chain of k*pi/4 couplings + fields
+    CliffordQaoa,      ///< diagonal ZZ (k*pi/4) + X mixer layer
 };
 
 std::string scenarioKindName(ScenarioKind k);
@@ -59,6 +65,19 @@ struct ScenarioOptions
     /** Weight of adversarial kinds (Disconnected / SingleQubitOnly /
      * FullDevice) in the kind draw, 0..1. */
     double adversarialFraction = 0.25;
+    /** Draw only the Clifford-restricted kinds (CliffordChain /
+     * CliffordQaoa): exact stabilizer verification at any scale.
+     * This is how the fuzz harness reaches 100-1000 qubits. */
+    bool cliffordOnly = false;
+    /** Fraction of scenarios placed on structured grid / heavy-hex
+     * devices (sized to fit the circuit) instead of random
+     * topologies.  0 (the default) consumes no extra randomness, so
+     * legacy seed streams replay byte-identically. */
+    double structuredFraction = 0.0;
+    /** Attach a calibration-style synthetic noise map (heterogeneous
+     * per-coupler error rates); the scenario carries the noise seed
+     * and lambda so reproducers replay the exact calibration. */
+    bool withNoise = false;
 };
 
 /** One generated workload: everything a backend needs to compile and
@@ -72,6 +91,14 @@ struct Scenario
     device::Topology topo{"unset", graph::Graph(1)};
     double time = 1.0;        ///< Trotter-step time
     std::string name;         ///< "kind/n=5/dev=rand8d4/seed=42"
+    /** Calibration-style noise attached to this scenario.  Stored as
+     * PODs (seed + lambda), NOT as a built NoiseMap: a NoiseMap
+     * references its Topology, and Scenario is freely copyable --
+     * consumers rebuild device::NoiseMap::synthetic(topo, rng) from
+     * noiseSeed against the scenario instance they actually use. */
+    bool withNoise = false;
+    std::uint64_t noiseSeed = 0;
+    double noiseLambda = 1.0;
 };
 
 /** Deterministic scenario from a seed (same seed, same scenario). */

@@ -49,6 +49,13 @@ struct CompilationCheck
     bool ok = false;
     /** Which stage failed + why (empty when ok). */
     std::string error;
+    /** True when the primary equivalence oracle could not decide
+     * (EquivalenceReport::oracleUnavailable): the case is neither a
+     * pass nor a failure and callers must report it as skipped with
+     * skipReason -- the named `oracle-unavailable` outcome.  ok
+     * stays false and error stays empty. */
+    bool skipped = false;
+    std::string skipReason;
     CheckMode mode = CheckMode::Full;
     /** Worst deviation across every oracle invocation. */
     double worstDeviation = 0.0;

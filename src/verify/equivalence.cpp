@@ -1,12 +1,16 @@
 #include "verify/equivalence.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <random>
 #include <sstream>
 #include <stdexcept>
 
 #include "linalg/matrix.h"
+#include "sim/stabilizer.h"
 #include "sim/statevector.h"
+#include "verify/pauli_probe.h"
 
 namespace tqan {
 namespace verify {
@@ -18,6 +22,9 @@ using qcir::Op;
 namespace {
 
 constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+/** Salt separating the stabilizer oracle's draw stream from the
+ * product-state oracles'. */
+constexpr std::uint64_t kStabSalt = 0x5AB171EDULL;
 
 /** Haar-uniform single-qubit state preparation from |0>: ZYZ Euler
  * angles with the polar angle drawn via arccos. */
@@ -40,19 +47,79 @@ randomFrame(std::mt19937_64 &rng)
     return randomBlochPrep(rng);
 }
 
-/** One probe of the probe oracle: Z_u (v < 0) or Z_u Z_v. */
+/** One probe of the probe oracles: Z_u (v < 0) or Z_u Z_v. */
 struct Probe
 {
     int u;
     int v;  ///< -1 for single-qubit Z probes
 };
 
+/** Shared frame+observable plan so Probe and PauliProbe draw
+ * identically from the trial rng. */
+std::vector<Probe>
+drawProbes(std::mt19937_64 &rng, int n, int count)
+{
+    std::uniform_int_distribution<int> qd(0, n - 1);
+    std::vector<Probe> probes;
+    probes.reserve(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k) {
+        if (n >= 2 && k % 2 == 1) {
+            int u = qd(rng), v = qd(rng);
+            while (v == u)
+                v = qd(rng);
+            probes.push_back({u, v});
+        } else {
+            probes.push_back({qd(rng), -1});
+        }
+    }
+    return probes;
+}
+
+/** Apply one of the six single-qubit stabilizer-state preparations
+ * (|0>, |1>, |+>, |->, |+i>, |-i>) to tableau qubit q. */
+void
+applyStabilizerPrep(sim::StabilizerTableau &tab, int q, int idx)
+{
+    switch (idx) {
+      case 0:  // |0>
+        break;
+      case 1:  // |1>
+        tab.x(q);
+        break;
+      case 2:  // |+>
+        tab.h(q);
+        break;
+      case 3:  // |->
+        tab.x(q);
+        tab.h(q);
+        break;
+      case 4:  // |+i>
+        tab.h(q);
+        tab.s(q);
+        break;
+      default:  // |-i>
+        tab.x(q);
+        tab.h(q);
+        tab.s(q);
+        break;
+    }
+}
+
 } // namespace
 
 std::string
 checkModeName(CheckMode m)
 {
-    return m == CheckMode::Full ? "full" : "probe";
+    switch (m) {
+      case CheckMode::Full:
+        return "full";
+      case CheckMode::Stabilizer:
+        return "stabilizer";
+      case CheckMode::Probe:
+        return "probe";
+      default:
+        return "pauli-probe";
+    }
 }
 
 EquivalenceChecker::EquivalenceChecker(EquivalenceOptions opt)
@@ -61,9 +128,18 @@ EquivalenceChecker::EquivalenceChecker(EquivalenceOptions opt)
     if (opt_.trials < 1)
         throw std::invalid_argument(
             "EquivalenceChecker: trials < 1");
+    if (opt_.stabilizerTrials < 1)
+        throw std::invalid_argument(
+            "EquivalenceChecker: stabilizerTrials < 1");
     if (opt_.probesPerTrial < 1)
         throw std::invalid_argument(
             "EquivalenceChecker: probesPerTrial < 1");
+    if (opt_.pauliProbeMaxTerms < 1)
+        throw std::invalid_argument(
+            "EquivalenceChecker: pauliProbeMaxTerms < 1");
+    if (!(opt_.pauliProbeBudget > 0.0))
+        throw std::invalid_argument(
+            "EquivalenceChecker: pauliProbeBudget must be > 0");
 }
 
 EquivalenceReport
@@ -88,12 +164,9 @@ EquivalenceChecker::check(const Circuit &logical,
             "EquivalenceChecker: maps must be injective placements "
             "onto the device register");
 
-    EquivalenceReport rep;
-    rep.mode = (N <= opt_.maxFullQubits) ? CheckMode::Full
-                                         : CheckMode::Probe;
-
     // Unmapped device qubits must stay |0>; witness them explicitly
-    // in probe mode (full mode covers them through the overlap).
+    // in the scalable modes (full mode covers them through the
+    // overlap).
     std::vector<int> unmapped;
     {
         std::vector<int> used(N, 0);
@@ -103,6 +176,28 @@ EquivalenceChecker::check(const Circuit &logical,
             if (!used[dq])
                 unmapped.push_back(dq);
     }
+
+    // Oracle selection.  Every ceiling is clamped to the statevector
+    // hard limit so no mode can ever attempt an impossible
+    // allocation (the scenario generator is free to ask for
+    // thousands of qubits).
+    const int effFull =
+        std::min(opt_.maxFullQubits, core::kStatevectorMaxQubits);
+    const int effState =
+        std::min(std::max(opt_.maxStateQubits, effFull),
+                 core::kStatevectorMaxQubits);
+    if (N > effFull) {
+        if (sim::isCliffordCircuit(logical) &&
+            sim::isCliffordCircuit(device))
+            return checkStabilizer(logical, device, initialMap,
+                                   finalMap, unmapped);
+        if (N > effState)
+            return checkPauliProbe(logical, device, initialMap,
+                                   finalMap, unmapped);
+    }
+
+    EquivalenceReport rep;
+    rep.mode = (N <= effFull) ? CheckMode::Full : CheckMode::Probe;
 
     for (int t = 0; t < opt_.trials; ++t) {
         std::mt19937_64 rng(opt_.seed + kGolden * (t + 1));
@@ -152,18 +247,8 @@ EquivalenceChecker::check(const Circuit &logical,
             std::vector<linalg::Mat2> frame(n);
             for (int q = 0; q < n; ++q)
                 frame[q] = randomFrame(rng);
-            std::uniform_int_distribution<int> qd(0, n - 1);
-            std::vector<Probe> probes;
-            for (int k = 0; k < opt_.probesPerTrial; ++k) {
-                if (n >= 2 && k % 2 == 1) {
-                    int u = qd(rng), v = qd(rng);
-                    while (v == u)
-                        v = qd(rng);
-                    probes.push_back({u, v});
-                } else {
-                    probes.push_back({qd(rng), -1});
-                }
-            }
+            std::vector<Probe> probes =
+                drawProbes(rng, n, opt_.probesPerTrial);
 
             std::vector<double> expectL;
             {
@@ -228,6 +313,261 @@ EquivalenceChecker::check(const Circuit &logical,
             }
         }
         rep.trialsRun = t + 1;
+    }
+    rep.equivalent = true;
+    return rep;
+}
+
+EquivalenceReport
+EquivalenceChecker::checkStabilizer(
+    const Circuit &logical, const Circuit &device,
+    const qap::Placement &initialMap, const qap::Placement &finalMap,
+    const std::vector<int> &unmapped) const
+{
+    const int n = logical.numQubits();
+    const int N = device.numQubits();
+    EquivalenceReport rep;
+    rep.mode = CheckMode::Stabilizer;
+
+    for (int t = 0; t < opt_.stabilizerTrials; ++t) {
+        std::mt19937_64 rng(opt_.seed + kGolden * (t + 1) +
+                            kStabSalt);
+        std::uniform_int_distribution<int> sd(0, 5);
+        std::vector<int> prepIdx(n);
+        for (int q = 0; q < n; ++q)
+            prepIdx[q] = sd(rng);
+
+        sim::StabilizerTableau tabL(n);
+        for (int q = 0; q < n; ++q)
+            applyStabilizerPrep(tabL, q, prepIdx[q]);
+        tabL.applyCircuit(logical);
+
+        sim::StabilizerTableau tabD(N);
+        for (int q = 0; q < n; ++q)
+            applyStabilizerPrep(tabD, initialMap[q], prepIdx[q]);
+        tabD.applyCircuit(device);
+
+        for (int dq : unmapped) {
+            int z = tabD.expectationZ(dq);
+            rep.worstDeviation = std::max(
+                rep.worstDeviation, std::abs(1.0 - z));
+            if (z != 1) {
+                std::ostringstream os;
+                os << "trial " << t << ": unmapped device qubit "
+                   << dq << " left |0> (<Z> = " << z << ")";
+                rep.detail = os.str();
+                rep.trialsRun = t + 1;
+                return rep;
+            }
+        }
+
+        // The n logical stabilizer generators mapped through
+        // finalMap, plus the unmapped-qubit Zs above, form a full
+        // independent commuting generator set: all +1 proves exact
+        // state equality for this input.
+        for (int i = 0; i < n; ++i) {
+            sim::PauliString g = tabL.stabilizerRow(i);
+            sim::PauliString mapped(N);
+            for (int q = 0; q < n; ++q) {
+                if (g.getX(q))
+                    mapped.setX(finalMap[q]);
+                if (g.getZ(q))
+                    mapped.setZ(finalMap[q]);
+            }
+            mapped.negative = g.negative;
+            int e = tabD.expectationPauli(mapped);
+            rep.worstDeviation = std::max(
+                rep.worstDeviation, std::abs(1.0 - e));
+            if (e != 1) {
+                std::ostringstream os;
+                os << "trial " << t << ": logical stabilizer "
+                   << "generator " << i << " (" << g.str()
+                   << ") has device expectation " << e;
+                rep.detail = os.str();
+                rep.trialsRun = t + 1;
+                return rep;
+            }
+        }
+        rep.trialsRun = t + 1;
+    }
+    rep.equivalent = true;
+    return rep;
+}
+
+EquivalenceReport
+EquivalenceChecker::checkPauliProbe(
+    const Circuit &logical, const Circuit &device,
+    const qap::Placement &initialMap, const qap::Placement &finalMap,
+    const std::vector<int> &unmapped) const
+{
+    const int n = logical.numQubits();
+    const int N = device.numQubits();
+    EquivalenceReport rep;
+    rep.mode = CheckMode::PauliProbe;
+
+    PauliProbeOptions popt;
+    popt.maxTerms = opt_.pauliProbeMaxTerms;
+    popt.truncationBudget = opt_.pauliProbeBudget;
+
+    const ConjugationPlan planL(logical);
+    const ConjugationPlan planD(device);
+
+    // Witness observables are prep-independent: back-evolve each
+    // Z_dq once, evaluate per trial.
+    struct Witness
+    {
+        int dq;
+        PauliTerms obs;
+        bool usable;
+    };
+    std::vector<Witness> witnesses;
+    witnesses.reserve(unmapped.size());
+    for (int dq : unmapped) {
+        Witness w{dq, PauliTerms(N, popt), false};
+        w.obs.setZ(dq);
+        w.usable = w.obs.backPropagate(planD);
+        witnesses.push_back(std::move(w));
+    }
+
+    long comparisons = 0;
+    long skippedProbes = 0;
+
+    // Back-evolved probes are strictly local: a fault on a qubit no
+    // probe touches is undetectable by construction.  A uniform draw
+    // leaves any given qubit untouched with probability
+    // ~(1 - 3/2n)^(trials * probesPerTrial) -- at 100+ qubits that
+    // is a constant miss rate baked into the fixed seed.  Walking a
+    // shuffled permutation instead guarantees every qubit is probed
+    // once per ~2n/3 consecutive probes.
+    std::mt19937_64 coverRng(opt_.seed ^ kGolden);
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), coverRng);
+    size_t cursor = 0;
+    auto nextProbeQubit = [&]() {
+        if (cursor == order.size()) {
+            std::shuffle(order.begin(), order.end(), coverRng);
+            cursor = 0;
+        }
+        return order[cursor++];
+    };
+
+    for (int t = 0; t < opt_.trials; ++t) {
+        std::mt19937_64 rng(opt_.seed + kGolden * (t + 1));
+
+        std::vector<linalg::Mat2> prep(n);
+        std::vector<std::array<double, 4>> sigmaL(
+            static_cast<size_t>(n));
+        std::vector<std::array<double, 4>> sigmaD(
+            static_cast<size_t>(N), {1.0, 0.0, 1.0, 0.0});
+        for (int q = 0; q < n; ++q) {
+            prep[q] = randomBlochPrep(rng);
+            sigmaL[static_cast<size_t>(q)] =
+                prepSigmaExpectations(prep[q]);
+            sigmaD[static_cast<size_t>(initialMap[q])] =
+                sigmaL[static_cast<size_t>(q)];
+        }
+
+        for (const Witness &w : witnesses) {
+            if (!w.usable) {
+                ++skippedProbes;
+                continue;
+            }
+            double z = w.obs.evaluate(sigmaD);
+            double err = w.obs.truncationError();
+            double dev = std::abs(1.0 - z);
+            ++comparisons;
+            rep.worstDeviation = std::max(rep.worstDeviation, dev);
+            if (dev > opt_.tolerance + err) {
+                std::ostringstream os;
+                os << "trial " << t << ": unmapped device qubit "
+                   << w.dq << " left |0> (<Z> = " << z
+                   << ", error bound " << err << ")";
+                rep.detail = os.str();
+                rep.trialsRun = t + 1;
+                return rep;
+            }
+        }
+
+        std::vector<linalg::Mat2> frame(n);
+        for (int q = 0; q < n; ++q)
+            frame[q] = randomFrame(rng);
+        std::vector<Probe> probes;
+        probes.reserve(static_cast<size_t>(opt_.probesPerTrial));
+        for (int k = 0; k < opt_.probesPerTrial; ++k) {
+            if (n >= 2 && k % 2 == 1) {
+                int u = nextProbeQubit();
+                int v = nextProbeQubit();
+                while (v == u)
+                    v = nextProbeQubit();
+                probes.push_back({u, v});
+            } else {
+                probes.push_back({nextProbeQubit(), -1});
+            }
+        }
+
+        for (size_t k = 0; k < probes.size(); ++k) {
+            const Probe &p = probes[k];
+
+            PauliTerms ol(n, popt);
+            PauliTerms od(N, popt);
+            if (p.v < 0) {
+                ol.setZ(p.u);
+                od.setZ(finalMap[p.u]);
+            } else {
+                ol.setZZ(p.u, p.v);
+                od.setZZ(finalMap[p.u], finalMap[p.v]);
+            }
+            // The frame is applied after the circuit, so it
+            // conjugates first in the Heisenberg order.
+            ol.conjugate1q(p.u, frame[p.u]);
+            od.conjugate1q(finalMap[p.u], frame[p.u]);
+            if (p.v >= 0) {
+                ol.conjugate1q(p.v, frame[p.v]);
+                od.conjugate1q(finalMap[p.v], frame[p.v]);
+            }
+
+            bool okL = ol.backPropagate(planL);
+            bool okD = od.backPropagate(planD);
+            double errSum =
+                ol.truncationError() + od.truncationError();
+            if (!okL || !okD || errSum > opt_.pauliProbeBudget) {
+                ++skippedProbes;
+                continue;
+            }
+
+            double eL = ol.evaluate(sigmaL);
+            double eD = od.evaluate(sigmaD);
+            double dev = std::abs(eD - eL);
+            ++comparisons;
+            rep.worstDeviation = std::max(rep.worstDeviation, dev);
+            if (dev > opt_.tolerance + errSum) {
+                std::ostringstream os;
+                os << "trial " << t << ": probe " << k << " (Z_"
+                   << p.u;
+                if (p.v >= 0)
+                    os << " Z_" << p.v;
+                os << ") differs: logical " << eL << " vs device "
+                   << eD << " (error bound " << errSum << ")";
+                rep.detail = os.str();
+                rep.trialsRun = t + 1;
+                return rep;
+            }
+        }
+        rep.trialsRun = t + 1;
+    }
+
+    if (comparisons == 0) {
+        rep.oracleUnavailable = true;
+        std::ostringstream os;
+        os << "pauli-probe oracle unavailable: all " << skippedProbes
+           << " back-evolved observables exceeded the truncation "
+           << "budget " << opt_.pauliProbeBudget
+           << " (operator scrambling beyond " << opt_.pauliProbeMaxTerms
+           << " terms); no statevector oracle exists at " << N
+           << " qubits";
+        rep.detail = os.str();
+        return rep;
     }
     rep.equivalent = true;
     return rep;

@@ -14,7 +14,8 @@
  * initialMap[q] / finalMap[q] and every unmapped device qubit starts
  * and ends in |0>.
  *
- * Two oracle modes, selected by device size:
+ * Four oracle modes, selected by device size and circuit structure
+ * (see the README oracle-selection table):
  *
  *  - Full (N <= maxFullQubits, default 20): both sides are simulated
  *    on the statevector engine for `trials` random product-state
@@ -29,19 +30,50 @@
  *    corruptions must be caught; in practice the full oracle catches
  *    every corruption whose unitary distance exceeds tau).
  *
- *  - Probe (N > maxFullQubits): holds only one statevector at a time.
- *    Per trial a random product input AND a random product output
- *    frame are drawn; the oracle compares `probesPerTrial` scalar
- *    observables (single-qubit Z and two-qubit ZZ expectations in
- *    the rotated frame) plus |0>-witnesses on unmapped device
- *    qubits.  A corruption invisible to one random frame+probe pair
- *    is caught independently by the others: the per-probe miss
- *    probability delta (measured empirically by the mutation
- *    campaign) compounds to a false-accept bound of
- *    delta^(trials * probesPerTrial) for generic faults.  Phase-only
- *    faults at the circuit end are exactly why the random output
- *    frame exists: without it, trailing Rz corruption commutes with
- *    every Z-basis observable and would be invisible.
+ *  - Stabilizer (any N, both circuits Clifford after run fusion):
+ *    `stabilizerTrials` random product-stabilizer inputs are evolved
+ *    on the CHP tableau (sim/stabilizer.h, O(N^2 / 64) per gate).
+ *    For each input the oracle demands <Z> = +1 on every unmapped
+ *    device qubit and expectation +1 for every logical stabilizer
+ *    generator mapped through finalMap -- a full independent
+ *    commuting generator set, so passing one trial proves EXACT
+ *    state equality for that input.  The check is exact arithmetic
+ *    (integer expectations, no tolerance); any deviation is a hard
+ *    failure.  This is the only oracle that verifies exactly at
+ *    hundreds or thousands of qubits.
+ *
+ *  - Probe (maxFullQubits < N <= maxStateQubits, default 26): holds
+ *    only one statevector at a time.  Per trial a random product
+ *    input AND a random product output frame are drawn; the oracle
+ *    compares `probesPerTrial` scalar observables (single-qubit Z
+ *    and two-qubit ZZ expectations in the rotated frame) plus
+ *    |0>-witnesses on unmapped device qubits.  A corruption
+ *    invisible to one random frame+probe pair is caught
+ *    independently by the others: the per-probe miss probability
+ *    delta (measured empirically by the mutation campaign) compounds
+ *    to a false-accept bound of delta^(trials * probesPerTrial) for
+ *    generic faults.  Phase-only faults at the circuit end are
+ *    exactly why the random output frame exists: without it,
+ *    trailing Rz corruption commutes with every Z-basis observable
+ *    and would be invisible.
+ *
+ *  - PauliProbe (N > maxStateQubits, non-Clifford): the same
+ *    frame+probe plan, but each observable is back-evolved through
+ *    both circuits as a sparse Pauli expansion (verify/pauli_probe.h)
+ *    and evaluated on the product input directly -- no statevector
+ *    ever exists, so there is no qubit ceiling.  Clifford segments
+ *    propagate exactly (one term in, one term out); generic gates
+ *    fan out and are weight-truncated, with the dropped L1 mass
+ *    giving a rigorous per-probe error bound: a probe only
+ *    certifies/refutes at tolerance + errL + errD.  Because these
+ *    probes are strictly local, probe qubits walk a seeded shuffled
+ *    permutation rather than a uniform draw: every qubit is probed
+ *    once per ~2n/3 consecutive probes, so a localized fault cannot
+ *    sit on a qubit the whole plan happens to miss.  Probes whose
+ *    combined truncation error exceeds pauliProbeBudget are skipped;
+ *    if EVERY comparison is skipped the oracle reports
+ *    oracleUnavailable (a named, catchable outcome -- never a crash
+ *    or a silent accept).
  *
  * Determinism: the checker derives all randomness from options.seed,
  * so a reported deviation reproduces exactly; simulations attach an
@@ -55,6 +87,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/limits.h"
 #include "qap/qap.h"
 #include "qcir/circuit.h"
 
@@ -66,19 +99,36 @@ class Engine;
 namespace verify {
 
 /** Which oracle certified (or refuted) the equivalence. */
-enum class CheckMode { Full, Probe };
+enum class CheckMode { Full, Stabilizer, Probe, PauliProbe };
 
 std::string checkModeName(CheckMode m);
 
 struct EquivalenceOptions
 {
     /** Full statevector comparison up to this many DEVICE qubits;
-     * larger devices use the probe oracle. */
-    int maxFullQubits = 20;
-    /** Random product-state input trials. */
+     * larger devices use the stabilizer / probe / pauli-probe
+     * oracles.  Clamped to core::kStatevectorMaxQubits. */
+    int maxFullQubits = core::kDefaultFullOracleQubits;
+    /** Scalar-probe oracle ceiling: above this many device qubits no
+     * statevector is ever allocated (stabilizer or pauli-probe
+     * oracles take over).  Clamped to [maxFullQubits,
+     * core::kStatevectorMaxQubits]. */
+    int maxStateQubits = core::kDefaultProbeOracleQubits;
+    /** Random product-state input trials (full / probe /
+     * pauli-probe). */
     int trials = 3;
-    /** Scalar observables compared per trial in probe mode. */
+    /** Random product-stabilizer input trials of the stabilizer
+     * oracle; each is an exact state-equality proof for its input. */
+    int stabilizerTrials = 8;
+    /** Scalar observables compared per trial in probe modes. */
     int probesPerTrial = 12;
+    /** Term ceiling of the pauli-probe back-evolution; beyond it the
+     * smallest terms are truncated into the probe's error bound. */
+    int pauliProbeMaxTerms = 4096;
+    /** A pauli-probe comparison is skipped once its combined
+     * truncation error exceeds this (it could no longer certify at
+     * tolerance); all comparisons skipped => oracleUnavailable. */
+    double pauliProbeBudget = 0.05;
     /** |1 - overlap| (full) / probe delta (probe) acceptance
      * threshold.  Decomposition passes accumulate ~1e-12 per gate;
      * 1e-7 keeps orders of magnitude of head-room on both sides. */
@@ -96,9 +146,16 @@ struct EquivalenceReport
     CheckMode mode = CheckMode::Full;
     int trialsRun = 0;
     /** Worst deviation seen: max |1 - |overlap|| (full) or max
-     * probe delta (probe).  Reported even on success, so tests can
-     * pin how much slack remains. */
+     * probe delta (probe modes; stabilizer deviations are exact
+     * integers).  Reported even on success, so tests can pin how
+     * much slack remains. */
     double worstDeviation = 0.0;
+    /** True when no oracle could decide: every pauli-probe
+     * comparison exceeded its truncation budget.  Always paired
+     * with equivalent == false and a detail naming the oracle and
+     * the reason -- callers must treat this as "skipped", never as
+     * a verdict. */
+    bool oracleUnavailable = false;
     /** Human-readable description of the first failure (empty when
      * equivalent). */
     std::string detail;
@@ -132,6 +189,17 @@ class EquivalenceChecker
                             const qcir::Circuit &b) const;
 
   private:
+    EquivalenceReport checkStabilizer(
+        const qcir::Circuit &logical, const qcir::Circuit &device,
+        const qap::Placement &initialMap,
+        const qap::Placement &finalMap,
+        const std::vector<int> &unmapped) const;
+    EquivalenceReport checkPauliProbe(
+        const qcir::Circuit &logical, const qcir::Circuit &device,
+        const qap::Placement &initialMap,
+        const qap::Placement &finalMap,
+        const std::vector<int> &unmapped) const;
+
     EquivalenceOptions opt_;
 };
 

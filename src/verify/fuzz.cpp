@@ -2,11 +2,13 @@
 
 #include <functional>
 #include <iterator>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/backend.h"
 #include "core/hash.h"
+#include "device/noise_map.h"
 #include "ham/trotter.h"
 #include "robust/fault.h"
 #include "verify/mutate.h"
@@ -46,32 +48,56 @@ jobFor(const Scenario &s, const std::string &backend,
     job.time = s.time;
     job.options.seed = s.seed * kGolden + core::fnv1a64(backend);
     job.options.mapperTrials = opt.mapperTrials;
+    if (s.withNoise) {
+        // Rebuilt per call because NoiseMap references its Topology:
+        // it must be anchored to THIS scenario instance (which every
+        // caller keeps alive across the compile).
+        std::mt19937_64 nrng(s.noiseSeed);
+        job.options.noiseMap = std::make_shared<device::NoiseMap>(
+            device::NoiseMap::synthetic(s.topo, nrng));
+        job.options.noiseLambda = s.noiseLambda;
+    }
     return job;
 }
 
-/** Compile + verify one (scenario, backend) case; empty error =
- * clean.  The compiled result is handed back for the mutation
- * campaign. */
-std::string
+/** Outcome of one (scenario, backend) case: clean (both strings
+ * empty), failed (error set), or skipped-with-reason (the oracle
+ * declined to judge; skipReason names which oracle and why). */
+struct CaseOutcome
+{
+    std::string error;
+    std::string skipReason;
+};
+
+/** Compile + verify one (scenario, backend) case.  The compiled
+ * result is handed back for the mutation campaign. */
+CaseOutcome
 checkCase(const Scenario &s, const std::string &backend,
           const FuzzOptions &opt, core::CompileResult *resOut)
 {
+    CaseOutcome out;
     core::CompileResult res;
     try {
         res = core::backendByName(backend).compile(
             jobFor(s, backend, opt), s.topo);
     } catch (const std::exception &e) {
-        return std::string("compile threw: ") + e.what();
+        out.error = std::string("compile threw: ") + e.what();
+        return out;
     }
     CompilationCheck chk;
     try {
         chk = checkCompilation(*s.step, res, opt.check);
     } catch (const std::exception &e) {
-        return std::string("checker threw: ") + e.what();
+        out.error = std::string("checker threw: ") + e.what();
+        return out;
     }
     if (resOut)
         *resOut = std::move(res);
-    return chk.ok ? std::string() : chk.error;
+    if (chk.skipped)
+        out.skipReason = chk.skipReason;
+    else if (!chk.ok)
+        out.error = chk.error;
+    return out;
 }
 
 /**
@@ -109,7 +135,10 @@ shrunk(const Scenario &s0, const std::string &backend,
                     std::move(h));
             cand.step = std::make_shared<qcir::Circuit>(
                 ham::trotterStep(*cand.hamiltonian, cand.time));
-            if (!checkCase(cand, backend, opt, nullptr).empty()) {
+            // Only a live FAILURE keeps the shrink going; a skipped
+            // candidate proves nothing about the bug.
+            if (!checkCase(cand, backend, opt, nullptr)
+                     .error.empty()) {
                 best = std::move(cand);
                 progress = true;
                 break;  // restart the scan on the smaller instance
@@ -143,7 +172,9 @@ madeFailure(const Scenario &s, const std::string &backend,
 struct CaseResult
 {
     std::vector<FuzzFailure> failures;
+    std::vector<FuzzSkip> skips;
     int cases = 0;
+    int skipped = 0;
     int mutTried = 0;
     int mutDetected = 0;
 };
@@ -155,7 +186,7 @@ struct CaseResult
  * to an uninterrupted one.  Versioned, length-prefixed, all integers
  * little-endian.
  */
-constexpr char kPayloadMagic[] = "FZS1";
+constexpr char kPayloadMagic[] = "FZS2";
 
 void
 putU32(std::string &buf, std::uint32_t v)
@@ -223,6 +254,7 @@ serializeShard(const CaseResult &r)
 {
     std::string buf(kPayloadMagic, 4);
     putU32(buf, static_cast<std::uint32_t>(r.cases));
+    putU32(buf, static_cast<std::uint32_t>(r.skipped));
     putU32(buf, static_cast<std::uint32_t>(r.mutTried));
     putU32(buf, static_cast<std::uint32_t>(r.mutDetected));
     putU32(buf, static_cast<std::uint32_t>(r.failures.size()));
@@ -232,6 +264,13 @@ serializeShard(const CaseResult &r)
         putU64(buf, f.scenarioSeed);
         putStr(buf, f.error);
         putStr(buf, f.reproducer);
+    }
+    putU32(buf, static_cast<std::uint32_t>(r.skips.size()));
+    for (const auto &k : r.skips) {
+        putStr(buf, k.backend);
+        putStr(buf, k.scenarioName);
+        putU64(buf, k.scenarioSeed);
+        putStr(buf, k.reason);
     }
     return buf;
 }
@@ -246,6 +285,7 @@ parseShard(const std::string &payload)
     rd.at = 4;
     CaseResult r;
     r.cases = static_cast<int>(rd.u32());
+    r.skipped = static_cast<int>(rd.u32());
     r.mutTried = static_cast<int>(rd.u32());
     r.mutDetected = static_cast<int>(rd.u32());
     std::uint32_t nfail = rd.u32();
@@ -258,6 +298,16 @@ parseShard(const std::string &payload)
         f.error = rd.str();
         f.reproducer = rd.str();
         r.failures.push_back(std::move(f));
+    }
+    std::uint32_t nskip = rd.u32();
+    r.skips.reserve(nskip);
+    for (std::uint32_t i = 0; i < nskip; ++i) {
+        FuzzSkip k;
+        k.backend = rd.str();
+        k.scenarioName = rd.str();
+        k.scenarioSeed = rd.u64();
+        k.reason = rd.str();
+        r.skips.push_back(std::move(k));
     }
     return r;
 }
@@ -276,10 +326,17 @@ fuzzShard(std::uint64_t shard,
         if (!backendAccepts(b, s))
             continue;
         core::CompileResult res;
-        std::string err = checkCase(s, b, opt, &res);
+        CaseOutcome outcome = checkCase(s, b, opt, &res);
         ++slot.cases;
-        if (!err.empty()) {
-            slot.failures.push_back(madeFailure(s, b, err, opt));
+        if (!outcome.error.empty()) {
+            slot.failures.push_back(
+                madeFailure(s, b, outcome.error, opt));
+            continue;
+        }
+        if (!outcome.skipReason.empty()) {
+            ++slot.skipped;
+            slot.skips.push_back(
+                {b, s.name, s.seed, outcome.skipReason});
             continue;
         }
         if (opt.mutationsPerCase <= 0)
@@ -299,10 +356,12 @@ fuzzShard(std::uint64_t shard,
             Mutation mut;
             if (!mutateCircuit(res.sched.deviceCircuit, mrng, &mut))
                 break;  // nothing mutable (e.g. 1q-only)
-            ++slot.mutTried;
             EquivalenceReport rep =
                 checker.check(ref.logical, mut.circuit,
                               res.initialLayout(), res.finalLayout());
+            if (rep.oracleUnavailable)
+                continue;  // undecided: must not shape the rate
+            ++slot.mutTried;
             if (!rep.equivalent)
                 ++slot.mutDetected;
         }
@@ -318,14 +377,17 @@ fuzzConfigTag(const FuzzOptions &opt,
               const std::vector<std::string> &backends)
 {
     std::ostringstream os;
-    os << "fuzz-v1 iter=" << opt.iterations << " seed=" << opt.seed
+    os << "fuzz-v2 iter=" << opt.iterations << " seed=" << opt.seed
        << " trials=" << opt.mapperTrials
        << " mut=" << opt.mutationsPerCase
        << " shrink=" << (opt.shrink ? 1 : 0)
        << " scen=" << opt.scenario.minQubits << '-'
        << opt.scenario.maxQubits << '/'
        << opt.scenario.maxDeviceQubits << '/'
-       << opt.scenario.adversarialFraction << " backends=";
+       << opt.scenario.adversarialFraction << '/'
+       << (opt.scenario.cliffordOnly ? 1 : 0) << '/'
+       << opt.scenario.structuredFraction << '/'
+       << (opt.scenario.withNoise ? 1 : 0) << " backends=";
     for (size_t i = 0; i < backends.size(); ++i)
         os << (i ? "," : "") << backends[i];
     return os.str();
@@ -334,7 +396,8 @@ fuzzConfigTag(const FuzzOptions &opt,
 } // namespace
 
 std::vector<FuzzFailure>
-runScenario(const Scenario &s, const FuzzOptions &opt)
+runScenario(const Scenario &s, const FuzzOptions &opt,
+            std::vector<FuzzSkip> *skipsOut)
 {
     std::vector<std::string> backends =
         opt.backends.empty() ? core::backendNames() : opt.backends;
@@ -342,11 +405,14 @@ runScenario(const Scenario &s, const FuzzOptions &opt)
     for (const auto &b : backends) {
         if (!backendAccepts(b, s))
             continue;
-        std::string err = checkCase(s, b, opt, nullptr);
-        if (!err.empty()) {
+        CaseOutcome outcome = checkCase(s, b, opt, nullptr);
+        if (!outcome.error.empty()) {
             FuzzOptions noShrink = opt;
             noShrink.shrink = false;
-            out.push_back(madeFailure(s, b, err, noShrink));
+            out.push_back(madeFailure(s, b, outcome.error, noShrink));
+        } else if (!outcome.skipReason.empty() && skipsOut) {
+            skipsOut->push_back(
+                {b, s.name, s.seed, outcome.skipReason});
         }
     }
     return out;
@@ -383,6 +449,7 @@ runFuzz(const FuzzOptions &opt)
             continue; // quarantined or skipped
         CaseResult r = parseShard(payload);
         sum.cases += r.cases;
+        sum.skippedCases += r.skipped;
         sum.mutationsTried += r.mutTried;
         sum.mutationsDetected += r.mutDetected;
         sum.failures.insert(sum.failures.end(),
@@ -390,6 +457,9 @@ runFuzz(const FuzzOptions &opt)
                                 r.failures.begin()),
                             std::make_move_iterator(
                                 r.failures.end()));
+        sum.skips.insert(sum.skips.end(),
+                         std::make_move_iterator(r.skips.begin()),
+                         std::make_move_iterator(r.skips.end()));
     }
     sum.restoredShards = camp.restored;
     sum.retriedShards = camp.retried;
@@ -405,6 +475,9 @@ summaryLine(const FuzzSummary &s)
     std::ostringstream os;
     os << s.scenarios << " scenarios, " << s.cases << " cases, "
        << s.failures.size() << " failures";
+    if (s.skippedCases > 0)
+        os << ", " << s.skippedCases
+           << " skipped (oracle-unavailable)";
     if (s.mutationsTried > 0) {
         os.precision(1);
         os << std::fixed << ", mutation detection "

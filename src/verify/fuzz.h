@@ -87,12 +87,29 @@ struct FuzzFailure
     std::string reproducer;
 };
 
+/** One skipped (scenario, backend) case: the oracle could not
+ * decide (oracle-unavailable).  Neither a pass nor a failure; the
+ * reason names the refusing oracle and why. */
+struct FuzzSkip
+{
+    std::string backend;
+    std::string scenarioName;
+    std::uint64_t scenarioSeed = 0;
+    std::string reason;
+};
+
 struct FuzzSummary
 {
     int scenarios = 0;
     int cases = 0;  ///< (scenario, backend) compilations checked
     std::vector<FuzzFailure> failures;
-    /** Mutation campaign tallies. */
+    /** Cases the oracle declined to judge (skipped-with-reason;
+     * never counted as failures OR as verified-clean). */
+    int skippedCases = 0;
+    std::vector<FuzzSkip> skips;
+    /** Mutation campaign tallies.  A mutant whose check comes back
+     * oracle-unavailable is not counted as tried: an undecided
+     * oracle must not dilute (or inflate) the detection rate. */
     int mutationsTried = 0;
     int mutationsDetected = 0;
     /** Campaign supervision tallies (see robust/runner.h). */
@@ -118,9 +135,13 @@ struct FuzzSummary
 FuzzSummary runFuzz(const FuzzOptions &opt);
 
 /** Compile + verify one scenario against the requested backends
- * (reproducer replay); failures come back unshrunk. */
-std::vector<FuzzFailure> runScenario(const testgen::Scenario &s,
-                                     const FuzzOptions &opt);
+ * (reproducer replay); failures come back unshrunk.  When skipsOut
+ * is non-null, oracle-unavailable cases are reported there with the
+ * refusing oracle named (instead of escaping as exceptions or being
+ * silently dropped). */
+std::vector<FuzzFailure> runScenario(
+    const testgen::Scenario &s, const FuzzOptions &opt,
+    std::vector<FuzzSkip> *skipsOut = nullptr);
 
 /** Human-readable one-line summary ("500 scenarios, 2500 cases, 0
  * failures, mutation detection 100.0% (n=320)"). */

@@ -1,0 +1,374 @@
+#include "verify/pauli_probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace tqan {
+namespace verify {
+
+namespace {
+
+const linalg::Mat2 &
+pauliByCode(int code)
+{
+    static const linalg::Mat2 table[4] = {
+        linalg::pauliI(), linalg::pauliX(), linalg::pauliZ(),
+        linalg::pauliY()};
+    return table[code & 3];
+}
+
+/** Entries below this are fp residue of an exactly-zero trace
+ * (cos(pi/2) evaluates to ~6e-17): snapping them at table build
+ * keeps Clifford conjugation genuinely one-string-to-one-string
+ * with zero truncation error, instead of fanning out dust that the
+ * pruner then has to account.  A legitimate entry this small would
+ * need an angle within 1e-14 of a Clifford point, where the snap is
+ * the right answer anyway; the introduced defect is < 1e-14 per
+ * gate, far below verifier tolerances. */
+constexpr double kTableSnap = 1e-14;
+
+double
+snapDust(double v)
+{
+    return std::fabs(v) < kTableSnap ? 0.0 : v;
+}
+
+/** coef[s * 4 + t] = Re tr(P_t u_dag P_s u) / 2. */
+std::vector<double>
+conjugationTable1q(const linalg::Mat2 &u)
+{
+    std::vector<double> coef(16, 0.0);
+    const linalg::Mat2 ud = u.dagger();
+    for (int s = 0; s < 4; ++s) {
+        const linalg::Mat2 img = ud * pauliByCode(s) * u;
+        for (int t = 0; t < 4; ++t) {
+            const linalg::Mat2 &pt = pauliByCode(t);
+            linalg::Cx tr(0.0, 0.0);
+            for (int r = 0; r < 2; ++r)
+                for (int c = 0; c < 2; ++c)
+                    tr += pt.at(r, c) * img.at(c, r);
+            coef[s * 4 + t] = snapDust(0.5 * tr.real());
+        }
+    }
+    return coef;
+}
+
+/** coef[s * 16 + t] = Re tr(P_t u_dag P_s u) / 4; pair code
+ * s = codeAtQ0 + 4 * codeAtQ1 in the unitary4() local frame
+ * (op.q0 = least significant bit). */
+std::vector<double>
+conjugationTable2q(const linalg::Mat4 &u)
+{
+    linalg::Mat4 paulis[16];
+    for (int i = 0; i < 16; ++i)
+        paulis[i] = linalg::kron(pauliByCode(i / 4), pauliByCode(i % 4));
+    std::vector<double> coef(256, 0.0);
+    const linalg::Mat4 ud = u.dagger();
+    for (int s = 0; s < 16; ++s) {
+        const linalg::Mat4 img = ud * paulis[s] * u;
+        for (int t = 0; t < 16; ++t) {
+            linalg::Cx tr(0.0, 0.0);
+            for (int r = 0; r < 4; ++r)
+                for (int c = 0; c < 4; ++c)
+                    tr += paulis[t].at(r, c) * img.at(c, r);
+            coef[s * 16 + t] = snapDust(0.25 * tr.real());
+        }
+    }
+    return coef;
+}
+
+inline int
+codeAt(const std::vector<std::uint64_t> &key, int words, int q)
+{
+    const int w = q >> 6;
+    const std::uint64_t bit = 1ULL << (q & 63);
+    return static_cast<int>((key[static_cast<size_t>(w)] & bit) != 0) |
+           (static_cast<int>(
+                (key[static_cast<size_t>(words + w)] & bit) != 0)
+            << 1);
+}
+
+inline void
+setCodeAt(std::vector<std::uint64_t> &key, int words, int q, int code)
+{
+    const int w = q >> 6;
+    const std::uint64_t bit = 1ULL << (q & 63);
+    if (code & 1)
+        key[static_cast<size_t>(w)] |= bit;
+    else
+        key[static_cast<size_t>(w)] &= ~bit;
+    if (code & 2)
+        key[static_cast<size_t>(words + w)] |= bit;
+    else
+        key[static_cast<size_t>(words + w)] &= ~bit;
+}
+
+} // namespace
+
+ConjugationPlan::ConjugationPlan(const qcir::Circuit &c)
+    : n_(c.numQubits())
+{
+    // Memoize tables by symbolic gate flavour: Trotterized circuits
+    // repeat the same few (kind, angles) combinations thousands of
+    // times, so table construction collapses to one 16x16 trace
+    // computation per flavour.  Dense payloads (U1q / U2q) are not
+    // memoized.
+    using Key = std::tuple<int, double, double, double, double>;
+    std::map<Key, std::shared_ptr<const std::vector<double>>> memo;
+    gates_.reserve(c.ops().size());
+    for (const qcir::Op &op : c.ops()) {
+        Gate g;
+        g.q0 = op.q0;
+        if (op.isTwoQubit())
+            g.q1 = op.q1;
+        const bool dense = op.mat1 != nullptr || op.mat2 != nullptr;
+        Key key(static_cast<int>(op.kind), op.theta, op.axx, op.ayy,
+                op.azz);
+        if (!dense) {
+            auto hit = memo.find(key);
+            if (hit != memo.end()) {
+                g.coef = hit->second;
+                gates_.push_back(std::move(g));
+                continue;
+            }
+        }
+        auto table = std::make_shared<const std::vector<double>>(
+            op.isTwoQubit() ? conjugationTable2q(op.unitary4())
+                            : conjugationTable1q(op.unitary2()));
+        if (!dense)
+            memo.emplace(std::move(key), table);
+        g.coef = std::move(table);
+        gates_.push_back(std::move(g));
+    }
+}
+
+PauliTerms::PauliTerms(int n, const PauliProbeOptions &opt)
+    : n_(n), words_((n + 63) / 64), opt_(opt)
+{
+    if (n < 1)
+        throw std::invalid_argument("PauliTerms: need n >= 1");
+    if (opt_.maxTerms < 1)
+        throw std::invalid_argument("PauliTerms: need maxTerms >= 1");
+}
+
+void
+PauliTerms::setZ(int q)
+{
+    terms_.clear();
+    truncErr_ = 0.0;
+    std::vector<std::uint64_t> key(2 * static_cast<size_t>(words_), 0);
+    setCodeAt(key, words_, q, 2);
+    terms_.emplace(std::move(key), 1.0);
+}
+
+void
+PauliTerms::setZZ(int u, int v)
+{
+    terms_.clear();
+    truncErr_ = 0.0;
+    std::vector<std::uint64_t> key(2 * static_cast<size_t>(words_), 0);
+    setCodeAt(key, words_, u, 2);
+    setCodeAt(key, words_, v, 2);
+    terms_.emplace(std::move(key), 1.0);
+}
+
+void
+PauliTerms::conjugate1q(int q, const linalg::Mat2 &u)
+{
+    const std::vector<double> coef = conjugationTable1q(u);
+    std::map<std::vector<std::uint64_t>, double> next;
+    for (const auto &term : terms_) {
+        const int s = codeAt(term.first, words_, q);
+        if (s == 0) {
+            next[term.first] += term.second;
+            continue;
+        }
+        for (int t = 0; t < 4; ++t) {
+            const double w = coef[s * 4 + t];
+            if (w == 0.0)
+                continue;
+            std::vector<std::uint64_t> key = term.first;
+            setCodeAt(key, words_, q, t);
+            next[std::move(key)] += term.second * w;
+        }
+    }
+    terms_ = std::move(next);
+    prune();
+}
+
+bool
+PauliTerms::backPropagate(const ConjugationPlan &plan)
+{
+    // Support mask (OR of every term's x|z bits): a gate whose
+    // qubits all carry identity acts trivially, so skipping it is
+    // exact.  This is the reverse lightcone -- on sparse circuits a
+    // low-weight observable only ever touches a small fraction of
+    // the gates, which is what makes 100-1000 qubit probes cheap.
+    std::vector<std::uint64_t> mask(static_cast<size_t>(words_), 0);
+    auto rebuildMask = [&]() {
+        std::fill(mask.begin(), mask.end(), 0);
+        for (const auto &term : terms_)
+            for (int w = 0; w < words_; ++w)
+                mask[static_cast<size_t>(w)] |=
+                    term.first[static_cast<size_t>(w)] |
+                    term.first[static_cast<size_t>(words_ + w)];
+    };
+    rebuildMask();
+    auto inMask = [&](int q) {
+        return ((mask[static_cast<size_t>(q >> 6)] >> (q & 63)) &
+                1ULL) != 0;
+    };
+
+    // Heisenberg picture: the last-applied gate conjugates first.
+    for (auto it = plan.gates_.rbegin(); it != plan.gates_.rend();
+         ++it) {
+        const ConjugationPlan::Gate &g = *it;
+        if (!inMask(g.q0) && (g.q1 < 0 || !inMask(g.q1)))
+            continue;
+        std::map<std::vector<std::uint64_t>, double> next;
+        if (g.q1 < 0) {
+            for (const auto &term : terms_) {
+                const int s = codeAt(term.first, words_, g.q0);
+                if (s == 0) {
+                    next[term.first] += term.second;
+                    continue;
+                }
+                for (int t = 0; t < 4; ++t) {
+                    const double w =
+                        (*g.coef)[static_cast<size_t>(s * 4 + t)];
+                    if (w == 0.0)
+                        continue;
+                    std::vector<std::uint64_t> key = term.first;
+                    setCodeAt(key, words_, g.q0, t);
+                    next[std::move(key)] += term.second * w;
+                }
+            }
+        } else {
+            for (const auto &term : terms_) {
+                const int s = codeAt(term.first, words_, g.q0) +
+                              4 * codeAt(term.first, words_, g.q1);
+                if (s == 0) {
+                    next[term.first] += term.second;
+                    continue;
+                }
+                for (int t = 0; t < 16; ++t) {
+                    const double w =
+                        (*g.coef)[static_cast<size_t>(s * 16 + t)];
+                    if (w == 0.0)
+                        continue;
+                    std::vector<std::uint64_t> key = term.first;
+                    setCodeAt(key, words_, g.q0, t & 3);
+                    setCodeAt(key, words_, g.q1, t >> 2);
+                    next[std::move(key)] += term.second * w;
+                }
+            }
+        }
+        terms_ = std::move(next);
+        prune();
+        if (truncErr_ > opt_.truncationBudget)
+            return false;
+        rebuildMask();
+    }
+    return true;
+}
+
+void
+PauliTerms::prune()
+{
+    // Dust first: exact conjugation leaves fp residue that would
+    // otherwise crowd the term budget; the dropped mass still counts
+    // toward the bound so it stays rigorous.
+    for (auto it = terms_.begin(); it != terms_.end();) {
+        if (std::fabs(it->second) < opt_.dustTolerance) {
+            truncErr_ += std::fabs(it->second);
+            it = terms_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    const int excess =
+        static_cast<int>(terms_.size()) - opt_.maxTerms;
+    if (excess <= 0)
+        return;
+    // Keep the maxTerms largest |coeff|; map iteration order makes
+    // equal-magnitude tie-breaking deterministic.
+    std::vector<double> mags;
+    mags.reserve(terms_.size());
+    for (const auto &term : terms_)
+        mags.push_back(std::fabs(term.second));
+    std::nth_element(mags.begin(),
+                     mags.begin() + (excess - 1), mags.end());
+    const double cut = mags[static_cast<size_t>(excess - 1)];
+    int tiesToDrop = excess;  // drop only `excess` of the ties at cut
+    for (const auto &m : mags)
+        if (m < cut)
+            --tiesToDrop;
+    for (auto it = terms_.begin();
+         it != terms_.end() &&
+         static_cast<int>(terms_.size()) > opt_.maxTerms;) {
+        const double m = std::fabs(it->second);
+        bool drop = false;
+        if (m < cut) {
+            drop = true;
+        } else if (m == cut && tiesToDrop > 0) {
+            drop = true;
+            --tiesToDrop;
+        }
+        if (drop) {
+            truncErr_ += m;
+            it = terms_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+double
+PauliTerms::evaluate(
+    const std::vector<std::array<double, 4>> &sigmaExp) const
+{
+    double acc = 0.0;
+    for (const auto &term : terms_) {
+        double val = term.second;
+        for (int w = 0; w < words_ && val != 0.0; ++w) {
+            std::uint64_t support =
+                term.first[static_cast<size_t>(w)] |
+                term.first[static_cast<size_t>(words_ + w)];
+            while (support) {
+                const int b = __builtin_ctzll(support);
+                support &= support - 1;
+                const int q = w * 64 + b;
+                const int code = codeAt(term.first, words_, q);
+                if (static_cast<size_t>(q) < sigmaExp.size()) {
+                    val *= sigmaExp[static_cast<size_t>(q)]
+                                   [static_cast<size_t>(code)];
+                } else if (code != 2) {
+                    // |0>: <X> = <Y> = 0, <Z> = 1.
+                    val = 0.0;
+                    break;
+                }
+            }
+        }
+        acc += val;
+    }
+    return acc;
+}
+
+std::array<double, 4>
+prepSigmaExpectations(const linalg::Mat2 &prep)
+{
+    std::array<double, 4> out;
+    out[0] = 1.0;
+    for (int code = 1; code < 4; ++code) {
+        // <0| prep_dag sigma prep |0> = (prep_dag sigma prep)(0, 0).
+        const linalg::Mat2 m =
+            prep.dagger() * pauliByCode(code) * prep;
+        out[static_cast<size_t>(code)] = m.at(0, 0).real();
+    }
+    return out;
+}
+
+} // namespace verify
+} // namespace tqan

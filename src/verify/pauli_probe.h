@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Pauli-propagation (operator back-evolution) probe: the
+ * beyond-statevector cousin of the scalar-probe oracle.
+ *
+ * Instead of simulating the state and measuring <Z_u> / <Z_u Z_v>,
+ * the observable itself is pushed through the circuit in the
+ * Heisenberg picture, O <- g_dag O g for gates taken last to first,
+ * as a sparse real combination of Pauli strings.  The back-evolved
+ * operator is then evaluated on the product input state in O(terms)
+ * time, so no statevector ever exists and the method scales to
+ * hundreds or thousands of qubits.
+ *
+ * Each gate conjugation is EXACT (a unitary change of Pauli basis;
+ * Clifford gates map one string to one string, generic gates fan one
+ * string into at most 4 / 16).  The only approximation is weight
+ * truncation: when the term count exceeds `maxTerms`, the smallest
+ * |coefficient| terms are dropped and their L1 mass is accumulated
+ * into truncationError().
+ *
+ * Error bound (pinned by tests/verify/test_pauli_probe.cpp): for any
+ * input state |psi>,
+ *
+ *   | evaluate(psi) - <psi| U_dag O U |psi> |  <=  truncationError()
+ *
+ * because every dropped term c * P satisfies |<psi| P |psi>| <= 1,
+ * so the dropped mass bounds the expectation defect by the triangle
+ * inequality.  Numerical dust (|coeff| < dustTolerance) is dropped
+ * under the same accounting, so the bound stays rigorous.
+ *
+ * Propagation aborts (returns false) as soon as truncationError()
+ * exceeds `truncationBudget`: past that point the observable cannot
+ * certify anything at the verifier's tolerance, and circuits that
+ * scramble operators (deep non-Clifford dynamics) would otherwise
+ * waste O(maxTerms log maxTerms) per remaining gate.  Callers
+ * surface this as the oracle-unavailable outcome.
+ */
+
+#ifndef TQAN_VERIFY_PAULI_PROBE_H
+#define TQAN_VERIFY_PAULI_PROBE_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "qcir/circuit.h"
+
+namespace tqan {
+namespace verify {
+
+struct PauliProbeOptions
+{
+    /** Largest term count kept after each gate; beyond it the
+     * smallest-|coeff| terms are truncated into the error bound. */
+    int maxTerms = 4096;
+    /** Abort propagation once truncationError() exceeds this (the
+     * observable can no longer certify at verifier tolerances). */
+    double truncationBudget = 0.05;
+    /** Coefficients below this are numerical dust: dropped, but
+     * still accounted into truncationError(). */
+    double dustTolerance = 1e-12;
+};
+
+/**
+ * Precomputed Pauli-basis conjugation tables for every gate of one
+ * circuit, shared by all observables back-evolved through it (the
+ * tables are the dominant cost; one plan amortizes them across
+ * trials, probes and witnesses).
+ */
+class ConjugationPlan
+{
+  public:
+    explicit ConjugationPlan(const qcir::Circuit &c);
+
+    int numQubits() const { return n_; }
+
+  private:
+    friend class PauliTerms;
+    struct Gate
+    {
+        int q0 = -1;
+        int q1 = -1;  ///< -1 for single-qubit gates
+        /** coef[s * 16 + t] (2q, Pauli-pair codes 0..15) or
+         * coef[s * 4 + t] (1q, codes 0..3): the P_t component of
+         * U_dag P_s U.  Real because both sides are Hermitian.
+         * Shared: gates of the same symbolic flavour (Trotter
+         * circuits repeat a few flavours thousands of times) point
+         * at one memoized table. */
+        std::shared_ptr<const std::vector<double>> coef;
+    };
+    int n_;
+    std::vector<Gate> gates_;  ///< circuit order
+};
+
+/**
+ * One observable as a sparse real combination of Pauli strings,
+ * back-evolvable through circuits and gates.  Term keys pack the
+ * per-qubit codes (bit 0 = X, bit 1 = Z, so 0/1/2/3 = I/X/Z/Y)
+ * into x-words followed by z-words.
+ */
+class PauliTerms
+{
+  public:
+    explicit PauliTerms(int n, const PauliProbeOptions &opt = {});
+
+    /** Reset to the observable Z_q. */
+    void setZ(int q);
+    /** Reset to the observable Z_u Z_v. */
+    void setZZ(int u, int v);
+
+    /** O <- u_dag O u for one single-qubit unitary (used for the
+     * per-trial measurement frame, which is not part of the shared
+     * plan). */
+    void conjugate1q(int q, const linalg::Mat2 &u);
+
+    /**
+     * Back-evolve through the planned circuit (gates processed last
+     * to first).  Returns false when the truncation budget was
+     * exhausted and propagation aborted.
+     */
+    bool backPropagate(const ConjugationPlan &plan);
+
+    /** Accumulated L1 mass of every dropped term; see the header
+     * comment for the expectation error bound it implies. */
+    double truncationError() const { return truncErr_; }
+    bool withinBudget() const
+    {
+        return truncErr_ <= opt_.truncationBudget;
+    }
+    std::size_t termCount() const { return terms_.size(); }
+
+    /**
+     * <psi| O |psi> on the product state with per-qubit single-Pauli
+     * expectations sigmaExp[q] = { <I>=1, <X>, <Z>, <Y> }.  Qubits
+     * beyond sigmaExp.size() are taken as |0> (<X>=<Y>=0, <Z>=1).
+     */
+    double evaluate(
+        const std::vector<std::array<double, 4>> &sigmaExp) const;
+
+  private:
+    void prune();
+
+    int n_;
+    int words_;
+    PauliProbeOptions opt_;
+    /** key = x words then z words; std::map keeps iteration (and so
+     * truncation tie-breaks) deterministic. */
+    std::map<std::vector<std::uint64_t>, double> terms_;
+    double truncErr_ = 0.0;
+};
+
+/** {1, <X>, <Z>, <Y>} of the single-qubit state prep|0>. */
+std::array<double, 4> prepSigmaExpectations(const linalg::Mat2 &prep);
+
+} // namespace verify
+} // namespace tqan
+
+#endif // TQAN_VERIFY_PAULI_PROBE_H

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Stabilizer tableau unit tests: hand-checked small states, the
+ * random-Clifford-circuit cross-check against the statevector
+ * engine (n <= 12), Clifford recognition (per-op, run fusion,
+ * negative cases), and stabilizer-generator self-consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/matrix.h"
+#include "qcir/circuit.h"
+#include "sim/stabilizer.h"
+#include "sim/statevector.h"
+
+using namespace tqan;
+using qcir::Circuit;
+using qcir::Op;
+using sim::PauliString;
+using sim::StabilizerTableau;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Random circuit drawn entirely from Clifford generators. */
+Circuit
+randomCliffordCircuit(int n, int gates, std::mt19937_64 &rng)
+{
+    Circuit c(n);
+    std::uniform_int_distribution<int> kind(0, 7);
+    std::uniform_int_distribution<int> qd(0, n - 1);
+    std::uniform_int_distribution<int> kd(0, 3);
+    for (int i = 0; i < gates; ++i) {
+        int q0 = qd(rng), q1 = qd(rng);
+        while (n > 1 && q1 == q0)
+            q1 = qd(rng);
+        switch (kind(rng)) {
+          case 0:
+            c.add(Op::rz(q0, kd(rng) * kPi / 2));
+            break;
+          case 1:
+            c.add(Op::rx(q0, kd(rng) * kPi / 2));
+            break;
+          case 2:
+            c.add(Op::ry(q0, kd(rng) * kPi / 2));
+            break;
+          case 3:
+            c.add(Op::interact(q0, q1, kd(rng) * kPi / 4,
+                               kd(rng) * kPi / 4,
+                               kd(rng) * kPi / 4));
+            break;
+          case 4:
+            c.add(Op::cnot(q0, q1));
+            break;
+          case 5:
+            c.add(Op::cz(q0, q1));
+            break;
+          case 6:
+            c.add(Op::swap(q0, q1));
+            break;
+          default:
+            c.add(Op::iswap(q0, q1));
+            break;
+        }
+    }
+    return c;
+}
+
+/** Signed <psi| P |psi> on the dense simulator. */
+double
+denseExpectPauli(const sim::Statevector &psi, const PauliString &p)
+{
+    sim::Statevector phi = psi;
+    for (int q = 0; q < p.n; ++q) {
+        bool xb = p.getX(q), zb = p.getZ(q);
+        if (xb && zb)
+            phi.apply1q(q, linalg::pauliY());
+        else if (xb)
+            phi.apply1q(q, linalg::pauliX());
+        else if (zb)
+            phi.apply1q(q, linalg::pauliZ());
+    }
+    linalg::Cx acc(0.0, 0.0);
+    for (std::uint64_t b = 0; b < psi.dim(); ++b)
+        acc += std::conj(psi.amplitude(b)) * phi.amplitude(b);
+    double val = acc.real() * (p.negative ? -1.0 : 1.0);
+    EXPECT_NEAR(acc.imag(), 0.0, 1e-9);
+    return val;
+}
+
+PauliString
+randomPauli(int n, std::mt19937_64 &rng)
+{
+    PauliString p(n);
+    std::uniform_int_distribution<int> cd(0, 3);
+    for (int q = 0; q < n; ++q) {
+        int code = cd(rng);
+        if (code & 1)
+            p.setX(q);
+        if (code & 2)
+            p.setZ(q);
+    }
+    p.negative = (rng() & 1) != 0;
+    return p;
+}
+
+} // namespace
+
+TEST(Stabilizer, GroundStateExpectations)
+{
+    StabilizerTableau t(3);
+    EXPECT_EQ(t.expectationZ(0), 1);
+    EXPECT_EQ(t.expectationZ(2), 1);
+    PauliString px(3);
+    px.setX(1);
+    EXPECT_EQ(t.expectationPauli(px), 0);
+}
+
+TEST(Stabilizer, BellState)
+{
+    StabilizerTableau t(2);
+    t.h(0);
+    t.cnot(0, 1);
+    EXPECT_EQ(t.expectationZ(0), 0);
+    EXPECT_EQ(t.expectationZ(1), 0);
+    EXPECT_EQ(t.expectationPauli(PauliString::doubleZ(2, 0, 1)), 1);
+    PauliString xx(2);
+    xx.setX(0);
+    xx.setX(1);
+    EXPECT_EQ(t.expectationPauli(xx), 1);
+    PauliString yy(2);
+    yy.setX(0);
+    yy.setZ(0);
+    yy.setX(1);
+    yy.setZ(1);
+    EXPECT_EQ(t.expectationPauli(yy), -1);
+}
+
+TEST(Stabilizer, SingleQubitStates)
+{
+    // |1> = X|0>: <Z> = -1.
+    StabilizerTableau t(1);
+    t.x(0);
+    EXPECT_EQ(t.expectationZ(0), -1);
+
+    // |+i> = S H |0>: <Y> = +1, <Z> = <X> = 0.
+    StabilizerTableau u(1);
+    u.h(0);
+    u.s(0);
+    PauliString y(1);
+    y.setX(0);
+    y.setZ(0);
+    EXPECT_EQ(u.expectationPauli(y), 1);
+    EXPECT_EQ(u.expectationZ(0), 0);
+}
+
+TEST(Stabilizer, ISwapMatchesUnitary)
+{
+    // iSWAP on |10>: tableau vs dense, via Z expectations.
+    StabilizerTableau t(2);
+    t.x(0);
+    t.iswap(0, 1);
+    EXPECT_EQ(t.expectationZ(0), 1);   // qubit 0 back to |0>
+    EXPECT_EQ(t.expectationZ(1), -1);  // excitation moved to qubit 1
+
+    sim::Statevector psi(2);
+    psi.apply1q(0, linalg::pauliX());
+    psi.applyOp(Op::iswap(0, 1));
+    EXPECT_NEAR(psi.expectationZ(0), 1.0, 1e-12);
+    EXPECT_NEAR(psi.expectationZ(1), -1.0, 1e-12);
+}
+
+TEST(Stabilizer, RandomCircuitsMatchStatevector)
+{
+    std::mt19937_64 rng(0xC11FF0D5ULL);
+    for (int rep = 0; rep < 40; ++rep) {
+        int n = 2 + static_cast<int>(rng() % 11);  // 2..12
+        Circuit c = randomCliffordCircuit(n, 3 * n, rng);
+        ASSERT_TRUE(sim::isCliffordCircuit(c));
+
+        StabilizerTableau tab(n);
+        tab.applyCircuit(c);
+        sim::Statevector psi(n);
+        psi.applyCircuit(c);
+
+        for (int q = 0; q < n; ++q)
+            EXPECT_NEAR(psi.expectationZ(q),
+                        static_cast<double>(tab.expectationZ(q)),
+                        1e-9)
+                << "rep " << rep << " qubit " << q;
+        for (int k = 0; k < 6; ++k) {
+            PauliString p = randomPauli(n, rng);
+            EXPECT_NEAR(denseExpectPauli(psi, p),
+                        static_cast<double>(tab.expectationPauli(p)),
+                        1e-9)
+                << "rep " << rep << " pauli " << p.str();
+        }
+    }
+}
+
+TEST(Stabilizer, StabilizerRowsHaveUnitExpectation)
+{
+    std::mt19937_64 rng(77);
+    Circuit c = randomCliffordCircuit(8, 30, rng);
+    StabilizerTableau tab(8);
+    tab.applyCircuit(c);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(tab.expectationPauli(tab.stabilizerRow(i)), 1)
+            << "generator " << i;
+}
+
+TEST(Stabilizer, RecognizesCliffordOps)
+{
+    EXPECT_TRUE(sim::isCliffordOp(Op::rz(0, kPi / 2)));
+    EXPECT_TRUE(sim::isCliffordOp(Op::rx(0, -kPi)));
+    EXPECT_TRUE(sim::isCliffordOp(Op::cnot(0, 1)));
+    EXPECT_TRUE(sim::isCliffordOp(
+        Op::interact(0, 1, kPi / 4, 0.0, 3 * kPi / 4)));
+    EXPECT_TRUE(sim::isCliffordOp(
+        Op::dressedSwap(0, 1, 0.0, kPi / 2, kPi / 4)));
+
+    EXPECT_FALSE(sim::isCliffordOp(Op::rz(0, 0.3)));
+    EXPECT_FALSE(sim::isCliffordOp(Op::interact(0, 1, 0.2, 0.0, 0.0)));
+    EXPECT_FALSE(sim::isCliffordOp(Op::syc(0, 1)));
+}
+
+TEST(Stabilizer, RunFusionRecognizesCompositeCliffords)
+{
+    // Each gate alone is non-Clifford; the run multiplies to
+    // Rz(pi/2), so fusion must accept the circuit...
+    Circuit c(2);
+    c.add(Op::rz(0, 0.3));
+    c.add(Op::rz(0, kPi / 2 - 0.3));
+    c.add(Op::cnot(0, 1));
+    EXPECT_TRUE(sim::isCliffordCircuit(c));
+
+    // ...and the tableau must agree with the dense engine on it.
+    StabilizerTableau tab(2);
+    tab.applyCircuit(c);
+    sim::Statevector psi(2);
+    psi.applyCircuit(c);
+    for (int q = 0; q < 2; ++q)
+        EXPECT_NEAR(psi.expectationZ(q),
+                    static_cast<double>(tab.expectationZ(q)), 1e-9);
+
+    // A run that does NOT fuse to a Clifford is rejected.
+    Circuit bad(2);
+    bad.add(Op::rz(0, 0.3));
+    bad.add(Op::cnot(0, 1));
+    EXPECT_FALSE(sim::isCliffordCircuit(bad));
+    StabilizerTableau t2(2);
+    EXPECT_THROW(t2.applyCircuit(bad), std::invalid_argument);
+}

@@ -96,7 +96,17 @@ printHelp(std::FILE *out)
         "  --backends CSV    comma-separated backend subset\n"
         "                    (default: all registered)\n"
         "  --max-qubits N    circuit-size ceiling (default 9)\n"
+        "  --min-qubits N    circuit-size floor (default 3)\n"
         "  --max-device N    device-size ceiling (default 11)\n"
+        "  --clifford        draw only Clifford-restricted scenarios\n"
+        "                    (exact stabilizer oracle at any scale;\n"
+        "                    pair with --min-qubits 100 for the\n"
+        "                    beyond-statevector leg)\n"
+        "  --structured P    fraction of scenarios on grid/heavy-hex\n"
+        "                    devices instead of random topologies\n"
+        "                    (default 0)\n"
+        "  --noise           attach calibration-style synthetic noise\n"
+        "                    maps (heterogeneous coupler error rates)\n"
         "  --trials N        oracle trials per case (default 3)\n"
         "  --mutate M        mutation campaign: M corruptions per\n"
         "                    verified case (default 0 = off)\n"
@@ -171,8 +181,16 @@ main(int argc, char **argv)
                     opt.backends.push_back(tok);
         } else if (a == "--max-qubits") {
             opt.scenario.maxQubits = intFlag(a, next());
+        } else if (a == "--min-qubits") {
+            opt.scenario.minQubits = intFlag(a, next());
         } else if (a == "--max-device") {
             opt.scenario.maxDeviceQubits = intFlag(a, next());
+        } else if (a == "--clifford") {
+            opt.scenario.cliffordOnly = true;
+        } else if (a == "--structured") {
+            opt.scenario.structuredFraction = doubleFlag(a, next());
+        } else if (a == "--noise") {
+            opt.scenario.withNoise = true;
         } else if (a == "--trials") {
             opt.check.equivalence.trials = intFlag(a, next());
         } else if (a == "--mutate") {
@@ -225,7 +243,10 @@ main(int argc, char **argv)
     if (opt.iterations < 1 || opt.jobs < 1 ||
         opt.campaign.processes < 0 || opt.campaign.retries < 0 ||
         opt.campaign.shardDeadline < 0.0 ||
-        opt.scenario.maxQubits < opt.scenario.minQubits) {
+        opt.scenario.minQubits < 1 ||
+        opt.scenario.maxQubits < opt.scenario.minQubits ||
+        opt.scenario.structuredFraction < 0.0 ||
+        opt.scenario.structuredFraction > 1.0) {
         std::fprintf(stderr, "tqan-fuzz: bad option values\n");
         return 2;
     }
@@ -250,12 +271,23 @@ main(int argc, char **argv)
                 return 2;
             }
             testgen::Scenario s = testgen::scenarioFromSpec(f);
-            auto failures = verify::runScenario(s, opt);
+            std::vector<verify::FuzzSkip> skips;
+            auto failures = verify::runScenario(s, opt, &skips);
+            // Skips are not failures, but an over-ceiling replay
+            // must say WHICH oracle refused and why, not exit with
+            // a generic error (or worse, a bad_alloc).
+            for (const auto &sk : skips)
+                std::fprintf(stderr,
+                             "tqan-fuzz: %s: skipped -- %s\n",
+                             sk.backend.c_str(), sk.reason.c_str());
             if (failures.empty()) {
                 std::fprintf(stderr,
                              "tqan-fuzz: reproducer %s verifies "
-                             "clean on every backend\n",
-                             replayFile.c_str());
+                             "clean on every backend%s\n",
+                             replayFile.c_str(),
+                             skips.empty() ? ""
+                                           : " that an oracle could "
+                                             "decide");
                 return 0;
             }
             for (const auto &fl : failures)
